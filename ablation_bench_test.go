@@ -1,0 +1,173 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// echo cancellation on/off, the CSR kernel against a naive triplet
+// multiply, belief-space updates against message-space BP, and the
+// sorted ΔSBP schedule against Algorithm 4's simultaneous waves.
+package lsbp_test
+
+import (
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linbp"
+	"repro/internal/sbp"
+)
+
+// BenchmarkAblationEchoOn measures LinBP with the echo-cancellation
+// term: one extra k×k transform per node per iteration.
+func BenchmarkAblationEchoOn(b *testing.B) {
+	g, e := kron(maxBenchGraph())
+	h := fig6bH()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEchoOff measures LinBP* — the cost saved by dropping
+// the echo term (Eq. 5 vs Eq. 4).
+func BenchmarkAblationEchoOff(b *testing.B) {
+	g, e := kron(maxBenchGraph())
+	h := fig6bH()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: false, MaxIter: timingIters, Tol: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCSRMulDense measures the CSR SpMM kernel (A·Bˆ), the
+// hot loop of LinBP.
+func BenchmarkAblationCSRMulDense(b *testing.B) {
+	g, _ := kron(maxBenchGraph())
+	a := g.Adjacency()
+	n, k := g.N(), 3
+	x := make([]float64, n*k)
+	for i := range x {
+		x[i] = float64(i%13) * 0.01
+	}
+	y := make([]float64, n*k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulDenseInto(y, x, k)
+	}
+}
+
+// BenchmarkAblationTripletMulDense is the naive alternative: multiply
+// from the raw edge list without the CSR layout. The CSR kernel wins on
+// locality (row-major accumulation vs scattered writes).
+func BenchmarkAblationTripletMulDense(b *testing.B) {
+	g, _ := kron(maxBenchGraph())
+	edges := g.Edges()
+	n, k := g.N(), 3
+	x := make([]float64, n*k)
+	for i := range x {
+		x[i] = float64(i%13) * 0.01
+	}
+	y := make([]float64, n*k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range y {
+			y[j] = 0
+		}
+		for _, e := range edges {
+			for c := 0; c < k; c++ {
+				y[e.S*k+c] += e.W * x[e.T*k+c]
+				y[e.T*k+c] += e.W * x[e.S*k+c]
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDeltaEdgesWave measures Algorithm 4's simultaneous
+// waves on a batch engineered to trigger re-updates.
+func BenchmarkAblationDeltaEdgesWave(b *testing.B) {
+	benchDeltaEdges(b, func(st *sbp.State, batch []graph.Edge) error {
+		return st.AddEdges(batch)
+	})
+}
+
+// BenchmarkAblationDeltaEdgesSorted measures the Appendix C sorted
+// schedule on the same batch.
+func BenchmarkAblationDeltaEdgesSorted(b *testing.B) {
+	benchDeltaEdges(b, func(st *sbp.State, batch []graph.Edge) error {
+		return st.AddEdgesSorted(batch)
+	})
+}
+
+func benchDeltaEdges(b *testing.B, update func(*sbp.State, []graph.Edge) error) {
+	b.Helper()
+	base := gen.Kronecker(gen.KroneckerGraphNumber(min(maxBenchGraph(), 3)))
+	n := base.N()
+	e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.02, Seed: 8})
+	// Shortcut batch touching several depths at once.
+	seeds := e.ExplicitNodes()
+	var batch []graph.Edge
+	for i := 0; i < 10 && i < len(seeds); i++ {
+		batch = append(batch, graph.Edge{S: seeds[i], T: (seeds[i] + n/2) % n, W: 1})
+	}
+	h := coupling.Fig6bResidual()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := sbp.Run(base.Clone(), e, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := update(st, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSeedFraction contrasts SBP cost at sparse vs dense
+// labeling — the mechanism behind Fig. 10(a).
+func BenchmarkAblationSeedFraction(b *testing.B) {
+	g, _ := kron(min(maxBenchGraph(), 3))
+	h := coupling.Fig6bResidual()
+	for _, frac := range []float64{0.01, 0.5} {
+		e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: frac, Seed: 2})
+		b.Run(benchName(frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sbp.Run(g, e, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(frac float64) string {
+	if frac < 0.1 {
+		return "sparse1pct"
+	}
+	return "dense50pct"
+}
+
+// BenchmarkAblationWorkers1 and Workers4 contrast the serial SpMM
+// kernel (the paper's single-processor evaluation setting) against the
+// goroutine-parallel one (the Parallel Colt role in the JAVA runs).
+func BenchmarkAblationWorkers1(b *testing.B) {
+	benchWorkers(b, 1)
+}
+
+// BenchmarkAblationWorkers4 is the 4-goroutine variant.
+func BenchmarkAblationWorkers4(b *testing.B) {
+	benchWorkers(b, 4)
+}
+
+func benchWorkers(b *testing.B, workers int) {
+	b.Helper()
+	g, e := kron(maxBenchGraph())
+	h := fig6bH()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.Run(g, e, h, linbp.Options{
+			EchoCancellation: true, MaxIter: timingIters, Tol: -1, Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Benchmarks regenerating the timing side of every table and figure in
+// the paper's evaluation. Each benchmark name carries the paper
+// artifact it reproduces; EXPERIMENTS.md maps results back to the
+// paper's numbers. Graph sizes default to the small end of Fig. 6a so
+// `go test -bench=.` finishes quickly; set LSBP_BENCH_MAXGRAPH (1–9) to
+// scale up.
+package lsbp_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/bp"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/fabp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linbp"
+	"repro/internal/mooij"
+	"repro/internal/relalgo"
+	"repro/internal/reldb"
+	"repro/internal/sbp"
+)
+
+// maxBenchGraph returns the largest Fig. 6a graph number to bench.
+func maxBenchGraph() int {
+	if s := os.Getenv("LSBP_BENCH_MAXGRAPH"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 && v <= 9 {
+			return v
+		}
+	}
+	return 3
+}
+
+// kron builds the Fig. 6a workload: graph #num with 5% explicit beliefs.
+func kron(num int) (*graph.Graph, *beliefs.Residual) {
+	g := gen.Kronecker(gen.KroneckerGraphNumber(num))
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: uint64(num)})
+	g.Adjacency() // warm caches so benches measure computation only
+	g.WeightedDegrees()
+	return g, e
+}
+
+// fig6bH returns the synthetic coupling Hˆ = 0.001·Hˆo of the timing runs.
+func fig6bH() *dense.Matrix { return coupling.Fig6bResidual().Scaled(0.001) }
+
+const timingIters = 5 // the paper times BP and LinBP for 5 iterations
+
+// BenchmarkFig7aBP times standard BP (in-memory) per Fig. 6a graph —
+// the slow line of Fig. 7(a) and the "BP (JAVA)" column of Fig. 7(c).
+func BenchmarkFig7aBP(b *testing.B) {
+	h := coupling.Uncenter(fig6bH())
+	for num := 1; num <= maxBenchGraph(); num++ {
+		g, e := kron(num)
+		es := e.Clone().Scale(0.1 / e.Matrix().MaxAbs())
+		b.Run(fmt.Sprintf("graph%d_edges%d", num, g.DirectedEdgeCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bp.Run(g, es, h, bp.Options{MaxIter: timingIters, Tol: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aLinBP times in-memory LinBP — the fast line of
+// Fig. 7(a) and the "LinBP (JAVA)" column of Fig. 7(c).
+func BenchmarkFig7aLinBP(b *testing.B) {
+	h := fig6bH()
+	for num := 1; num <= maxBenchGraph(); num++ {
+		g, e := kron(num)
+		b.Run(fmt.Sprintf("graph%d_edges%d", num, g.DirectedEdgeCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bRelLinBP times LinBP on the relational engine — the
+// "LinBP (SQL)" series of Fig. 7(b)/(c).
+func BenchmarkFig7bRelLinBP(b *testing.B) {
+	for num := 1; num <= min(maxBenchGraph(), 3); num++ {
+		g, e := kron(num)
+		db := relalgo.Load(g, e, fig6bH())
+		b.Run(fmt.Sprintf("graph%d", num), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.LinBP(timingIters, true)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bRelSBP times SBP on the relational engine — the "SBP
+// (SQL)" series of Fig. 7(b)/(c).
+func BenchmarkFig7bRelSBP(b *testing.B) {
+	for num := 1; num <= min(maxBenchGraph(), 3); num++ {
+		g, e := kron(num)
+		db := relalgo.Load(g, e, coupling.Fig6bResidual())
+		b.Run(fmt.Sprintf("graph%d", num), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.SBP()
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bRelDeltaSBP times the incremental ΔSBP update that
+// relabels 1‰ of all nodes — the "ΔSBP" series of Fig. 7(b)/(c).
+func BenchmarkFig7bRelDeltaSBP(b *testing.B) {
+	for num := 1; num <= min(maxBenchGraph(), 3); num++ {
+		g, e := kron(num)
+		count := g.N() / 1000
+		if count < 1 {
+			count = 1
+		}
+		fresh, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Count: count, Seed: 99})
+		en := reldb.New("En", []string{"v", "c", "b"})
+		for _, v := range fresh.ExplicitNodes() {
+			for c, bb := range fresh.Row(v) {
+				if bb != 0 {
+					en.Insert(float64(v), float64(c), bb)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("graph%d", num), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := relalgo.Load(g, e, coupling.Fig6bResidual())
+				st := db.SBP()
+				b.StartTimer()
+				st.AddExplicitBeliefs(en)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7dLinBPIteration times one LinBP round (the per-iteration
+// cost LinBP pays on every round, Fig. 7(d)).
+func BenchmarkFig7dLinBPIteration(b *testing.B) {
+	g, e := kron(maxBenchGraph())
+	h := fig6bH()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: 1, Tol: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7dSBPFull times a complete SBP pass (all geodesic levels;
+// each edge visited at most once, Fig. 7(d)'s point).
+func BenchmarkFig7dSBPFull(b *testing.B) {
+	g, e := kron(maxBenchGraph())
+	h := coupling.Fig6bResidual()
+	for i := 0; i < b.N; i++ {
+		if _, err := sbp.Run(g, e, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7eDeltaBeliefs20pct times ΔSBP with 20% of the final
+// explicit beliefs new (left of Fig. 7(e)'s crossover, where
+// incremental wins).
+func BenchmarkFig7eDeltaBeliefs20pct(b *testing.B) {
+	g, _ := kron(min(maxBenchGraph(), 3))
+	n := g.N()
+	total := n / 10
+	all, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Count: total, Seed: 5})
+	nodes := all.ExplicitNodes()
+	oldCount := total * 8 / 10
+	oldE := beliefs.New(n, 3)
+	en := reldb.New("En", []string{"v", "c", "b"})
+	for i, v := range nodes {
+		if i < oldCount {
+			oldE.Set(v, all.Row(v))
+			continue
+		}
+		for c, bb := range all.Row(v) {
+			if bb != 0 {
+				en.Insert(float64(v), float64(c), bb)
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := relalgo.Load(g, oldE, coupling.Fig6bResidual())
+		st := db.SBP()
+		b.StartTimer()
+		st.AddExplicitBeliefs(en)
+	}
+}
+
+// BenchmarkFig7eScratch is Fig. 7(e)'s horizontal line: recompute SBP
+// from scratch with all beliefs present.
+func BenchmarkFig7eScratch(b *testing.B) {
+	g, _ := kron(min(maxBenchGraph(), 3))
+	all, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Count: g.N() / 10, Seed: 5})
+	for i := 0; i < b.N; i++ {
+		db := relalgo.Load(g, all, coupling.Fig6bResidual())
+		db.SBP()
+	}
+}
+
+// BenchmarkFig7fQualitySweepPoint times one quality-sweep point of
+// Fig. 7(f): a BP run to convergence plus a LinBP run plus the
+// precision/recall comparison.
+func BenchmarkFig7fQualitySweepPoint(b *testing.B) {
+	g, e := kron(min(maxBenchGraph(), 3))
+	es := e.Clone().Scale(0.1 / e.Matrix().MaxAbs())
+	hLin := fig6bH()
+	hBP := coupling.Uncenter(hLin)
+	for i := 0; i < b.N; i++ {
+		bpRes, err := bp.Run(g, es, hBP, bp.Options{MaxIter: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linRes, err := linbp.Run(g, e, hLin, linbp.Options{EchoCancellation: true, MaxIter: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = bpRes.Beliefs.TopAssignment()
+		_ = linRes.Beliefs.TopAssignment()
+	}
+}
+
+// BenchmarkFig10aSBPFractions times SBP at 10% vs 90% explicit nodes
+// (Fig. 10(a): SBP gets slightly faster with more labels).
+func BenchmarkFig10aSBPFractions(b *testing.B) {
+	g, _ := kron(maxBenchGraph())
+	h := coupling.Fig6bResidual()
+	for _, frac := range []float64{0.1, 0.9} {
+		e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: frac, Seed: 3})
+		b.Run(fmt.Sprintf("explicit%.0f%%", frac*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sbp.Run(g, e, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10bDeltaEdges1pct times ΔSBP edge insertion for 1% new
+// edges (left of Fig. 10(b)'s ≈3% crossover).
+func BenchmarkFig10bDeltaEdges1pct(b *testing.B) {
+	full := gen.Kronecker(gen.KroneckerGraphNumber(min(maxBenchGraph(), 3)))
+	n := full.N()
+	e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 4})
+	edges := full.Edges()
+	newCount := len(edges) / 100
+	if newCount < 1 {
+		newCount = 1
+	}
+	base := graph.New(n)
+	for _, ed := range edges[:len(edges)-newCount] {
+		base.AddEdge(ed.S, ed.T, ed.W)
+	}
+	batch := append([]graph.Edge(nil), edges[len(edges)-newCount:]...)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := relalgo.Load(base.Clone(), e, coupling.Fig6bResidual())
+		st := db.SBP()
+		b.StartTimer()
+		st.AddEdges(batch)
+	}
+}
+
+// BenchmarkFig11bDBLP times one LinBP labeling of the DBLP-like graph
+// (the workload behind Fig. 11(b)).
+func BenchmarkFig11bDBLP(b *testing.B) {
+	d := gen.DBLP(gen.DefaultDBLPConfig())
+	n := d.G.N()
+	e := beliefs.New(n, 4)
+	for _, v := range beliefs.SeededNodes(n, beliefs.SeedConfig{Fraction: 0.104, Seed: 1}) {
+		e.Set(v, beliefs.LabelResidual(4, d.TrueClass[v], 0.05))
+	}
+	h := coupling.Fig11aResidual().Scaled(0.001)
+	d.G.Adjacency()
+	d.G.WeightedDegrees()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.Run(d.G, e, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEx20ClosedForm times the dense Kronecker-system solve of
+// Proposition 7 on the torus (Example 20 / Fig. 4's exact reference).
+func BenchmarkEx20ClosedForm(b *testing.B) {
+	g := gen.Torus()
+	e := beliefs.New(8, 3)
+	e.Set(0, []float64{2, -1, -1})
+	e.Set(1, []float64{-1, 2, -1})
+	e.Set(2, []float64{-1, -1, 2})
+	ho, err := coupling.NewResidual(coupling.Fig1c())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := ho.Scaled(0.1)
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.ClosedForm(g, e, h, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEx20ExactCriterion times the spectral-radius evaluation of
+// Lemma 8 (the cost of checking convergence before running LinBP).
+func BenchmarkEx20ExactCriterion(b *testing.B) {
+	g, _ := kron(min(maxBenchGraph(), 3))
+	h := fig6bH()
+	for i := 0; i < b.N; i++ {
+		if _, err := linbp.CheckConvergence(g, h, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppGMooijBound times the Mooij–Kappen bound evaluation
+// (Appendix G), dominated by the edge-matrix spectral radius.
+func BenchmarkAppGMooijBound(b *testing.B) {
+	g, _ := kron(1)
+	h := coupling.Uncenter(fig6bH())
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := mooij.Bound(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppEFABP times the binary-case scalar solver (Appendix E),
+// the cheapest of all the methods.
+func BenchmarkAppEFABP(b *testing.B) {
+	g, _ := kron(maxBenchGraph())
+	e := make([]float64, g.N())
+	for i := 0; i < len(e); i += 20 {
+		e[i] = 0.1
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := fabp.Run(g, e, 0.01, fabp.Options{MaxIter: timingIters, Tol: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig7a,fig7f -maxgraph 5
+//	experiments -list
+//
+// Each experiment prints the same rows/series the corresponding paper
+// artifact reports; see DESIGN.md §2 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		maxGraph = flag.Int("maxgraph", 4, "largest Kronecker graph # for in-memory runs (1-9)")
+		maxRel   = flag.Int("relgraph", 3, "largest Kronecker graph # for relational runs (1-9)")
+		iters    = flag.Int("iters", 5, "fixed iteration count for timing runs")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Out:         os.Stdout,
+		MaxGraph:    *maxGraph,
+		MaxRelGraph: *maxRel,
+		Iterations:  *iters,
+		Seed:        *seed,
+	}
+
+	var names []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*run, ",")
+	}
+	for _, name := range names {
+		e, ok := experiments.Lookup(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+}

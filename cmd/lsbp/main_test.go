@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGraph(t *testing.T) {
+	p := write(t, "g.txt", "0 1\n1 2 2.5\n")
+	g, err := loadGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d e=%d", g.N(), g.NumEdges())
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadLabels(t *testing.T) {
+	p := write(t, "l.txt", "# comment\n0 0\n2 1\n")
+	e, err := loadLabels(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := e.ExplicitNodes()
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if e.Row(2)[1] <= e.Row(2)[0] {
+		t.Fatal("node 2 must lean class 1")
+	}
+}
+
+func TestLoadLabelsErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad arity":    "0\n",
+		"bad node":     "x 0\n",
+		"bad class":    "0 x\n",
+		"node range":   "9 0\n",
+		"class range":  "0 7\n",
+		"extra fields": "0 1 2\n",
+	}
+	for name, content := range cases {
+		p := write(t, "l.txt", content)
+		if _, err := loadLabels(p, 3, 2); err == nil {
+			t.Fatalf("%s: expected error for %q", name, content)
+		}
+	}
+}
+
+func TestLoadMatrix(t *testing.T) {
+	p := write(t, "h.txt", "0.8 0.2\n0.2 0.8\n")
+	m, err := loadMatrix(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 0.8 {
+		t.Fatal("parse wrong")
+	}
+	p2 := write(t, "h2.txt", "0.8 0.2\n")
+	if _, err := loadMatrix(p2, 2); err == nil {
+		t.Fatal("row-count mismatch must error")
+	}
+	p3 := write(t, "h3.txt", "a b\nc d\n")
+	if _, err := loadMatrix(p3, 2); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+}

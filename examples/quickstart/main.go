@@ -1,0 +1,62 @@
+// Quickstart: label a small friendship network with two classes under
+// homophily, using every method the library offers, and show that they
+// agree — the paper's core claim in ten lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lsbp "repro"
+)
+
+func main() {
+	// A small social network: two communities bridged by one edge.
+	//
+	//   0 - 1 - 2       5 - 6
+	//    \  |  /    \   |   |
+	//     \ | /      4--+   |
+	//       3           7 --+
+	g := lsbp.NewGraph(8)
+	for _, e := range [][2]int{
+		{0, 1}, {1, 2}, {0, 3}, {1, 3}, {2, 3}, // community A
+		{5, 6}, {6, 7}, {5, 7}, {4, 5}, // community B
+		{2, 4}, // bridge
+	} {
+		g.AddUnitEdge(e[0], e[1])
+	}
+
+	// Two labeled users: node 0 is class 0, node 7 is class 1.
+	e := lsbp.NewBeliefs(8, 2)
+	e.Set(0, lsbp.LabelResidual(2, 0, 0.1))
+	e.Set(7, lsbp.LabelResidual(2, 1, 0.1))
+
+	// Homophily coupling; εH picked automatically from the exact
+	// convergence criterion (Lemma 8 of the paper).
+	ho := lsbp.Homophily(2, 0.8)
+	eps, err := lsbp.AutoEpsilonH(g, ho, lsbp.LinBP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: eps}
+
+	fmt.Printf("auto eps_H = %.4f\n\n", eps)
+	fmt.Printf("%-8s", "node:")
+	for s := 0; s < g.N(); s++ {
+		fmt.Printf("%4d", s)
+	}
+	fmt.Println()
+	for _, m := range []lsbp.Method{lsbp.BP, lsbp.LinBP, lsbp.LinBPStar, lsbp.SBP} {
+		res, err := lsbp.Solve(p, m, lsbp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", m.String()+":")
+		for _, classes := range res.Top {
+			fmt.Printf("%4d", classes[0])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNodes 0-3 follow the class-0 seed, 4-7 the class-1 seed;")
+	fmt.Println("all four methods give the same assignment.")
+}

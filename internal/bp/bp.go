@@ -1,0 +1,211 @@
+// Package bp implements standard loopy Belief Propagation (the
+// sum-product algorithm) for pairwise Markov networks with a single
+// class-coupling matrix, exactly as Section 2 of the paper defines it:
+//
+//	bs(i) ← (1/Zs)·es(i)·Π_{u∈N(s)} mus(i)                      (Eq. 1)
+//	mst(i) ← (1/Zst)·Σ_j H(j,i)·es(j)·Π_{u∈N(s)\t} mus(j)       (Eq. 3)
+//
+// with messages normalized to sum to k (so they stay centered around 1,
+// the convention the LinBP derivation builds on). This package is the
+// baseline the paper compares LinBP and SBP against; it is deliberately
+// a faithful message-passing implementation, including its cost profile
+// (one message per directed edge per iteration) and its lack of
+// convergence guarantees on loopy graphs.
+package bp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/beliefs"
+	"repro/internal/dense"
+	"repro/internal/graph"
+)
+
+// Options tunes the BP iteration. The zero value selects defaults.
+type Options struct {
+	// MaxIter bounds the number of synchronous message rounds
+	// (default 100).
+	MaxIter int
+	// Tol stops the iteration when no message entry changes by more
+	// than Tol between rounds (default 1e-9). Set negative to force
+	// exactly MaxIter rounds.
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Result carries the outcome of a BP run.
+type Result struct {
+	// Beliefs holds the final beliefs in residual (centered) form so
+	// they are directly comparable with LinBP/SBP output.
+	Beliefs *beliefs.Residual
+	// Iterations is the number of message rounds executed.
+	Iterations int
+	// Converged reports whether the message fixpoint was reached
+	// within Options.Tol.
+	Converged bool
+	// Delta is the final maximum message change.
+	Delta float64
+}
+
+// Run executes loopy BP on g with stochastic coupling matrix h (the
+// uncentered H of Problem 1) and explicit beliefs e given in residual
+// form. The uncentered prior 1/k + eˆs must be a valid probability
+// vector for every node; nodes with zero residual rows get the uniform
+// prior. Self-loops are rejected.
+func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n, k := g.N(), h.Rows()
+	if h.Cols() != k {
+		return nil, errors.New("bp: coupling matrix must be square")
+	}
+	if e.N() != n || e.K() != k {
+		return nil, fmt.Errorf("bp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), n, k)
+	}
+
+	// Uncentered priors, validated as probabilities.
+	prior := make([]float64, n*k)
+	for s := 0; s < n; s++ {
+		row := e.Row(s)
+		for i := 0; i < k; i++ {
+			p := 1/float64(k) + row[i]
+			if p < -1e-12 || p > 1+1e-12 {
+				return nil, fmt.Errorf("bp: node %d class %d: prior %v outside [0,1]; scale the explicit residuals down", s, i, p)
+			}
+			if p < 0 {
+				p = 0
+			}
+			prior[s*k+i] = p
+		}
+	}
+
+	// Directed edge layout: undirected edge idx -> directed 2*idx (s→t)
+	// and 2*idx+1 (t→s); reverse(d) = d^1.
+	edges := g.Edges()
+	m := len(edges)
+	src := make([]int, 2*m)
+	dst := make([]int, 2*m)
+	for idx, ed := range edges {
+		if ed.S == ed.T {
+			return nil, fmt.Errorf("bp: self-loop at node %d not supported", ed.S)
+		}
+		src[2*idx], dst[2*idx] = ed.S, ed.T
+		src[2*idx+1], dst[2*idx+1] = ed.T, ed.S
+	}
+	incoming := make([][]int, n)
+	for d := 0; d < 2*m; d++ {
+		incoming[dst[d]] = append(incoming[dst[d]], d)
+	}
+
+	// Messages, all initialized to the neutral 1 (centered default).
+	msg := make([]float64, 2*m*k)
+	next := make([]float64, 2*m*k)
+	for i := range msg {
+		msg[i] = 1
+	}
+
+	logP := make([]float64, n*k) // log of es(j)·Π mus(j) per node
+	qs := make([]float64, k)     // per-edge scratch
+	res := &Result{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		computeLogProducts(logP, prior, msg, incoming, n, k)
+		var delta float64
+		for d := 0; d < 2*m; d++ {
+			rev := d ^ 1
+			s := src[d]
+			// q(j) = log( es(j)·Π_{u∈N(s)} mus(j) / mts(j) ): divide the
+			// full product by the reverse message to exclude the target.
+			maxq := math.Inf(-1)
+			for j := 0; j < k; j++ {
+				qs[j] = logP[s*k+j] - math.Log(msg[rev*k+j])
+				if qs[j] > maxq {
+					maxq = qs[j]
+				}
+			}
+			if math.IsInf(maxq, -1) {
+				maxq = 0 // whole product vanished; exp below yields zeros
+			}
+			var sum float64
+			for i := 0; i < k; i++ {
+				var v float64
+				for j := 0; j < k; j++ {
+					v += h.At(j, i) * math.Exp(qs[j]-maxq)
+				}
+				next[d*k+i] = v
+				sum += v
+			}
+			// Normalize to sum k (Eq. 3's Zst), then track the change.
+			if sum > 0 {
+				scale := float64(k) / sum
+				for i := 0; i < k; i++ {
+					next[d*k+i] *= scale
+				}
+			}
+			for i := 0; i < k; i++ {
+				ch := math.Abs(next[d*k+i] - msg[d*k+i])
+				if math.IsNaN(ch) {
+					ch = math.Inf(1) // overflow: report divergence
+				}
+				if ch > delta {
+					delta = ch
+				}
+			}
+		}
+		msg, next = next, msg
+		res.Iterations = iter + 1
+		res.Delta = delta
+		if delta <= opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final beliefs (Eq. 1), normalized to sum 1, then centered.
+	computeLogProducts(logP, prior, msg, incoming, n, k)
+	bm := dense.New(n, k)
+	for s := 0; s < n; s++ {
+		maxl := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			if logP[s*k+i] > maxl {
+				maxl = logP[s*k+i]
+			}
+		}
+		row := bm.Row(s)
+		var sum float64
+		for i := 0; i < k; i++ {
+			v := math.Exp(logP[s*k+i] - maxl)
+			row[i] = v
+			sum += v
+		}
+		for i := 0; i < k; i++ {
+			row[i] = row[i]/sum - 1/float64(k)
+		}
+	}
+	res.Beliefs = beliefs.FromMatrix(bm)
+	return res, nil
+}
+
+// computeLogProducts fills logP with log(prior(s,j)) + Σ log(m_us(j))
+// over incoming messages, the log of Eq. 1's unnormalized belief.
+func computeLogProducts(logP, prior, msg []float64, incoming [][]int, n, k int) {
+	for s := 0; s < n; s++ {
+		for j := 0; j < k; j++ {
+			logP[s*k+j] = math.Log(prior[s*k+j])
+		}
+		for _, d := range incoming[s] {
+			for j := 0; j < k; j++ {
+				logP[s*k+j] += math.Log(msg[d*k+j])
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteMarginals computes exact marginals of the pairwise MRF
+// p(x) ∝ Π_s prior_s(x_s) · Π_{(s,t)∈E} H(x_s, x_t) by enumeration.
+func bruteMarginals(g *graph.Graph, prior *dense.Matrix, h *dense.Matrix) *dense.Matrix {
+	n, k := g.N(), h.Rows()
+	out := dense.New(n, k)
+	assign := make([]int, n)
+	var total float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			w := 1.0
+			for s := 0; s < n; s++ {
+				w *= prior.At(s, assign[s])
+			}
+			for _, e := range g.Edges() {
+				w *= h.At(assign[e.S], assign[e.T])
+			}
+			total += w
+			for s := 0; s < n; s++ {
+				out.Add(s, assign[s], w)
+			}
+			return
+		}
+		for c := 0; c < k; c++ {
+			assign[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	for s := 0; s < n; s++ {
+		for c := 0; c < k; c++ {
+			out.Set(s, c, out.At(s, c)/total)
+		}
+	}
+	return out
+}
+
+// priorOf converts residual beliefs to the stochastic prior matrix.
+func priorOf(e *beliefs.Residual) *dense.Matrix { return e.Uncenter() }
+
+func TestBPExactOnTree(t *testing.T) {
+	// Path v0−v1−v2−v3−v4, k = 3, general coupling, two explicit nodes.
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddUnitEdge(i, i+1)
+	}
+	h := coupling.Fig1c()
+	e := beliefs.New(5, 3)
+	e.Set(0, []float64{0.2, -0.1, -0.1})
+	e.Set(4, []float64{-0.15, 0.25, -0.1})
+
+	res, err := Run(g, e, h, Options{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BP must converge on a tree (delta %v)", res.Delta)
+	}
+	want := bruteMarginals(g, priorOf(e), h)
+	got := res.Beliefs.Uncenter()
+	if !got.EqualApprox(want, 1e-8) {
+		t.Fatalf("BP marginals differ from enumeration:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestBPExactOnStar(t *testing.T) {
+	// Star: center 0 with 4 leaves, k = 2 homophily.
+	g := graph.New(5)
+	for leaf := 1; leaf < 5; leaf++ {
+		g.AddUnitEdge(0, leaf)
+	}
+	h := coupling.Fig1a()
+	e := beliefs.New(5, 2)
+	e.Set(1, []float64{0.3, -0.3})
+	e.Set(2, []float64{0.2, -0.2})
+	e.Set(3, []float64{-0.1, 0.1})
+
+	res, err := Run(g, e, h, Options{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteMarginals(g, priorOf(e), h)
+	if !res.Beliefs.Uncenter().EqualApprox(want, 1e-8) {
+		t.Fatal("BP marginals differ from enumeration on star")
+	}
+}
+
+func TestBPTreeConvergesInDiameterRounds(t *testing.T) {
+	g := graph.New(4)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 2)
+	g.AddUnitEdge(2, 3)
+	e := beliefs.New(4, 2)
+	e.Set(0, []float64{0.2, -0.2})
+	res, err := Run(g, e, coupling.Fig1a(), Options{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous BP on a path of diameter 3 settles within ~diameter+1 rounds.
+	if res.Iterations > 6 {
+		t.Fatalf("took %d iterations on a tiny tree", res.Iterations)
+	}
+}
+
+func TestBPHomophilyPropagatesLabel(t *testing.T) {
+	// One explicit democrat in a homophily path: everyone leans democrat.
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(i, i+1)
+	}
+	e := beliefs.New(4, 2)
+	e.Set(0, []float64{0.4, -0.4})
+	res, err := Run(g, e, coupling.Fig1a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if res.Beliefs.Row(s)[0] <= res.Beliefs.Row(s)[1] {
+			t.Fatalf("node %d should lean class 0: %v", s, res.Beliefs.Row(s))
+		}
+	}
+	// Influence decays with distance.
+	if res.Beliefs.Row(1)[0] <= res.Beliefs.Row(3)[0] {
+		t.Fatal("closer nodes must be more confident")
+	}
+}
+
+func TestBPHeterophilyAlternates(t *testing.T) {
+	// Heterophily path: labels alternate along the path (Fig. 1b).
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(i, i+1)
+	}
+	e := beliefs.New(4, 2)
+	e.Set(0, []float64{0.3, -0.3}) // talkative
+	res, err := Run(g, e, coupling.Fig1b(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		wantTalkative := s%2 == 0
+		isTalkative := res.Beliefs.Row(s)[0] > res.Beliefs.Row(s)[1]
+		if isTalkative != wantTalkative {
+			t.Fatalf("node %d: wrong side under heterophily: %v", s, res.Beliefs.Row(s))
+		}
+	}
+}
+
+func TestBPOnLoopyTorusConverges(t *testing.T) {
+	// Small εH keeps loopy BP convergent on the Fig. 5c torus.
+	g := gen.Torus()
+	ho, err := coupling.NewResidual(coupling.Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := coupling.Uncenter(coupling.Scale(ho, 0.1))
+	e := beliefs.New(8, 3)
+	e.Set(0, beliefs.LabelResidual(3, 0, 0.1))
+	e.Set(1, beliefs.LabelResidual(3, 1, 0.1))
+	e.Set(2, beliefs.LabelResidual(3, 2, 0.1))
+	res, err := Run(g, e, h, Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BP should converge at small εH, delta %v", res.Delta)
+	}
+}
+
+func TestBPUniformPriorGivesUniformBeliefs(t *testing.T) {
+	g := gen.Torus()
+	e := beliefs.New(8, 3) // no explicit beliefs anywhere
+	res, err := Run(g, e, coupling.Fig1c(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		for _, v := range res.Beliefs.Row(s) {
+			if math.Abs(v) > 1e-12 {
+				t.Fatalf("node %d drifted from uniform: %v", s, res.Beliefs.Row(s))
+			}
+		}
+	}
+}
+
+func TestBPRejectsInvalidPrior(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	e := beliefs.New(2, 3)
+	e.Set(0, []float64{2, -1, -1}) // 1/3+2 > 1: invalid probability
+	if _, err := Run(g, e, coupling.Fig1c(), Options{}); err == nil {
+		t.Fatal("expected prior validation error")
+	}
+}
+
+func TestBPRejectsShapeMismatch(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	e := beliefs.New(3, 3)
+	if _, err := Run(g, e, coupling.Fig1c(), Options{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestBPRejectsSelfLoop(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	g.AddEdge(1, 1, 1)
+	e := beliefs.New(2, 2)
+	if _, err := Run(g, e, coupling.Fig1a(), Options{}); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestBPFixedIterationMode(t *testing.T) {
+	g := gen.Torus()
+	e := beliefs.New(8, 3)
+	e.Set(0, beliefs.LabelResidual(3, 0, 0.1))
+	res, err := Run(g, e, coupling.Fig1c(), Options{MaxIter: 5, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 || res.Converged {
+		t.Fatalf("negative Tol must force MaxIter rounds: iters=%d conv=%v", res.Iterations, res.Converged)
+	}
+}
+
+func TestBPHardLabelZeroPrior(t *testing.T) {
+	// A hard 0/1 prior (residual ±1/k at the boundary) must not produce
+	// NaNs through the log-domain computation.
+	g := graph.New(3)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 2)
+	e := beliefs.New(3, 2)
+	e.Set(0, []float64{0.5, -0.5}) // prior [1, 0]
+	res, err := Run(g, e, coupling.Fig1a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		for _, v := range res.Beliefs.Row(s) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("node %d has invalid belief %v", s, v)
+			}
+		}
+	}
+	if res.Beliefs.Row(0)[0] < 0.5-1e-9 {
+		t.Fatal("hard-labeled node must stay at its label")
+	}
+}

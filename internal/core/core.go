@@ -1,0 +1,211 @@
+// Package core ties the reproduction together: it defines the Problem
+// type (graph + explicit beliefs + coupling, Problem 1 of the paper) and
+// a uniform Solve entry point that dispatches to the four inference
+// methods the paper evaluates — standard loopy BP, LinBP, LinBP*, and
+// SBP — so that callers and experiments can swap methods freely.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/beliefs"
+	"repro/internal/bp"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/linbp"
+	"repro/internal/sbp"
+)
+
+// Method selects the inference algorithm.
+type Method int
+
+// The four methods of the paper's evaluation.
+const (
+	// MethodBP is standard loopy belief propagation (Section 2).
+	MethodBP Method = iota
+	// MethodLinBP is linearized BP with echo cancellation (Eq. 4).
+	MethodLinBP
+	// MethodLinBPStar is linearized BP without echo cancellation (Eq. 5).
+	MethodLinBPStar
+	// MethodSBP is single-pass BP (Section 6).
+	MethodSBP
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodBP:
+		return "BP"
+	case MethodLinBP:
+		return "LinBP"
+	case MethodLinBPStar:
+		return "LinBP*"
+	case MethodSBP:
+		return "SBP"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Problem is one top-belief-assignment instance (Problem 1): an
+// undirected weighted graph, explicit residual beliefs for some nodes,
+// and a residual coupling matrix Hˆo scaled by EpsilonH.
+type Problem struct {
+	// Graph is the undirected, optionally weighted network.
+	Graph *graph.Graph
+	// Explicit holds the residual explicit beliefs Eˆ (zero rows for
+	// unlabeled nodes).
+	Explicit *beliefs.Residual
+	// Ho is the unscaled residual coupling matrix Hˆo.
+	Ho *dense.Matrix
+	// EpsilonH scales Ho into Hˆ = εH·Hˆo. SBP ignores it (its
+	// standardized output is εH-invariant); BP, LinBP, and LinBP* use it.
+	EpsilonH float64
+}
+
+// Validate checks structural consistency and the residual invariants.
+func (p *Problem) Validate() error {
+	if p.Graph == nil || p.Explicit == nil || p.Ho == nil {
+		return errors.New("core: problem has nil components")
+	}
+	if p.EpsilonH < 0 {
+		return errors.New("core: negative EpsilonH")
+	}
+	if p.Explicit.N() != p.Graph.N() {
+		return fmt.Errorf("core: %d belief rows for %d nodes", p.Explicit.N(), p.Graph.N())
+	}
+	if p.Explicit.K() != p.Ho.Rows() {
+		return fmt.Errorf("core: %d belief classes vs %dx%d coupling",
+			p.Explicit.K(), p.Ho.Rows(), p.Ho.Cols())
+	}
+	if err := coupling.ValidateResidual(p.Ho); err != nil {
+		return err
+	}
+	return p.Explicit.Validate()
+}
+
+// K returns the number of classes.
+func (p *Problem) K() int { return p.Ho.Rows() }
+
+// ScaledH returns Hˆ = εH·Hˆo.
+func (p *Problem) ScaledH() *dense.Matrix { return coupling.Scale(p.Ho, p.EpsilonH) }
+
+// Options tunes Solve. The zero value selects per-method defaults.
+type Options struct {
+	// MaxIter bounds iterative methods (default: method-specific).
+	MaxIter int
+	// Tol is the convergence tolerance; negative forces MaxIter rounds.
+	Tol float64
+}
+
+// Result is the uniform output of Solve.
+type Result struct {
+	// Method that produced the result.
+	Method Method
+	// Beliefs holds the final residual beliefs.
+	Beliefs *beliefs.Residual
+	// Top is the top-belief assignment (with ties) per node.
+	Top [][]int
+	// Iterations/Converged/Delta describe iterative methods; SBP always
+	// converges with Iterations = max geodesic number.
+	Iterations int
+	Converged  bool
+	Delta      float64
+	// SBP exposes the incremental state when Method == MethodSBP.
+	SBP *sbp.State
+}
+
+// Solve runs the chosen method on the problem.
+//
+// For BP, the explicit residuals are auto-rescaled (Lemma 12 makes this
+// harmless for the classification) so the uncentered priors are valid
+// probabilities, and the coupling is uncentered to a stochastic matrix.
+func Solve(p *Problem, m Method, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Method: m}
+	switch m {
+	case MethodBP:
+		e := p.Explicit
+		if lambda := bpSafeScale(e); lambda != 1 {
+			e = e.Clone().Scale(lambda)
+		}
+		h := coupling.Uncenter(p.ScaledH())
+		r, err := bp.Run(p.Graph, e, h, bp.Options{MaxIter: opts.MaxIter, Tol: opts.Tol})
+		if err != nil {
+			return nil, err
+		}
+		res.Beliefs, res.Iterations, res.Converged, res.Delta = r.Beliefs, r.Iterations, r.Converged, r.Delta
+	case MethodLinBP, MethodLinBPStar:
+		r, err := linbp.Run(p.Graph, p.Explicit, p.ScaledH(), linbp.Options{
+			EchoCancellation: m == MethodLinBP,
+			MaxIter:          opts.MaxIter,
+			Tol:              opts.Tol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Beliefs, res.Iterations, res.Converged, res.Delta = r.Beliefs, r.Iterations, r.Converged, r.Delta
+	case MethodSBP:
+		st, err := sbp.Run(p.Graph, p.Explicit, p.Ho)
+		if err != nil {
+			return nil, err
+		}
+		res.Beliefs = st.Beliefs()
+		res.SBP = st
+		res.Converged = true
+		for _, g := range st.Geodesics() {
+			if g > res.Iterations {
+				res.Iterations = g
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+	res.Top = res.Beliefs.TopAssignment()
+	return res, nil
+}
+
+// bpSafeScale returns the λ that brings the largest explicit residual
+// magnitude down to 0.1 (a comfortably valid prior), or 1 if already
+// safe. Scaling Eˆ does not change the top-belief assignment
+// (Corollary 13); for BP itself the effect is a mild damping of priors.
+func bpSafeScale(e *beliefs.Residual) float64 {
+	max := e.Matrix().MaxAbs()
+	if max <= 0.1 {
+		return 1
+	}
+	return 0.1 / max
+}
+
+// Convergence re-exports the LinBP criteria for the problem's scaled
+// coupling matrix (Lemma 8 exact, Lemma 9 sufficient).
+func (p *Problem) Convergence(m Method) (*linbp.Convergence, error) {
+	switch m {
+	case MethodLinBP, MethodLinBPStar:
+		return linbp.CheckConvergence(p.Graph, p.ScaledH(), m == MethodLinBP)
+	default:
+		return nil, fmt.Errorf("core: convergence criteria only apply to LinBP/LinBP*, not %v", m)
+	}
+}
+
+// AutoEpsilonH returns a safe εH for the problem's graph and Hˆo: half
+// of the exact convergence threshold of Lemma 8 for the chosen method.
+// The paper recommends choosing εH by Lemma 8 (Section 7, Result 4).
+func AutoEpsilonH(g *graph.Graph, ho *dense.Matrix, m Method) (float64, error) {
+	if m != MethodLinBP && m != MethodLinBPStar {
+		return 0, fmt.Errorf("core: AutoEpsilonH applies to LinBP/LinBP*, not %v", m)
+	}
+	eps, err := linbp.MaxEpsilonH(g, ho, m == MethodLinBP, true)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(eps, 1) {
+		return 1, nil
+	}
+	return eps / 2, nil
+}

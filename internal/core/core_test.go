@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func torusProblem(t *testing.T, eps float64) *Problem {
+	t.Helper()
+	ho, err := coupling.NewResidual(coupling.Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := beliefs.New(8, 3)
+	e.Set(0, []float64{2, -1, -1})
+	e.Set(1, []float64{-1, 2, -1})
+	e.Set(2, []float64{-1, -1, 2})
+	return &Problem{Graph: gen.Torus(), Explicit: e, Ho: ho, EpsilonH: eps}
+}
+
+func TestValidate(t *testing.T) {
+	p := torusProblem(t, 0.1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.EpsilonH = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative εH must fail")
+	}
+	bad2 := *p
+	bad2.Explicit = beliefs.New(5, 3)
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+	bad3 := *p
+	bad3.Graph = nil
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("nil graph must fail")
+	}
+}
+
+func TestSolveAllMethods(t *testing.T) {
+	p := torusProblem(t, 0.1)
+	for _, m := range []Method{MethodBP, MethodLinBP, MethodLinBPStar, MethodSBP} {
+		res, err := Solve(p, m, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Beliefs == nil || len(res.Top) != 8 {
+			t.Fatalf("%v: incomplete result", m)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: did not converge", m)
+		}
+		// Explicit nodes keep their classes.
+		for s := 0; s < 3; s++ {
+			if len(res.Top[s]) != 1 || res.Top[s][0] != s {
+				t.Fatalf("%v: node %d top = %v", m, s, res.Top[s])
+			}
+		}
+	}
+}
+
+// TestMethodsAgree is the paper's central quality claim in miniature:
+// at a small εH all four methods give the same top-belief assignment.
+func TestMethodsAgree(t *testing.T) {
+	p := torusProblem(t, 0.05)
+	base, err := Solve(p, MethodBP, Options{MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodLinBP, MethodLinBPStar, MethodSBP} {
+		res, err := Solve(p, m, Options{MaxIter: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := metrics.Compare(base.Top, res.Top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.F1 < 0.99 {
+			t.Fatalf("%v vs BP: F1 = %v\nBP:  %v\n%v: %v", m, pr.F1, base.Top, m, res.Top)
+		}
+	}
+}
+
+func TestSolveSBPExposesState(t *testing.T) {
+	p := torusProblem(t, 0.1)
+	res, err := Solve(p, MethodSBP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SBP == nil {
+		t.Fatal("SBP state missing")
+	}
+	if res.Iterations != 3 { // max geodesic number on the torus instance
+		t.Fatalf("Iterations = %d, want 3", res.Iterations)
+	}
+}
+
+func TestSolveBPAutoRescale(t *testing.T) {
+	// Explicit residuals of magnitude 2 would be invalid BP priors;
+	// Solve must rescale internally rather than erroring.
+	p := torusProblem(t, 0.05)
+	if _, err := Solve(p, MethodBP, Options{}); err != nil {
+		t.Fatalf("auto-rescale failed: %v", err)
+	}
+}
+
+func TestSolveUnknownMethod(t *testing.T) {
+	if _, err := Solve(torusProblem(t, 0.1), Method(99), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodBP: "BP", MethodLinBP: "LinBP", MethodLinBPStar: "LinBP*",
+		MethodSBP: "SBP", Method(42): "Method(42)",
+	} {
+		if m.String() != want {
+			t.Fatalf("String() = %q, want %q", m.String(), want)
+		}
+	}
+}
+
+func TestConvergenceAccessor(t *testing.T) {
+	p := torusProblem(t, 0.1)
+	c, err := p.Convergence(MethodLinBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exact {
+		t.Fatal("εH=0.1 should be inside the exact region")
+	}
+	if _, err := p.Convergence(MethodSBP); err == nil {
+		t.Fatal("SBP has no convergence criterion")
+	}
+}
+
+func TestAutoEpsilonH(t *testing.T) {
+	p := torusProblem(t, 0)
+	eps, err := AutoEpsilonH(p.Graph, p.Ho, MethodLinBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half of Example 20's ≈0.488.
+	if math.Abs(eps-0.244) > 5e-3 {
+		t.Fatalf("AutoEpsilonH = %v, want ≈0.244", eps)
+	}
+	if _, err := AutoEpsilonH(p.Graph, p.Ho, MethodBP); err == nil {
+		t.Fatal("expected error for BP")
+	}
+	// Edgeless graph: threshold is infinite, fall back to 1.
+	eps, err = AutoEpsilonH(graph.New(3), p.Ho, MethodLinBPStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1 {
+		t.Fatalf("edgeless AutoEpsilonH = %v, want 1", eps)
+	}
+}

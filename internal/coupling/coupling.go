@@ -1,0 +1,276 @@
+// Package coupling handles the k×k class-coupling ("heterophily")
+// matrices of the paper: validation of the doubly-stochastic requirement,
+// centering into residual form Hˆ (Definition 3), scaling by the εH
+// parameter of Section 6.2, and the standard example matrices of
+// Fig. 1, Fig. 6b, and Fig. 11a.
+//
+// A coupling matrix H(j, i) gives the relative influence of class j of a
+// node on class i of its neighbor. The paper requires H to be symmetric
+// and doubly stochastic; the residual matrix Hˆ = H − 1/k then has zero
+// row and column sums and makes attraction (positive) and repulsion
+// (negative) explicit.
+package coupling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+)
+
+// Validation errors returned by Validate and NewResidual.
+var (
+	ErrNotSquare        = errors.New("coupling: matrix is not square")
+	ErrNotSymmetric     = errors.New("coupling: matrix is not symmetric")
+	ErrNotStochastic    = errors.New("coupling: rows/columns do not sum to 1")
+	ErrNegativeEntry    = errors.New("coupling: negative entry")
+	ErrResidualRowSum   = errors.New("coupling: residual rows/columns do not sum to 0")
+	ErrResidualTooLarge = errors.New("coupling: residual entries must stay within (-1/k, 1-1/k)")
+)
+
+// tol is the numeric slack used by all validations.
+const tol = 1e-9
+
+// Validate checks that h is a symmetric, doubly stochastic, non-negative
+// coupling matrix as Problem 1 requires.
+func Validate(h *dense.Matrix) error {
+	k := h.Rows()
+	if k != h.Cols() {
+		return ErrNotSquare
+	}
+	for i := 0; i < k; i++ {
+		var rowSum, colSum float64
+		for j := 0; j < k; j++ {
+			v := h.At(i, j)
+			if v < -tol {
+				return fmt.Errorf("%w: H(%d,%d) = %v", ErrNegativeEntry, i, j, v)
+			}
+			if math.Abs(v-h.At(j, i)) > tol {
+				return fmt.Errorf("%w: H(%d,%d) != H(%d,%d)", ErrNotSymmetric, i, j, j, i)
+			}
+			rowSum += v
+			colSum += h.At(j, i)
+		}
+		if math.Abs(rowSum-1) > tol || math.Abs(colSum-1) > tol {
+			return fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, rowSum)
+		}
+	}
+	return nil
+}
+
+// NewResidual validates the stochastic coupling matrix h and returns the
+// residual matrix Hˆ = h − 1/k (centering of Definition 3).
+func NewResidual(h *dense.Matrix) (*dense.Matrix, error) {
+	if err := Validate(h); err != nil {
+		return nil, err
+	}
+	k := h.Rows()
+	out := dense.New(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, h.At(i, j)-1/float64(k))
+		}
+	}
+	return out, nil
+}
+
+// ValidateResidual checks that hr is a symmetric residual coupling matrix:
+// square, symmetric, zero row and column sums, and entries within
+// (−1/k, 1−1/k) so the uncentered matrix stays non-negative.
+func ValidateResidual(hr *dense.Matrix) error {
+	k := hr.Rows()
+	if k != hr.Cols() {
+		return ErrNotSquare
+	}
+	kf := float64(k)
+	for i := 0; i < k; i++ {
+		var rowSum float64
+		for j := 0; j < k; j++ {
+			v := hr.At(i, j)
+			if math.Abs(v-hr.At(j, i)) > tol {
+				return ErrNotSymmetric
+			}
+			if v < -1/kf-tol || v > 1-1/kf+tol {
+				return fmt.Errorf("%w: Hˆ(%d,%d) = %v", ErrResidualTooLarge, i, j, v)
+			}
+			rowSum += v
+		}
+		if math.Abs(rowSum) > tol {
+			return fmt.Errorf("%w: row %d sums to %v", ErrResidualRowSum, i, rowSum)
+		}
+	}
+	return nil
+}
+
+// Uncenter returns H = Hˆ + 1/k, the stochastic matrix a residual matrix
+// came from. Needed to run standard BP on the same problem instance.
+func Uncenter(hr *dense.Matrix) *dense.Matrix {
+	k := hr.Rows()
+	out := dense.New(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, hr.At(i, j)+1/float64(k))
+		}
+	}
+	return out
+}
+
+// Scale returns εH·hˆo, the scaled residual coupling matrix of
+// Section 6.2 (Hˆ = εH·Hˆo). It panics for εH < 0.
+func Scale(ho *dense.Matrix, epsH float64) *dense.Matrix {
+	if epsH < 0 {
+		panic("coupling: negative εH")
+	}
+	return ho.Scaled(epsH)
+}
+
+// Sinkhorn projects an elementwise-positive square matrix onto the
+// doubly stochastic set by alternating row/column normalization
+// (Sinkhorn–Knopp). This implements footnote 7's observation that
+// arbitrary relative coupling strengths can be turned into a valid
+// (singly, and with symmetric input doubly) stochastic coupling matrix.
+// It returns an error if the iteration does not reach the tolerance.
+func Sinkhorn(m *dense.Matrix, maxIter int, tolerance float64) (*dense.Matrix, error) {
+	k := m.Rows()
+	if k != m.Cols() {
+		return nil, ErrNotSquare
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tolerance <= 0 {
+		tolerance = 1e-12
+	}
+	out := m.Clone()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if out.At(i, j) <= 0 {
+				return nil, fmt.Errorf("coupling: Sinkhorn needs positive entries, got %v at (%d,%d)", out.At(i, j), i, j)
+			}
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Row normalize.
+		for i := 0; i < k; i++ {
+			var s float64
+			for j := 0; j < k; j++ {
+				s += out.At(i, j)
+			}
+			for j := 0; j < k; j++ {
+				out.Set(i, j, out.At(i, j)/s)
+			}
+		}
+		// Column normalize.
+		maxDev := 0.0
+		for j := 0; j < k; j++ {
+			var s float64
+			for i := 0; i < k; i++ {
+				s += out.At(i, j)
+			}
+			for i := 0; i < k; i++ {
+				out.Set(i, j, out.At(i, j)/s)
+			}
+			if d := math.Abs(s - 1); d > maxDev {
+				maxDev = d
+			}
+		}
+		if maxDev < tolerance {
+			return out, nil
+		}
+	}
+	return nil, errors.New("coupling: Sinkhorn did not converge")
+}
+
+// Homophily returns the k×k residual coupling matrix where each class
+// attracts itself with strength s and repels every other class equally:
+// Hˆ(i,i) = s·(k−1)/k and Hˆ(i,j) = −s/k. It panics unless 0 < s ≤ 1
+// and k ≥ 2 (s = 1 corresponds to the identity coupling matrix).
+func Homophily(k int, s float64) *dense.Matrix {
+	if k < 2 {
+		panic("coupling: need k >= 2")
+	}
+	if s <= 0 || s > 1 {
+		panic("coupling: homophily strength must be in (0,1]")
+	}
+	kf := float64(k)
+	out := dense.New(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				out.Set(i, j, s*(kf-1)/kf)
+			} else {
+				out.Set(i, j, -s/kf)
+			}
+		}
+	}
+	return out
+}
+
+// Heterophily returns the 2-class residual matrix [[−ĥ, ĥ], [ĥ, −ĥ]] in
+// which opposites attract with strength hhat ∈ (0, 1/2].
+func Heterophily(hhat float64) *dense.Matrix {
+	if hhat <= 0 || hhat > 0.5 {
+		panic("coupling: heterophily strength must be in (0, 1/2]")
+	}
+	return dense.NewFromRows([][]float64{{-hhat, hhat}, {hhat, -hhat}})
+}
+
+// Fig1a returns the 2-class homophily coupling matrix of Fig. 1a
+// (Democrats/Republicans).
+func Fig1a() *dense.Matrix {
+	return dense.NewFromRows([][]float64{{0.8, 0.2}, {0.2, 0.8}})
+}
+
+// Fig1b returns the 2-class heterophily coupling matrix of Fig. 1b
+// (Talkative/Silent).
+func Fig1b() *dense.Matrix {
+	return dense.NewFromRows([][]float64{{0.3, 0.7}, {0.7, 0.3}})
+}
+
+// Fig1c returns the 3-class general coupling matrix of Fig. 1c
+// (Honest/Accomplice/Fraudster).
+func Fig1c() *dense.Matrix {
+	return dense.NewFromRows([][]float64{
+		{0.6, 0.3, 0.1},
+		{0.3, 0.0, 0.7},
+		{0.1, 0.7, 0.2},
+	})
+}
+
+// Fig6bResidual returns the unscaled residual coupling matrix Hˆo of
+// Fig. 6b used by the synthetic experiments, in the paper's ×10⁻?
+// convention: the figure lists integers that must be read as a residual
+// matrix with zero row sums; the natural reading is Hˆo = figure/30,
+// which has zero row/column sums and entries in (−1/3, 2/3).
+func Fig6bResidual() *dense.Matrix {
+	raw := [][]float64{
+		{10, -4, -6},
+		{-4, 7, -3},
+		{-6, -3, 9},
+	}
+	out := dense.New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.Set(i, j, raw[i][j]/30)
+		}
+	}
+	return out
+}
+
+// Fig11aResidual returns the unscaled residual 4-class homophily matrix
+// of Fig. 11a used for the DBLP experiment, normalized like Fig6bResidual
+// (figure/8 gives zero row sums with diagonal 3/4).
+func Fig11aResidual() *dense.Matrix {
+	out := dense.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				out.Set(i, j, 6.0/8.0)
+			} else {
+				out.Set(i, j, -2.0/8.0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package coupling
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+)
+
+func TestValidateAcceptsFig1(t *testing.T) {
+	for name, h := range map[string]*dense.Matrix{
+		"fig1a": Fig1a(), "fig1b": Fig1b(), "fig1c": Fig1c(),
+	} {
+		if err := Validate(h); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]struct {
+		m    *dense.Matrix
+		want error
+	}{
+		"not square":    {dense.New(2, 3), ErrNotSquare},
+		"not symmetric": {dense.NewFromRows([][]float64{{0.5, 0.5}, {0.4, 0.6}}), ErrNotSymmetric},
+		"not stochastic": {dense.NewFromRows([][]float64{{0.5, 0.4}, {0.4, 0.5}}),
+			ErrNotStochastic},
+		"negative": {dense.NewFromRows([][]float64{{1.2, -0.2}, {-0.2, 1.2}}),
+			ErrNegativeEntry},
+	}
+	for name, c := range cases {
+		err := Validate(c.m)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("%s: got %v, want %v", name, err, c.want)
+		}
+	}
+}
+
+func TestNewResidualCentering(t *testing.T) {
+	hr, err := NewResidual(Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hr.At(0, 0)-(0.6-1.0/3.0)) > 1e-12 {
+		t.Fatalf("Hˆ(0,0) = %v", hr.At(0, 0))
+	}
+	if err := ValidateResidual(hr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncenterRoundTrip(t *testing.T) {
+	hr, _ := NewResidual(Fig1a())
+	back := Uncenter(hr)
+	if !back.EqualApprox(Fig1a(), 1e-12) {
+		t.Fatal("Uncenter(NewResidual(H)) != H")
+	}
+}
+
+func TestValidateResidualRejects(t *testing.T) {
+	// Row sums nonzero.
+	bad := dense.NewFromRows([][]float64{{0.1, 0.1}, {0.1, 0.1}})
+	if err := ValidateResidual(bad); !errors.Is(err, ErrResidualRowSum) {
+		t.Fatalf("got %v", err)
+	}
+	// Out of range: entry < −1/k.
+	bad2 := dense.NewFromRows([][]float64{{0.6, -0.6}, {-0.6, 0.6}})
+	if err := ValidateResidual(bad2); !errors.Is(err, ErrResidualTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+	// Asymmetric.
+	bad3 := dense.NewFromRows([][]float64{{0.1, -0.1}, {0.1, -0.1}})
+	if err := ValidateResidual(bad3); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	hr, _ := NewResidual(Fig1b())
+	s := Scale(hr, 0.5)
+	if math.Abs(s.At(0, 1)-0.1) > 1e-12 { // (0.7−0.5)·0.5
+		t.Fatalf("scaled entry %v", s.At(0, 1))
+	}
+}
+
+func TestScaleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scale(dense.New(2, 2), -1)
+}
+
+func TestSinkhornProducesDoublyStochastic(t *testing.T) {
+	m := dense.NewFromRows([][]float64{{3, 1, 1}, {1, 4, 1}, {1, 1, 5}})
+	ds, err := Sinkhorn(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var rowSum, colSum float64
+		for j := 0; j < 3; j++ {
+			rowSum += ds.At(i, j)
+			colSum += ds.At(j, i)
+		}
+		if math.Abs(rowSum-1) > 1e-9 || math.Abs(colSum-1) > 1e-9 {
+			t.Fatalf("row/col %d sums %v / %v", i, rowSum, colSum)
+		}
+	}
+}
+
+func TestSinkhornSymmetricInputStaysSymmetric(t *testing.T) {
+	m := dense.NewFromRows([][]float64{{2, 1}, {1, 3}})
+	ds, err := Sinkhorn(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ds.At(0, 1)-ds.At(1, 0)) > 1e-9 {
+		t.Fatal("symmetric input must give symmetric output")
+	}
+	if err := Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkhornRejectsNonPositive(t *testing.T) {
+	if _, err := Sinkhorn(dense.NewFromRows([][]float64{{1, 0}, {0, 1}}), 0, 0); err == nil {
+		t.Fatal("expected error for zero entries")
+	}
+	if _, err := Sinkhorn(dense.New(2, 3), 0, 0); !errors.Is(err, ErrNotSquare) {
+		t.Fatal("expected ErrNotSquare")
+	}
+}
+
+func TestHomophilyResidualValid(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		h := Homophily(k, 0.9)
+		if err := ValidateResidual(h); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if h.At(0, 0) <= 0 || h.At(0, 1) >= 0 {
+			t.Fatal("homophily must attract self, repel others")
+		}
+	}
+}
+
+func TestHomophilyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Homophily(1, 0.5) },
+		func() { Homophily(3, 0) },
+		func() { Homophily(3, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHeterophily(t *testing.T) {
+	h := Heterophily(0.3)
+	if err := ValidateResidual(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.At(0, 0) != -0.3 || h.At(0, 1) != 0.3 {
+		t.Fatal("heterophily structure wrong")
+	}
+}
+
+func TestFig6bResidualValid(t *testing.T) {
+	h := Fig6bResidual()
+	if err := ValidateResidual(h); err != nil {
+		t.Fatal(err)
+	}
+	// Uncentered must be a valid stochastic coupling matrix.
+	if err := Validate(Uncenter(h)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig11aResidualValid(t *testing.T) {
+	h := Fig11aResidual()
+	if err := ValidateResidual(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(Uncenter(h)); err != nil {
+		t.Fatal(err)
+	}
+	// Homophily: diagonal dominates.
+	if h.At(0, 0) <= h.At(0, 1) {
+		t.Fatal("Fig 11a must be homophily")
+	}
+}
+
+// TestResidualZeroSumsProperty: centering any doubly stochastic matrix
+// always yields zero row and column sums.
+func TestResidualZeroSumsProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		// Build a random symmetric doubly stochastic 2x2: [[p,1−p],[1−p,p]].
+		p := math.Mod(math.Abs(a), 1)
+		if math.IsNaN(p) {
+			p = 0.5
+		}
+		h := dense.NewFromRows([][]float64{{p, 1 - p}, {1 - p, p}})
+		hr, err := NewResidual(h)
+		if err != nil {
+			return false
+		}
+		return math.Abs(hr.At(0, 0)+hr.At(0, 1)) < 1e-12 &&
+			math.Abs(hr.At(0, 0)+hr.At(1, 0)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package dense provides a small dense linear-algebra kernel used by the
+// LinBP reproduction: row-major matrices with the operations the paper's
+// derivation needs (products, Kronecker products, vectorization, LU-based
+// solves and inverses, and sub-multiplicative norms).
+//
+// The package is deliberately self-contained (standard library only) and
+// favors clarity over raw speed; the performance-critical path of LinBP
+// lives in package sparse, not here. Dense matrices appear only where the
+// paper itself uses them: the k×k coupling matrix algebra, the closed-form
+// solution on small graphs, and norm computations.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. All methods that return a Matrix
+// allocate a fresh result and never alias the receiver unless documented.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows.
+// It panics if the rows are ragged.
+func NewFromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("dense: ragged row %d: len %d, want %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("dense: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("dense: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Data returns the underlying row-major storage, aliasing the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Zero resets every element of m to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// CopyFrom copies the contents of src into m. Dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("dense: CopyFrom dimension mismatch %dx%d vs %dx%d",
+			m.rows, m.cols, src.rows, src.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Plus returns m + b.
+func (m *Matrix) Plus(b *Matrix) *Matrix {
+	m.sameShape(b, "Plus")
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Minus returns m − b.
+func (m *Matrix) Minus(b *Matrix) *Matrix {
+	m.sameShape(b, "Minus")
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Scaled returns s·m.
+func (m *Matrix) Scaled(s float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(b *Matrix, op string) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("dense: %s dimension mismatch %dx%d vs %dx%d",
+			op, m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("dense: Mul dimension mismatch %dx%d · %dx%d",
+			m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*b.cols : (i+1)*b.cols]
+		for kk, v := range mi {
+			if v == 0 {
+				continue
+			}
+			bk := b.data[kk*b.cols : (kk+1)*b.cols]
+			for j, bv := range bk {
+				oi[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("dense: MulVec dimension mismatch %dx%d · %d",
+			m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker product m ⊗ b, the (m.rows·b.rows)×(m.cols·b.cols)
+// block matrix whose (i,j) block is m(i,j)·b. This is the operator the
+// closed-form solution of LinBP (Proposition 7) is built from.
+func (m *Matrix) Kron(b *Matrix) *Matrix {
+	out := New(m.rows*b.rows, m.cols*b.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			v := m.data[i*m.cols+j]
+			if v == 0 {
+				continue
+			}
+			for bi := 0; bi < b.rows; bi++ {
+				dst := out.data[(i*b.rows+bi)*out.cols+j*b.cols:]
+				src := b.data[bi*b.cols : (bi+1)*b.cols]
+				for bj, bv := range src {
+					dst[bj] = v * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Vec stacks the columns of m into a single column vector of length
+// rows·cols (the vec(·) operator of Section 4.2).
+func (m *Matrix) Vec() []float64 {
+	out := make([]float64, m.rows*m.cols)
+	idx := 0
+	for j := 0; j < m.cols; j++ {
+		for i := 0; i < m.rows; i++ {
+			out[idx] = m.data[i*m.cols+j]
+			idx++
+		}
+	}
+	return out
+}
+
+// Unvec is the inverse of Vec: it reshapes a column-stacked vector of
+// length rows·cols back into a rows×cols matrix.
+func Unvec(v []float64, rows, cols int) *Matrix {
+	if len(v) != rows*cols {
+		panic(fmt.Sprintf("dense: Unvec length %d != %d*%d", len(v), rows, cols))
+	}
+	m := New(rows, cols)
+	idx := 0
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			m.data[i*cols+j] = v[idx]
+			idx++
+		}
+	}
+	return m
+}
+
+// MaxAbsDiff returns max_ij |m(i,j) − b(i,j)|, used for convergence checks.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	m.sameShape(b, "MaxAbsDiff")
+	var max float64
+	for i, v := range m.data {
+		d := math.Abs(v - b.data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxAbs returns max_ij |m(i,j)|.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		a := math.Abs(v)
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// EqualApprox reports whether m and b have the same shape and all entries
+// within tol of each other.
+func (m *Matrix) EqualApprox(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	return m.MaxAbsDiff(b) <= tol
+}
+
+// String renders the matrix for debugging, one row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "% .6g", m.data[i*m.cols+j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,482 @@
+package dense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatal("wrong contents")
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestNewFromRowsEmpty(t *testing.T) {
+	m := NewFromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("got %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Add(0, 1, 0.5)
+	if m.At(0, 1) != 4 {
+		t.Fatalf("got %v, want 4", m.At(0, 1))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 3)
+	m.Row(1)[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestPlusMinusScaled(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	sum := a.Plus(b)
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("Plus wrong: %v", sum.At(1, 1))
+	}
+	diff := b.Minus(a)
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("Minus wrong: %v", diff.At(0, 0))
+	}
+	sc := a.Scaled(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scaled wrong: %v", sc.At(1, 0))
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := NewFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := NewFromRows([][]float64{{58, 64}, {139, 154}})
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if !a.Mul(Identity(2)).EqualApprox(a, 0) || !Identity(2).Mul(a).EqualApprox(a, 0) {
+		t.Fatal("multiplication by identity must be a no-op")
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("bad transpose: %v", at)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		a := NewFromRows([][]float64{vals[:3], vals[3:6]})
+		return a.T().T().EqualApprox(a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronSmall(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{0, 5}, {6, 7}})
+	k := a.Kron(b)
+	want := NewFromRows([][]float64{
+		{0, 5, 0, 10},
+		{6, 7, 12, 14},
+		{0, 15, 0, 20},
+		{18, 21, 24, 28},
+	})
+	if !k.EqualApprox(want, 0) {
+		t.Fatalf("got %v", k)
+	}
+}
+
+// TestRothColumnLemma checks vec(X·Y·Z) == (Zᵀ ⊗ X)·vec(Y), the identity
+// Proposition 7 rests on.
+func TestRothColumnLemma(t *testing.T) {
+	f := func(xv [4]float64, yv [6]float64, zv [9]float64) bool {
+		x := NewFromRows([][]float64{xv[:2], xv[2:4]})          // 2x2
+		y := NewFromRows([][]float64{yv[:3], yv[3:6]})          // 2x3
+		z := NewFromRows([][]float64{zv[:3], zv[3:6], zv[6:9]}) // 3x3
+		lhs := x.Mul(y).Mul(z).Vec()
+		rhs := z.T().Kron(x).MulVec(y.Vec())
+		for i := range lhs {
+			// Relative tolerance: quick can generate huge magnitudes.
+			scale := math.Max(1, math.Abs(lhs[i]))
+			if math.Abs(lhs[i]-rhs[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecUnvecRoundTrip(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := a.Vec()
+	want := []float64{1, 4, 2, 5, 3, 6} // column-stacked
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vec = %v, want %v", v, want)
+		}
+	}
+	if !Unvec(v, 2, 3).EqualApprox(a, 0) {
+		t.Fatal("Unvec(Vec(a)) != a")
+	}
+}
+
+func TestUnvecLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Unvec([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestMaxAbsDiffAndEqualApprox(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{1, 2.5}, {3, 4}})
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if !a.EqualApprox(b, 0.5) || a.EqualApprox(b, 0.4) {
+		t.Fatal("EqualApprox tolerance handling wrong")
+	}
+	if a.EqualApprox(New(2, 3), 100) {
+		t.Fatal("EqualApprox must reject shape mismatch")
+	}
+}
+
+func TestZeroAndCopyFrom(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := New(2, 2)
+	b.CopyFrom(a)
+	if !b.EqualApprox(a, 0) {
+		t.Fatal("CopyFrom failed")
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+	if b.At(0, 0) != 1 {
+		t.Fatal("CopyFrom must not alias")
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 1, 1}, {1, 3, 2}, {1, 0, 0}})
+	b := []float64{4, 5, 6}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := a.MulVec(x)
+	for i := range b {
+		if !almostEqual(ax[i], b[i], 1e-10) {
+			t.Fatalf("A·x = %v, want %v", ax, b)
+		}
+	}
+}
+
+func TestLUSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := NewFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewFromRows([][]float64{{3, 0}, {0, 2}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), 6, 1e-12) {
+		t.Fatalf("det = %v", f.Det())
+	}
+	// Permutation parity: swapping rows flips the sign.
+	b := NewFromRows([][]float64{{0, 2}, {3, 0}})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fb.Det(), -6, 1e-12) {
+		t.Fatalf("det = %v", fb.Det())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualApprox(Identity(2), 1e-12) {
+		t.Fatalf("A·A⁻¹ != I: %v", a.Mul(inv))
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	if _, err := Inverse(NewFromRows([][]float64{{1, 1}, {1, 1}})); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+// TestSolveRandomSPDLike is a property test: for random diagonally
+// dominant matrices (always invertible) Solve must satisfy A·x ≈ b.
+func TestSolveRandomDiagonallyDominant(t *testing.T) {
+	f := func(vals [9]float64, bv [3]float64) bool {
+		a := New(3, 3)
+		for i := 0; i < 3; i++ {
+			var rowSum float64
+			for j := 0; j < 3; j++ {
+				v := math.Mod(math.Abs(vals[i*3+j]), 1) // clamp to [0,1)
+				if math.IsNaN(v) {
+					v = 0.5
+				}
+				a.Set(i, j, v)
+				rowSum += v
+			}
+			a.Set(i, i, rowSum+1) // strict diagonal dominance
+		}
+		b := []float64{math.Mod(bv[0], 100), math.Mod(bv[1], 100), math.Mod(bv[2], 100)}
+		for i := range b {
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				b[i] = 1
+			}
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewFromRows([][]float64{{1, -2}, {-3, 4}})
+	if !almostEqual(a.Frobenius(), math.Sqrt(30), 1e-12) {
+		t.Fatalf("Frobenius = %v", a.Frobenius())
+	}
+	if a.Induced1() != 6 { // max column abs-sum: |−2|+4 = 6
+		t.Fatalf("Induced1 = %v", a.Induced1())
+	}
+	if a.InducedInf() != 7 { // max row abs-sum: 3+4 = 7
+		t.Fatalf("InducedInf = %v", a.InducedInf())
+	}
+	if a.MinNorm() != math.Sqrt(30) {
+		t.Fatalf("MinNorm = %v", a.MinNorm())
+	}
+}
+
+func TestMeanStdStandardize(t *testing.T) {
+	x := []float64{1, 0}
+	z := Standardize(x)
+	if z[0] != 1 || z[1] != -1 {
+		t.Fatalf("ζ([1,0]) = %v, want [1,-1]", z)
+	}
+	z = Standardize([]float64{1, 1, 1})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("ζ of constant vector must be 0, got %v", z)
+		}
+	}
+	z = Standardize([]float64{1, 0, 0, 0, 0})
+	want := []float64{2, -0.5, -0.5, -0.5, -0.5}
+	for i := range want {
+		if !almostEqual(z[i], want[i], 1e-12) {
+			t.Fatalf("ζ = %v, want %v", z, want)
+		}
+	}
+}
+
+// TestStandardizeScaleInvariant checks ζ(λx) == ζ(x) for λ > 0
+// (the property behind Corollary 13).
+func TestStandardizeScaleInvariant(t *testing.T) {
+	g := func(raw [5]float64, lraw float64) bool {
+		lambda := math.Mod(math.Abs(lraw), 10) + 0.1
+		x := make([]float64, 5)
+		for i, v := range raw[:] {
+			m := math.Mod(v, 100)
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				m = float64(i)
+			}
+			x[i] = m
+		}
+		return compareStandardized(x, lambda)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareStandardized(x []float64, lambda float64) bool {
+	sx := Standardize(x)
+	scaled := make([]float64, len(x))
+	for i, v := range x {
+		scaled[i] = lambda * v
+	}
+	ss := Standardize(scaled)
+	for i := range sx {
+		if math.Abs(sx[i]-ss[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDotNorms(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Fatal("NormInf wrong")
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	dst := make([]float64, 3)
+	AxpyInto(dst, 2, []float64{1, 2, 3}, []float64{10, 20, 30})
+	if dst[2] != 36 {
+		t.Fatalf("AxpyInto = %v", dst)
+	}
+	ScaleInto(dst, 0.5, []float64{2, 4, 6})
+	if dst[1] != 2 {
+		t.Fatalf("ScaleInto = %v", dst)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewFromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("String must render something")
+	}
+}

@@ -1,0 +1,139 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by Solve and Inverse when the matrix has no
+// (numerically stable) inverse.
+var ErrSingular = errors.New("dense: matrix is singular")
+
+// LU holds a LU factorization with partial pivoting: P·A = L·U, stored
+// compactly in a single matrix with the pivot permutation alongside.
+type LU struct {
+	lu    *Matrix // L below the diagonal (unit diag implied), U on and above
+	pivot []int   // row permutation applied to A
+	sign  int     // +1 or −1, parity of the permutation
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial pivoting. It returns ErrSingular if a pivot collapses to zero.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("dense: Factorize needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Find the pivot row: largest |value| in this column at or below col.
+		p := col
+		max := math.Abs(lu.data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.data[r*n+col]); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			ra, rb := lu.data[p*n:(p+1)*n], lu.data[col*n:(col+1)*n]
+			for j := 0; j < n; j++ {
+				ra[j], rb[j] = rb[j], ra[j]
+			}
+			pivot[p], pivot[col] = pivot[col], pivot[p]
+			sign = -sign
+		}
+		inv := 1 / lu.data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu.data[r*n+col] * inv
+			lu.data[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			rowR := lu.data[r*n : (r+1)*n]
+			rowC := lu.data[col*n : (col+1)*n]
+			for j := col + 1; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b for x given the factorization of A.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("dense: SolveVec length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	// Apply the permutation, then forward-substitute L·y = P·b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Solve solves A·x = b for a vector b, factorizing A first.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Inverse returns A⁻¹ computed column-by-column from the LU factorization.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := f.SolveVec(e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.data[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,51 @@
+package dense
+
+import "math"
+
+// Frobenius returns the Frobenius norm ‖m‖F = sqrt(Σ m(i,j)²), an
+// elementwise 2-norm. It is sub-multiplicative and hence an upper bound
+// on the spectral radius (used by Lemma 9).
+func (m *Matrix) Frobenius() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Induced1 returns the induced 1-norm: the maximum absolute column sum.
+func (m *Matrix) Induced1() float64 {
+	var max float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// InducedInf returns the induced ∞-norm: the maximum absolute row sum.
+func (m *Matrix) InducedInf() float64 {
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MinNorm returns min(‖m‖F, ‖m‖1, ‖m‖∞), the set-M norm bound the paper
+// recommends in Section 5.1: every member is sub-multiplicative, so the
+// minimum is still an upper bound on ρ(m) and tighter than any single one.
+func (m *Matrix) MinNorm() float64 {
+	return math.Min(m.Frobenius(), math.Min(m.Induced1(), m.InducedInf()))
+}

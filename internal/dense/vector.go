@@ -1,0 +1,99 @@
+package dense
+
+import "math"
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x (the σ of
+// Definition 11), or 0 for slices with fewer than one element.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mu := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Standardize returns ζ(x) of Definition 11: (x − μ)/σ elementwise,
+// or the all-zero vector when σ = 0. The input is not modified.
+func Standardize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	sigma := StdDev(x)
+	if sigma == 0 {
+		return out
+	}
+	mu := Mean(x)
+	for i, v := range x {
+		out[i] = (v - mu) / sigma
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dense: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of x.
+func NormInf(x []float64) float64 {
+	var max float64
+	for _, v := range x {
+		a := math.Abs(v)
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// AxpyInto computes dst = a·x + y elementwise; the three slices must have
+// equal length, and dst may alias x or y.
+func AxpyInto(dst []float64, a float64, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("dense: AxpyInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a*x[i] + y[i]
+	}
+}
+
+// ScaleInto computes dst = a·x elementwise; dst may alias x.
+func ScaleInto(dst []float64, a float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("dense: ScaleInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a * x[i]
+	}
+}

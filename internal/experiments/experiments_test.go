@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps every experiment in the sub-second range for CI.
+func smallCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, MaxGraph: 2, MaxRelGraph: 1, Iterations: 3, Seed: 7}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(smallCfg(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7a"); !ok {
+		t.Fatal("fig7a must exist")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown experiment must not resolve")
+	}
+}
+
+func TestExample20OutputContainsConstants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Example20(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2.414", "0.629", "0.488", "0.658", "0.360", "0.455"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing paper constant %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6aCountsExactRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6a(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Paper's row for graph #9.
+	if !strings.Contains(out, "1594323") || !strings.Contains(out, "67108864") {
+		t.Fatalf("Fig 6a table missing the #9 row:\n%s", out)
+	}
+}
+
+// TestFig7fQualityHigh checks the paper's headline quality claims in the
+// mid εH range (where Lemma 8 recommends operating): LinBP matches BP to
+// >99.9% and SBP matches LinBP to >98.6%.
+func TestFig7fQualityHigh(t *testing.T) {
+	cfg := Config{Out: new(bytes.Buffer), MaxGraph: 1, Iterations: 3, Seed: 7}
+	pts, err := qualitySweep(1, cfg.withDefaults(), []float64{1e-4, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if !pt.bpConv || !pt.linbpConv {
+			t.Fatalf("both methods must converge at εH = %v", pt.eps)
+		}
+		if pt.linbpVsBP.F1 < 0.99 {
+			t.Fatalf("eps=%v: LinBP vs BP F1 = %v, want > 0.99", pt.eps, pt.linbpVsBP.F1)
+		}
+		if pt.sbpVsLinBP.F1 < 0.986 {
+			t.Fatalf("eps=%v: SBP vs LinBP F1 = %v, want > 0.986", pt.eps, pt.sbpVsLinBP.F1)
+		}
+		if pt.starVsLinBP.F1 < 0.99 {
+			t.Fatalf("eps=%v: LinBP* vs LinBP F1 = %v, want > 0.99", pt.eps, pt.starVsLinBP.F1)
+		}
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	v := logspace(0.01, 1, 3)
+	if len(v) != 3 || v[0] != 0.01 || v[2] < 0.999 || v[2] > 1.001 {
+		t.Fatalf("logspace = %v", v)
+	}
+	if logspace(5, 10, 1)[0] != 5 {
+		t.Fatal("degenerate logspace wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// bruteShortest computes all-pairs shortest hop counts by Floyd–Warshall
+// as an oracle for the BFS geodesic numbers.
+func bruteShortest(g *Graph) [][]int {
+	n := g.N()
+	const inf = 1 << 29
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.S != e.T {
+			d[e.S][e.T] = 1
+			d[e.T][e.S] = 1
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestGeodesicNumbersMatchFloydWarshall cross-validates BFS geodesics
+// against the all-pairs oracle on random graphs and random seed sets.
+func TestGeodesicNumbersMatchFloydWarshall(t *testing.T) {
+	rng := xrand.New(123)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(25)
+		g := New(n)
+		edges := rng.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddUnitEdge(u, v)
+			}
+		}
+		var seeds []int
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				seeds = append(seeds, v)
+			}
+		}
+		if len(seeds) == 0 {
+			seeds = []int{0}
+		}
+		geo := g.GeodesicNumbers(seeds)
+		oracle := bruteShortest(g)
+		for v := 0; v < n; v++ {
+			best := 1 << 29
+			for _, s := range seeds {
+				if oracle[s][v] < best {
+					best = oracle[s][v]
+				}
+			}
+			want := best
+			if best >= 1<<29 {
+				want = Unreachable
+			}
+			if geo[v] != want {
+				t.Fatalf("trial %d: geodesic[%d] = %d, oracle %d", trial, v, geo[v], want)
+			}
+		}
+	}
+}
+
+// TestModifiedAdjacencyIsDAG checks Lemma 17(1) on random instances:
+// A* never contains a directed cycle (verified via topological order by
+// geodesic levels, which the construction guarantees).
+func TestModifiedAdjacencyIsDAG(t *testing.T) {
+	rng := xrand.New(321)
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddUnitEdge(u, v)
+			}
+		}
+		seeds := []int{rng.Intn(n), rng.Intn(n)}
+		geo := g.GeodesicNumbers(seeds)
+		astar := g.ModifiedAdjacency(geo)
+		for i := 0; i < n; i++ {
+			astar.Row(i, func(j int, w float64) {
+				if geo[j] != geo[i]+1 {
+					t.Fatalf("trial %d: edge %d→%d violates the level order (%d→%d)",
+						trial, i, j, geo[i], geo[j])
+				}
+			})
+		}
+	}
+}
+
+// TestEdgeMatrixRegularGraphRadius: on a d-regular graph every directed
+// edge has exactly d−1 successors, so row counts must all equal d−1.
+func TestEdgeMatrixRegularRowCounts(t *testing.T) {
+	// 3-regular: the cube graph C4×K2.
+	g := New(8)
+	for i := 0; i < 4; i++ {
+		g.AddUnitEdge(i, (i+1)%4)
+		g.AddUnitEdge(4+i, 4+(i+1)%4)
+		g.AddUnitEdge(i, 4+i)
+	}
+	em, dir := g.EdgeMatrix()
+	for i := range dir {
+		if em.RowNNZ(i) != 2 {
+			t.Fatalf("edge %d has %d successors, want 2", i, em.RowNNZ(i))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linbp"
+)
+
+func TestEstimateRecoversSBMCoupling(t *testing.T) {
+	// Generate a large SBM whose block densities are proportional to a
+	// known doubly stochastic H, label everything, and check recovery.
+	truth := coupling.Fig1a() // [[0.8,0.2],[0.2,0.8]]
+	prob := [][]float64{
+		{0.8 * 0.05, 0.2 * 0.05},
+		{0.2 * 0.05, 0.8 * 0.05},
+	}
+	g, labels := gen.SBM([]int{400, 400}, prob, 3)
+	h, err := EstimateH(g, labels, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coupling.Validate(h); err != nil {
+		t.Fatalf("estimate must be a valid coupling matrix: %v", err)
+	}
+	if !h.EqualApprox(truth, 0.03) {
+		t.Fatalf("estimate %v too far from truth %v", h, truth)
+	}
+}
+
+func TestEstimateRecoversFig1c(t *testing.T) {
+	// The fraud generator draws edges with densities ∝ Fig. 1c. With
+	// class-size correction the estimator recovers it, including the
+	// zero accomplice–accomplice cell (up to smoothing).
+	cfg := gen.FraudConfig{Honest: 500, Accomplice: 300, Fraudster: 300, Density: 0.1, Seed: 4}
+	g, labels := gen.Fraud(cfg)
+	h, err := EstimateH(g, labels, 3, Options{ClassPrior: true, Smoothing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := coupling.Fig1c()
+	if !h.EqualApprox(truth, 0.05) {
+		t.Fatalf("estimate\n%v\ntoo far from Fig. 1c\n%v", h, truth)
+	}
+	// The A–A cell must come out near zero.
+	if h.At(1, 1) > 0.05 {
+		t.Fatalf("H(A,A) = %v, want ≈0", h.At(1, 1))
+	}
+}
+
+func TestEstimateConsistency(t *testing.T) {
+	// More labeled data → closer estimate (consistency).
+	truth := coupling.Fig1a()
+	prob := [][]float64{
+		{0.8 * 0.08, 0.2 * 0.08},
+		{0.2 * 0.08, 0.8 * 0.08},
+	}
+	errAt := func(n int) float64 {
+		g, labels := gen.SBM([]int{n, n}, prob, 11)
+		h, err := EstimateH(g, labels, 2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.MaxAbsDiff(truth)
+	}
+	small, large := errAt(60), errAt(600)
+	if large >= small {
+		t.Fatalf("estimate must improve with data: n=60 err %v, n=600 err %v", small, large)
+	}
+}
+
+func TestEstimatePartialLabels(t *testing.T) {
+	g, labels := gen.SBM([]int{200, 200},
+		[][]float64{{0.04, 0.01}, {0.01, 0.04}}, 5)
+	// Hide 70% of the labels.
+	partial := append([]int(nil), labels...)
+	for v := range partial {
+		if v%10 >= 3 {
+			partial[v] = Unlabeled
+		}
+	}
+	h, err := EstimateH(g, partial, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Homophily must still be detected.
+	if h.At(0, 0) <= h.At(0, 1) {
+		t.Fatalf("homophily lost under partial labels: %v", h)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddUnitEdge(0, 1)
+	labels := []int{0, Unlabeled, Unlabeled, Unlabeled}
+	if _, err := EstimateH(g, labels, 2, Options{}); err == nil {
+		t.Fatal("no labeled edge: expected error")
+	}
+	if _, err := EstimateH(g, labels[:2], 2, Options{}); err == nil {
+		t.Fatal("length mismatch: expected error")
+	}
+	if _, err := EstimateH(g, []int{0, 5, 0, 0}, 2, Options{}); err == nil {
+		t.Fatal("label out of range: expected error")
+	}
+	if _, err := EstimateH(g, labels, 1, Options{}); err == nil {
+		t.Fatal("k < 2: expected error")
+	}
+}
+
+func TestEstimateResidual(t *testing.T) {
+	g, labels := gen.SBM([]int{100, 100},
+		[][]float64{{0.06, 0.01}, {0.01, 0.06}}, 9)
+	hr, err := EstimateResidual(g, labels, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coupling.ValidateResidual(hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.At(0, 0) <= 0 {
+		t.Fatal("residual diagonal must be positive under homophily")
+	}
+}
+
+func TestLabelsFromBeliefs(t *testing.T) {
+	e := beliefs.New(4, 3)
+	e.Set(1, beliefs.LabelResidual(3, 2, 0.1))
+	e.Set(3, []float64{0.1, 0.1, -0.2}) // tie → Unlabeled
+	labels := LabelsFromBeliefs(e)
+	want := []int{Unlabeled, 2, Unlabeled, Unlabeled}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+// TestEndToEndLearnedCoupling closes the loop: learn H from the labeled
+// subset, run LinBP with it, and verify the labeling beats a wrong
+// (heterophily) prior on a homophily graph.
+func TestEndToEndLearnedCoupling(t *testing.T) {
+	g, truthLabels := gen.SBM([]int{150, 150},
+		[][]float64{{0.05, 0.008}, {0.008, 0.05}}, 21)
+	n := g.N()
+	e := beliefs.New(n, 2)
+	partial := make([]int, n)
+	for v := range partial {
+		partial[v] = Unlabeled
+		if v%5 == 0 {
+			partial[v] = truthLabels[v]
+			e.Set(v, beliefs.LabelResidual(2, truthLabels[v], 0.1))
+		}
+	}
+	hr, err := EstimateResidual(g, partial, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := accuracyWith(t, g, e, hr, truthLabels, partial)
+	if acc < 0.9 {
+		t.Fatalf("learned coupling accuracy %v, want >= 0.9", acc)
+	}
+	wrong := coupling.Heterophily(0.3)
+	accWrong := accuracyWith(t, g, e, wrong, truthLabels, partial)
+	if acc <= accWrong {
+		t.Fatalf("learned coupling (%v) must beat a wrong prior (%v)", acc, accWrong)
+	}
+}
+
+func accuracyWith(t *testing.T, g *graph.Graph, e *beliefs.Residual,
+	hr *dense.Matrix, truth, partial []int) float64 {
+	t.Helper()
+	eps, err := linbp.MaxEpsilonH(g, hr, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(eps, 1) {
+		eps = 2
+	}
+	res, err := linbp.Run(g, e, hr.Scaled(eps/2), linbp.Options{EchoCancellation: true, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct, total int
+	for v := range truth {
+		if partial[v] != Unlabeled {
+			continue
+		}
+		top := res.Beliefs.Top(v, beliefs.TopTolerance)
+		total++
+		if len(top) == 1 && top[0] == truth[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(total)
+}

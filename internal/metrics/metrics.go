@@ -1,0 +1,99 @@
+// Package metrics implements the classification-quality measures of
+// Section 7: precision and recall over top-belief sets with ties handled
+// exactly as the paper describes, plus the F1 score ("overall accuracy,
+// the harmonic mean of precision and recall") used in Figures 7f/7g/11b.
+//
+// Given ground-truth top-belief sets B_GT and comparison sets B_O (one
+// set of classes per node), with B_∩ their per-node intersection:
+//
+//	recall    r = |B_∩| / |B_GT|
+//	precision p = |B_∩| / |B_O|
+package metrics
+
+import "fmt"
+
+// PR holds precision, recall, and their harmonic mean.
+type PR struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Compare evaluates the comparison assignment against the ground truth.
+// Both arguments map node → set of top classes; ties contribute multiple
+// entries, reproducing the worked example of Section 7 (GT with 3
+// singleton assignments vs an assignment with one 2-way tie and one
+// wrong label gives r = 2/3, p = 2/4).
+func Compare(groundTruth, other [][]int) (PR, error) {
+	if len(groundTruth) != len(other) {
+		return PR{}, fmt.Errorf("metrics: %d ground-truth nodes vs %d comparison nodes",
+			len(groundTruth), len(other))
+	}
+	var gtTotal, oTotal, shared int
+	for s := range groundTruth {
+		gtTotal += len(groundTruth[s])
+		oTotal += len(other[s])
+		shared += intersectionSize(groundTruth[s], other[s])
+	}
+	var pr PR
+	if gtTotal > 0 {
+		pr.Recall = float64(shared) / float64(gtTotal)
+	}
+	if oTotal > 0 {
+		pr.Precision = float64(shared) / float64(oTotal)
+	}
+	pr.F1 = F1(pr.Precision, pr.Recall)
+	return pr, nil
+}
+
+// CompareLabels evaluates single-label predictions against single-label
+// ground truth (the DBLP experiment's setting), returning the fraction
+// of exact matches as well as the PR structure (which degenerates to
+// accuracy when every set is a singleton).
+func CompareLabels(groundTruth, predicted []int) (PR, error) {
+	if len(groundTruth) != len(predicted) {
+		return PR{}, fmt.Errorf("metrics: length mismatch %d vs %d", len(groundTruth), len(predicted))
+	}
+	gt := make([][]int, len(groundTruth))
+	pr := make([][]int, len(predicted))
+	for i := range groundTruth {
+		gt[i] = []int{groundTruth[i]}
+		pr[i] = []int{predicted[i]}
+	}
+	return Compare(gt, pr)
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both are 0).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// intersectionSize counts common elements of two small sorted-or-not
+// class sets (k is tiny, so the quadratic scan is the fast option).
+func intersectionSize(a, b []int) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Masked restricts an assignment to the nodes where keep is true,
+// e.g. to evaluate only unlabeled nodes in SSL experiments.
+func Masked(assignment [][]int, keep []bool) [][]int {
+	var out [][]int
+	for s, set := range assignment {
+		if keep[s] {
+			out = append(out, set)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperWorkedExample reproduces Section 7's example: GT assigns
+// {v1→c1, v2→c2, v3→c3}; the comparison assigns {v1→{c1,c2}, v2→c2,
+// v3→c2}. Then r = 2/3 and p = 2/4.
+func TestPaperWorkedExample(t *testing.T) {
+	gt := [][]int{{0}, {1}, {2}}
+	other := [][]int{{0, 1}, {1}, {1}}
+	pr, err := Compare(gt, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.Recall-2.0/3.0) > 1e-15 {
+		t.Fatalf("recall = %v, want 2/3", pr.Recall)
+	}
+	if math.Abs(pr.Precision-0.5) > 1e-15 {
+		t.Fatalf("precision = %v, want 1/2", pr.Precision)
+	}
+}
+
+func TestPerfectAgreement(t *testing.T) {
+	a := [][]int{{0}, {1, 2}, {2}}
+	pr, err := Compare(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision != 1 || pr.Recall != 1 || pr.F1 != 1 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestTotalDisagreement(t *testing.T) {
+	pr, err := Compare([][]int{{0}, {0}}, [][]int{{1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision != 0 || pr.Recall != 0 || pr.F1 != 0 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestTiesRaiseRecallLowerPrecision(t *testing.T) {
+	gt := [][]int{{0}}
+	tied := [][]int{{0, 1}}
+	pr, _ := Compare(gt, tied)
+	if pr.Recall != 1 || pr.Precision != 0.5 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := Compare([][]int{{0}}, [][]int{{0}, {1}}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEmptyAssignments(t *testing.T) {
+	pr, err := Compare([][]int{}, [][]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision != 0 || pr.Recall != 0 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Fatal("F1(0,0) must be 0")
+	}
+	if math.Abs(F1(0.5, 1)-2.0/3.0) > 1e-15 {
+		t.Fatalf("F1(0.5,1) = %v", F1(0.5, 1))
+	}
+	if F1(1, 1) != 1 {
+		t.Fatal("F1(1,1) must be 1")
+	}
+}
+
+func TestCompareLabels(t *testing.T) {
+	pr, err := CompareLabels([]int{0, 1, 2, 3}, []int{0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.Precision-0.75) > 1e-15 || math.Abs(pr.Recall-0.75) > 1e-15 {
+		t.Fatalf("pr = %+v", pr)
+	}
+	if _, err := CompareLabels([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMasked(t *testing.T) {
+	a := [][]int{{0}, {1}, {2}}
+	keep := []bool{true, false, true}
+	m := Masked(a, keep)
+	if len(m) != 2 || m[0][0] != 0 || m[1][0] != 2 {
+		t.Fatalf("Masked = %v", m)
+	}
+}
+
+func TestDuplicateClassesInSet(t *testing.T) {
+	// Defensive: duplicated class ids in a set count once per GT entry.
+	pr, _ := Compare([][]int{{0}}, [][]int{{0, 0}})
+	if pr.Recall != 1 {
+		t.Fatalf("recall = %v", pr.Recall)
+	}
+	// |B_O| = 2, shared counts each GT element once → precision 1/2.
+	if pr.Precision != 0.5 {
+		t.Fatalf("precision = %v", pr.Precision)
+	}
+}

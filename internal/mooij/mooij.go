@@ -1,0 +1,78 @@
+// Package mooij implements the sufficient convergence bound for standard
+// BP by Mooij & Kappen that Appendix G compares against the paper's
+// LinBP criteria: for pairwise potentials with a single coupling matrix
+// H, standard BP converges if
+//
+//	c(H) · ρ(A_edge) < 1,
+//
+// where A_edge is the 2|E|×2|E| directed edge-to-edge matrix (edge u→v
+// is connected to every w→u with w ≠ v) and
+//
+//	c(H) = max_{c1≠c2} max_{d1≠d2} tanh( ¼·log( (H(c1,d1)·H(c2,d2)) / (H(c2,d1)·H(c1,d2)) ) )
+//
+// maximized over the sign of the log ratio (swapping d1 and d2 negates
+// it, so the maximum is over its absolute value).
+package mooij
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+// ErrZeroEntry is returned when H contains a zero, which makes the
+// potential-strength constant c(H) infinite (the bound is vacuous).
+var ErrZeroEntry = errors.New("mooij: coupling matrix has a zero entry; c(H) is unbounded")
+
+// C computes the potential-strength constant c(H) for a stochastic
+// (uncentered) coupling matrix with strictly positive entries.
+func C(h *dense.Matrix) (float64, error) {
+	k := h.Rows()
+	if k != h.Cols() {
+		return 0, errors.New("mooij: coupling matrix must be square")
+	}
+	var max float64
+	for c1 := 0; c1 < k; c1++ {
+		for c2 := 0; c2 < k; c2++ {
+			if c1 == c2 {
+				continue
+			}
+			for d1 := 0; d1 < k; d1++ {
+				for d2 := 0; d2 < k; d2++ {
+					if d1 == d2 {
+						continue
+					}
+					num := h.At(c1, d1) * h.At(c2, d2)
+					den := h.At(c2, d1) * h.At(c1, d2)
+					if den == 0 || num == 0 {
+						return 0, ErrZeroEntry
+					}
+					v := math.Tanh(0.25 * math.Abs(math.Log(num/den)))
+					if v > max {
+						max = v
+					}
+				}
+			}
+		}
+	}
+	return max, nil
+}
+
+// Bound evaluates the Mooij–Kappen criterion for graph g and stochastic
+// coupling matrix h. It returns c(H), ρ(A_edge), and whether the product
+// certifies convergence of standard BP.
+func Bound(g *graph.Graph, h *dense.Matrix) (cH, rhoEdge float64, converges bool, err error) {
+	cH, err = C(h)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	em, _ := g.EdgeMatrix()
+	rhoEdge, rerr := spectral.RadiusCSR(em, spectral.Options{MaxIter: 5000})
+	if rerr != nil && !errors.Is(rerr, spectral.ErrNoConverge) {
+		return 0, 0, false, rerr
+	}
+	return cH, rhoEdge, cH*rhoEdge < 1, nil
+}

@@ -1,0 +1,160 @@
+package mooij
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/linbp"
+	"repro/internal/spectral"
+)
+
+func TestCSymmetricHomophily(t *testing.T) {
+	// For H = [[p, 1−p], [1−p, p]]: c(H) = tanh(½·|log(p/(1−p))|).
+	h := coupling.Fig1a() // p = 0.8
+	c, err := C(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Tanh(0.5 * math.Log(0.8/0.2))
+	if math.Abs(c-want) > 1e-12 {
+		t.Fatalf("c(H) = %v, want %v", c, want)
+	}
+}
+
+func TestCUniformIsZero(t *testing.T) {
+	h := dense.NewFromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	c, err := C(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("uniform coupling must give c = 0, got %v", c)
+	}
+}
+
+func TestCZeroEntry(t *testing.T) {
+	if _, err := C(coupling.Fig1c()); !errors.Is(err, ErrZeroEntry) {
+		t.Fatalf("Fig 1c has H(A,A) = 0; want ErrZeroEntry, got %v", err)
+	}
+}
+
+func TestCNotSquare(t *testing.T) {
+	if _, err := C(dense.New(2, 3)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestEdgeRadiusBelowNodeRadius verifies the empirical observation of
+// Appendix G: ρ(A_edge) < ρ(A) (roughly ρ(A_edge)+1 ≈ ρ(A)).
+func TestEdgeRadiusBelowNodeRadius(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (float64, float64)
+	}{
+		{"torus", func() (float64, float64) {
+			g := gen.Torus()
+			em, _ := g.EdgeMatrix()
+			re, _ := spectral.RadiusCSR(em, spectral.Options{MaxIter: 5000})
+			ra, _ := spectral.RadiusCSR(g.Adjacency(), spectral.Options{})
+			return re, ra
+		}},
+		{"grid", func() (float64, float64) {
+			g := gen.Grid(5, 5)
+			em, _ := g.EdgeMatrix()
+			re, _ := spectral.RadiusCSR(em, spectral.Options{MaxIter: 5000})
+			ra, _ := spectral.RadiusCSR(g.Adjacency(), spectral.Options{})
+			return re, ra
+		}},
+		{"random", func() (float64, float64) {
+			g := gen.Random(40, 120, 5)
+			em, _ := g.EdgeMatrix()
+			re, _ := spectral.RadiusCSR(em, spectral.Options{MaxIter: 5000})
+			ra, _ := spectral.RadiusCSR(g.Adjacency(), spectral.Options{})
+			return re, ra
+		}},
+	} {
+		re, ra := tc.mk()
+		if re >= ra {
+			t.Fatalf("%s: ρ(A_edge) = %v should be < ρ(A) = %v", tc.name, re, ra)
+		}
+	}
+}
+
+func TestEdgeRadiusRegularGraph(t *testing.T) {
+	// On a d-regular graph ρ(A) = d and ρ(A_edge) = d−1 exactly
+	// (each directed edge feeds d−1 successors).
+	g := gen.Grid(1, 2) // trivial: single edge, edge matrix empty
+	em, _ := g.EdgeMatrix()
+	re, _ := spectral.RadiusCSR(em, spectral.Options{})
+	if re != 0 {
+		t.Fatalf("single edge: ρ(A_edge) = %v, want 0", re)
+	}
+}
+
+// TestBoundComparisonAppendixG demonstrates both directions of the
+// appendix's non-subsumption claim with concrete instances:
+//
+//  1. On the sparse pendant torus, ρ(A_edge) ≈ 0.98 ≪ ρ(A) ≈ 2.41, so
+//     the Mooij–Kappen bound still certifies BP at εH values where
+//     LinBP* already diverges.
+//  2. On a dense random graph (avg degree 10), ρ(A_edge) ≈ ρ(A), and
+//     since c(H) > ρ(Hˆ) in multi-class settings, LinBP* converges at
+//     εH values the Mooij–Kappen bound cannot certify.
+func TestBoundComparisonAppendixG(t *testing.T) {
+	ho := coupling.Fig6bResidual()
+
+	// Direction 1: sparse torus, 110% of LinBP*'s exact threshold.
+	g := gen.Torus()
+	epsMax, err := linbp.MaxEpsilonH(g, ho, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := coupling.Uncenter(coupling.Scale(ho, 1.1*epsMax))
+	cH, rhoEdge, certified, err := Bound(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !certified {
+		t.Fatalf("torus: Mooij bound should certify beyond LinBP*'s range: c=%v ρ_edge=%v", cH, rhoEdge)
+	}
+	if rhoEdge >= 1.5 { // ρ(A_edge) ≪ ρ(A) = 2.414 on the pendant torus
+		t.Fatalf("torus: ρ(A_edge) = %v unexpectedly large", rhoEdge)
+	}
+
+	// Direction 2: dense graph, 90% of LinBP*'s exact threshold.
+	gd := gen.Random(40, 200, 5)
+	epsMaxD, err := linbp.MaxEpsilonH(gd, ho, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.9 * epsMaxD
+	hd := coupling.Uncenter(coupling.Scale(ho, eps))
+	cHd, rhoEdgeD, certifiedD, err := Bound(gd, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoH, _ := spectral.RadiusDense(coupling.Scale(ho, eps), spectral.Options{})
+	if cHd <= rhoH {
+		t.Fatalf("dense: expected c(H) > ρ(Hˆ): c=%v ρ=%v", cHd, rhoH)
+	}
+	if certifiedD {
+		t.Fatalf("dense: Mooij bound should fail where LinBP* converges: c=%v ρ_edge=%v", cHd, rhoEdgeD)
+	}
+}
+
+func TestBoundCertifiesWeakCoupling(t *testing.T) {
+	g := gen.Torus()
+	ho := coupling.Fig6bResidual()
+	h := coupling.Uncenter(coupling.Scale(ho, 0.01))
+	_, _, certified, err := Bound(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !certified {
+		t.Fatal("very weak coupling must be certified")
+	}
+}

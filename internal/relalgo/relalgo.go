@@ -1,0 +1,406 @@
+// Package relalgo executes the paper's SQL formulations on the
+// relational engine of package reldb, operator for operator:
+//
+//   - Algorithm 1 — LinBP as iterated joins and aggregates (Cor. 10),
+//   - Algorithm 2 — the initial single-pass SBP belief assignment,
+//   - Algorithm 3 — ΔSBP batch insertion of explicit beliefs,
+//   - Algorithm 4 — ΔSBP batch insertion of edges (Appendix C),
+//
+// plus the top-belief extraction query of Fig. 9b. The relational
+// implementations are validated against the matrix/in-memory versions in
+// packages linbp and sbp; their cost profile (rows touched per
+// iteration) reproduces the paper's SQL experiments.
+package relalgo
+
+import (
+	"math"
+
+	"repro/internal/beliefs"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/reldb"
+)
+
+// DB bundles the base relations of Section 5.3:
+// A(s,t,w) with both edge directions, E(v,c,b) with the non-zero
+// explicit residuals, H(c1,c2,h) with the residual coupling strengths,
+// plus the derived D(v,d) (weighted degrees, Σw²) and H2(c1,c2,h) = Hˆ².
+type DB struct {
+	A  *reldb.Table
+	E  *reldb.Table
+	H  *reldb.Table
+	D  *reldb.Table
+	H2 *reldb.Table
+
+	n, k int
+}
+
+// Load converts a graph, explicit residual beliefs, and a residual
+// coupling matrix into the relational schema.
+func Load(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) *DB {
+	db := &DB{
+		A: reldb.New("A", []string{"s", "t", "w"}),
+		E: reldb.New("E", []string{"v", "c", "b"}),
+		H: reldb.New("H", []string{"c1", "c2", "h"}),
+		n: g.N(),
+		k: h.Rows(),
+	}
+	// Both directions of every edge, with weights accumulated for
+	// parallel edges (the adjacency matrix view).
+	adj := g.Adjacency()
+	for i := 0; i < g.N(); i++ {
+		adj.Row(i, func(j int, w float64) {
+			db.A.Insert(float64(i), float64(j), w)
+		})
+	}
+	for _, v := range e.ExplicitNodes() {
+		row := e.Row(v)
+		for c, b := range row {
+			if b != 0 {
+				db.E.Insert(float64(v), float64(c), b)
+			}
+		}
+	}
+	for c1 := 0; c1 < db.k; c1++ {
+		for c2 := 0; c2 < db.k; c2++ {
+			if v := h.At(c1, c2); v != 0 {
+				db.H.Insert(float64(c1), float64(c2), v)
+			}
+		}
+	}
+	db.RefreshDerived()
+	return db
+}
+
+// RefreshDerived recomputes D(v,d) = Σ w² per source (Section 5.3's
+// definition for weighted edges) and H2 = Hˆ² via the self-join of
+// Eq. 20. Call after mutating A.
+func (db *DB) RefreshDerived() {
+	dd := reldb.Aggregate("D", db.A, []string{"s"},
+		reldb.AggSpec{Out: "d", Op: "sum", Product: []string{"w", "w"}})
+	db.D = dd.Rename("D", "v", "d")
+
+	h2join := reldb.Join("H2join", db.H, db.H.Rename("Hb", "c1b", "c2b", "hb"),
+		reldb.On{Left: "c2", Right: "c1b"})
+	db.H2 = reldb.Aggregate("H2", h2join, []string{"c1", "c2b"},
+		reldb.AggSpec{Out: "h", Op: "sum", Product: []string{"h", "hb"}}).
+		Rename("H2", "c1", "c2", "h")
+}
+
+// LinBP runs Algorithm 1 for the given number of iterations and returns
+// the final belief relation B(v,c,b). echo selects LinBP (true) vs
+// LinBP* (false); the paper's Algorithm 1 is the echo variant.
+func (db *DB) LinBP(iterations int, echo bool) *reldb.Table {
+	// Line 1: B(s,c,b) :− E(s,c,b).
+	b := db.E.Clone().Rename("B", "v", "c", "b")
+	for l := 0; l < iterations; l++ {
+		b = db.linbpStep(b, echo)
+	}
+	return b
+}
+
+// LinBPUntil iterates Algorithm 1 until the maximum belief change drops
+// below tol or maxIter is hit, returning the beliefs and rounds used.
+func (db *DB) LinBPUntil(maxIter int, tol float64, echo bool) (*reldb.Table, int) {
+	b := db.E.Clone().Rename("B", "v", "c", "b")
+	for l := 1; l <= maxIter; l++ {
+		next := db.linbpStep(b, echo)
+		if maxChange(b, next) <= tol {
+			return next, l
+		}
+		b = next
+	}
+	return b, maxIter
+}
+
+func (db *DB) linbpStep(b *reldb.Table, echo bool) *reldb.Table {
+	// V1(t,c2,sum(w·b·h)) :− A(s,t,w), B(s,c1,b), H(c1,c2,h).
+	ab := reldb.Join("AB", db.A, b, reldb.On{Left: "s", Right: "v"})
+	abh := reldb.Join("ABH", ab, db.H, reldb.On{Left: "c", Right: "c1"})
+	v1 := reldb.Aggregate("V1", abh, []string{"t", "c2"},
+		reldb.AggSpec{Out: "b", Op: "sum", Product: []string{"w", "b", "h"}}).
+		Rename("V1", "v", "c", "b")
+
+	// Line 4 (via the union-all + group-by the paper's footnote 15
+	// recommends): B ← sum of E, V1, and −V2 grouped on (v, c).
+	parts := []*reldb.Table{db.E.Rename("E", "v", "c", "b"), v1}
+	if echo {
+		// V2(s,c2,sum(d·b·h)) :− D(s,d), B(s,c1,b), H2(c1,c2,h).
+		dbj := reldb.Join("DB", db.D, b, reldb.On{Left: "v", Right: "v"})
+		dbh := reldb.Join("DBH", dbj, db.H2, reldb.On{Left: "c", Right: "c1"})
+		v2 := reldb.Aggregate("V2", dbh, []string{"v", "c2"},
+			reldb.AggSpec{Out: "b", Op: "sum", Product: []string{"d", "b", "h"}}).
+			Rename("V2", "v", "c", "b")
+		parts = append(parts, v2.MapCol("V2neg", "b", func(x float64) float64 { return -x }))
+	}
+	union := reldb.UnionAll("U", parts...)
+	return reldb.Aggregate("B", union, []string{"v", "c"},
+		reldb.AggSpec{Out: "b", Op: "sum", Product: []string{"b"}}).
+		Rename("B", "v", "c", "b")
+}
+
+// maxChange computes the maximum absolute difference between two sparse
+// belief relations (absent rows count as 0).
+func maxChange(a, b *reldb.Table) float64 {
+	type key struct{ v, c float64 }
+	vals := map[key]float64{}
+	a.Each(func(r []float64) { vals[key{r[0], r[1]}] = r[2] })
+	var max float64
+	b.Each(func(r []float64) {
+		k := key{r[0], r[1]}
+		if d := math.Abs(vals[k] - r[2]); d > max {
+			max = d
+		}
+		delete(vals, k)
+	})
+	for _, v := range vals {
+		if d := math.Abs(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SBPState holds the materialized relations of the SBP algorithms:
+// final beliefs B(v,c,b) and the geodesic-number index G(v,g), plus the
+// persistent adjacency indexes a DBMS would maintain (the paper's SQL
+// implementation relies on "an intuitive index based on shortest paths";
+// without the edge indexes every frontier step would rescan A).
+type SBPState struct {
+	db *DB
+	B  *reldb.Table
+	G  *reldb.Table
+
+	a2     *reldb.Table // A renamed (as, at, w) for unambiguous joins
+	aBySrc *reldb.Index // index on A.as (outgoing edges)
+	aByDst *reldb.Index // index on A.at (incoming edges)
+}
+
+// reindexAdjacency (re)builds the renamed adjacency view and its
+// indexes; called at state creation and after edge batches.
+func (st *SBPState) reindexAdjacency() {
+	st.a2 = st.db.A.Rename("A2", "as", "at", "w")
+	st.aBySrc = st.a2.BuildIndex("as")
+	st.aByDst = st.a2.BuildIndex("at")
+}
+
+// SBP runs Algorithm 2 and returns the materialized state.
+func (db *DB) SBP() *SBPState {
+	st := &SBPState{
+		db: db,
+		B:  reldb.New("B", []string{"v", "c", "b"}, "v", "c"),
+		G:  reldb.New("G", []string{"v", "g"}, "v"),
+	}
+	st.reindexAdjacency()
+	// Line 1: geodesic number 0 and beliefs for explicit nodes.
+	explicit := reldb.Aggregate("Gv", db.E, []string{"v"},
+		reldb.AggSpec{Out: "n", Op: "count"})
+	explicit.Each(func(r []float64) { st.G.Insert(r[0], 0) })
+	db.E.Each(func(r []float64) { st.B.Insert(r[0], r[1], r[2]) })
+
+	// Lines 3–7: frontier expansion by geodesic level.
+	for i := 1.0; ; i++ {
+		// G(t,i) :− G(s,i−1), A(s,t,_), ¬G(t,_).
+		prev := st.G.Select("Gprev", func(r []float64) bool { return r[1] == i-1 })
+		if prev.Len() == 0 {
+			break
+		}
+		reach := reldb.JoinOnIndex("R", prev, []string{"v"}, st.aBySrc)
+		cands := reldb.Aggregate("C", reach, []string{"at"},
+			reldb.AggSpec{Out: "n", Op: "count"}).Rename("C", "t", "n")
+		fresh := reldb.AntiJoin("F", cands, st.G, reldb.On{Left: "t", Right: "v"})
+		if fresh.Len() == 0 {
+			break
+		}
+		fresh.Each(func(r []float64) { st.G.Insert(r[0], i) })
+		// Line 5: B(t,c2,sum(w·b·h)) :− G(t,i), A(s,t,w), B(s,c1,b),
+		// G(s,i−1), H(c1,c2,h).
+		st.recompute(fresh.Rename("U", "t", "n"))
+	}
+	return st
+}
+
+// recompute rebuilds the belief rows of the target nodes in table u
+// (column "t") from their geodesic predecessors: for each t, aggregate
+// over edges s→t with g(s) = g(t)−1. The adjacency and geodesic lookups
+// go through indexes, so the cost is proportional to the frontier's
+// edges, not to |A| or |G|.
+func (st *SBPState) recompute(u *reldb.Table) {
+	// Target geodesic numbers via the G primary key.
+	targets := reldb.JoinOnKey("T", u.Project("U2", "t"), []string{"t"}, st.G) // t, g
+	// Edges into the targets via the incoming-edge index; rename the
+	// target geodesic column so the parent lookup below cannot clash.
+	e1 := reldb.JoinOnIndex("E1", targets, []string{"t"}, st.aByDst).
+		Rename("E1", "t", "tg", "as", "w")
+	// Parent geodesic numbers, keeping only g(s) = g(t)−1.
+	e2 := reldb.JoinOnKey("E2", e1, []string{"as"}, st.G)
+	e3 := e2.Select("E3", func(r []float64) bool {
+		// cols: t, tg, as, w, g(parent)
+		return r[4] == r[1]-1
+	})
+	// Parent beliefs and coupling.
+	e4 := reldb.Join("E4", e3, st.B.Rename("Bs", "bv", "c1", "bb"), reldb.On{Left: "as", Right: "bv"})
+	e5 := reldb.Join("E5", e4, st.db.H, reldb.On{Left: "c1", Right: "c1"})
+	bn := reldb.Aggregate("Bn", e5, []string{"t", "c2"},
+		reldb.AggSpec{Out: "b", Op: "sum", Product: []string{"w", "bb", "h"}})
+	// Delete-then-insert (Fig. 9d's update pattern).
+	inU := map[float64]bool{}
+	u.Each(func(r []float64) { inU[r[0]] = true })
+	st.B.DeleteWhere(func(r []float64) bool { return inU[r[0]] })
+	bn.Each(func(r []float64) {
+		if r[2] != 0 {
+			st.B.Insert(r[0], r[1], r[2])
+		}
+	})
+}
+
+// AddExplicitBeliefs runs Algorithm 3 for the batch En(v,c,b) of new or
+// replacement explicit beliefs. The DB's E relation is updated too.
+func (st *SBPState) AddExplicitBeliefs(en *reldb.Table) {
+	if en.Len() == 0 {
+		return
+	}
+	// Merge into E (delete-then-insert per node).
+	newNodes := map[float64]bool{}
+	en.Each(func(r []float64) { newNodes[r[0]] = true })
+	st.db.E.DeleteWhere(func(r []float64) bool { return newNodes[r[0]] })
+	en.Each(func(r []float64) { st.db.E.Insert(r[0], r[1], r[2]) })
+
+	// Lines 1–2: Gn(v,0), Bn(v,c,b); upserts into G and B.
+	gn := reldb.New("Gn", []string{"v", "g"}, "v")
+	for v := range newNodes {
+		gn.Insert(v, 0)
+		st.G.Upsert(v, 0)
+	}
+	st.B.DeleteWhere(func(r []float64) bool { return newNodes[r[0]] })
+	en.Each(func(r []float64) { st.B.Insert(r[0], r[1], r[2]) })
+
+	// Lines 4–8.
+	for i := 1.0; gn.Len() > 0; i++ {
+		// Gn(t,i) :− Gn(s,i−1), A(s,t,_), ¬(G(t,gt), gt < i).
+		reach := reldb.JoinOnIndex("R", gn, []string{"v"}, st.aBySrc)
+		cands := reldb.Aggregate("C", reach, []string{"at"},
+			reldb.AggSpec{Out: "n", Op: "count"}).Rename("C", "t", "n")
+		next := reldb.AntiJoinPred("N", cands, st.G,
+			[]reldb.On{{Left: "t", Right: "v"}},
+			func(a, b []float64) bool { return b[1] < i })
+		gn = reldb.New("Gn", []string{"v", "g"}, "v")
+		next.Each(func(r []float64) {
+			gn.Insert(r[0], i)
+			st.G.Upsert(r[0], i)
+		})
+		if gn.Len() == 0 {
+			break
+		}
+		// Line 6: recompute beliefs of the wave from level i−1 parents.
+		st.recompute(next.Rename("U", "t", "n"))
+	}
+}
+
+// AddEdges runs Algorithm 4 for a batch of new undirected edges
+// An(s,t,w). Both the A relation and derived D are updated.
+func (st *SBPState) AddEdges(edges []graph.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	// Line 1: !A — both directions.
+	an := reldb.New("An", []string{"s", "t", "w"})
+	for _, e := range edges {
+		an.Insert(float64(e.S), float64(e.T), e.W)
+		an.Insert(float64(e.T), float64(e.S), e.W)
+		st.db.A.Insert(float64(e.S), float64(e.T), e.W)
+		st.db.A.Insert(float64(e.T), float64(e.S), e.W)
+	}
+	st.db.RefreshDerived()
+	st.reindexAdjacency()
+
+	// Line 2: seed nodes — targets of new edges whose source is strictly
+	// closer to an explicit node. Proposed geodesic = min(gs+1).
+	j := reldb.Join("J", an, st.G, reldb.On{Left: "s", Right: "v"}) // s,t,w,g(s)
+	props := j.MapCol("P", "g", func(g float64) float64 { return g + 1 })
+	// Exclude proposals where the target is already at least as close:
+	// ∃ G(t, gt) with gt < proposed g.
+	kept := reldb.AntiJoinPred("K", props, st.G,
+		[]reldb.On{{Left: "t", Right: "v"}},
+		func(a, b []float64) bool { return b[1] < a[3] })
+	seeds := reldb.Aggregate("S", kept, []string{"t"},
+		reldb.AggSpec{Out: "g", Op: "min", Product: []string{"g"}})
+	frontier := reldb.New("Fr", []string{"v", "g"}, "v")
+	seeds.Each(func(r []float64) {
+		frontier.Upsert(r[0], r[1])
+		st.G.Upsert(r[0], r[1])
+	})
+	if frontier.Len() == 0 {
+		return
+	}
+	st.recompute(frontier.Rename("U", "t", "fg"))
+
+	// Lines 4–8: propagate from updated nodes to any neighbor that is
+	// now further away than source+0 (i.e. gt > gs: either shortcut or
+	// belief refresh one level down).
+	for frontier.Len() > 0 {
+		reach := reldb.JoinOnIndex("R", frontier, []string{"v"}, st.aBySrc).
+			Rename("R", "v", "g", "t", "w")
+		props := reach.MapCol("P", "g", func(g float64) float64 { return g + 1 })
+		// Targets with an existing geodesic number <= gs stay; everything
+		// else (further away or unreachable) gets updated.
+		kept := reldb.AntiJoinPred("K", props, st.G,
+			[]reldb.On{{Left: "t", Right: "v"}},
+			func(a, b []float64) bool { return b[1] < a[1] }) // gt < gs+1 ⇔ gt ≤ gs
+		if kept.Len() == 0 {
+			break
+		}
+		// New geodesic per target: min over proposals and any existing g.
+		mins := reldb.Aggregate("M", kept, []string{"t"},
+			reldb.AggSpec{Out: "g", Op: "min", Product: []string{"g"}})
+		frontier = reldb.New("Fr", []string{"v", "g"}, "v")
+		mins.Each(func(r []float64) {
+			t, g := r[0], r[1]
+			if existing, ok := st.G.Get("g", t); ok && existing < g {
+				g = existing
+			}
+			frontier.Upsert(t, g)
+			st.G.Upsert(t, g)
+		})
+		st.recompute(frontier.Rename("U", "t", "fg"))
+	}
+}
+
+// TopBeliefs implements the Fig. 9b query: for every node in b, the
+// class(es) achieving the maximum belief. Ties within tol are returned
+// together, matching beliefs.Residual.Top.
+func TopBeliefs(b *reldb.Table, tol float64) map[int][]int {
+	maxes := reldb.Aggregate("X", b, []string{"v"},
+		reldb.AggSpec{Out: "m", Op: "max", Product: []string{"b"}})
+	j := reldb.Join("T", b, maxes, reldb.On{Left: "v", Right: "v"})
+	out := map[int][]int{}
+	j.Each(func(r []float64) {
+		// cols: v, c, b, m
+		if r[2] >= r[3]-tol*math.Max(1, math.Abs(r[3])) {
+			v := int(r[0])
+			out[v] = append(out[v], int(r[1]))
+		}
+	})
+	return out
+}
+
+// BeliefsToResidual converts a sparse belief relation into a dense
+// residual matrix for comparison with the in-memory implementations.
+func BeliefsToResidual(b *reldb.Table, n, k int) *beliefs.Residual {
+	out := beliefs.New(n, k)
+	b.Each(func(r []float64) {
+		out.Matrix().Set(int(r[0]), int(r[1]), r[2])
+	})
+	return out
+}
+
+// GeodesicsToSlice converts the G relation to a slice indexed by node,
+// with graph.Unreachable for absent nodes.
+func GeodesicsToSlice(g *reldb.Table, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = graph.Unreachable
+	}
+	g.Each(func(r []float64) { out[int(r[0])] = int(r[1]) })
+	return out
+}

@@ -1,0 +1,272 @@
+package relalgo
+
+import (
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/linbp"
+	"repro/internal/reldb"
+	"repro/internal/sbp"
+	"repro/internal/xrand"
+)
+
+func ho(t *testing.T) *dense.Matrix {
+	t.Helper()
+	h, err := coupling.NewResidual(coupling.Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func torusProblem(t *testing.T, eps float64) (*graph.Graph, *beliefs.Residual, *dense.Matrix) {
+	t.Helper()
+	g := gen.Torus()
+	e := beliefs.New(8, 3)
+	e.Set(0, []float64{2, -1, -1})
+	e.Set(1, []float64{-1, 2, -1})
+	e.Set(2, []float64{-1, -1, 2})
+	return g, e, coupling.Scale(ho(t), eps)
+}
+
+func TestLoadSchema(t *testing.T) {
+	g, e, h := torusProblem(t, 0.1)
+	db := Load(g, e, h)
+	if db.A.Len() != g.DirectedEdgeCount() {
+		t.Fatalf("A rows = %d, want %d", db.A.Len(), g.DirectedEdgeCount())
+	}
+	if db.E.Len() != 9 { // 3 explicit nodes × 3 non-zero classes
+		t.Fatalf("E rows = %d", db.E.Len())
+	}
+	if db.D.Len() != 8 {
+		t.Fatalf("D rows = %d", db.D.Len())
+	}
+	// D values are the weighted degrees.
+	wd := g.WeightedDegrees()
+	db.D.Each(func(r []float64) {
+		if wd[int(r[0])] != r[1] {
+			t.Fatalf("D(%v) = %v, want %v", r[0], r[1], wd[int(r[0])])
+		}
+	})
+}
+
+// TestH2MatchesMatrixSquare validates the Eq. 20 self-join against Hˆ².
+func TestH2MatchesMatrixSquare(t *testing.T) {
+	g, e, h := torusProblem(t, 0.3)
+	db := Load(g, e, h)
+	h2 := h.Mul(h)
+	count := 0
+	db.H2.Each(func(r []float64) {
+		count++
+		if diff := h2.At(int(r[0]), int(r[1])) - r[2]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("H2(%v,%v) = %v, want %v", r[0], r[1], r[2], h2.At(int(r[0]), int(r[1])))
+		}
+	})
+	if count == 0 {
+		t.Fatal("H2 is empty")
+	}
+}
+
+// TestRelationalLinBPMatchesMatrix: Algorithm 1 equals the matrix
+// implementation after the same number of iterations.
+func TestRelationalLinBPMatchesMatrix(t *testing.T) {
+	for _, echo := range []bool{true, false} {
+		g, e, h := torusProblem(t, 0.1)
+		db := Load(g, e, h)
+		const iters = 15
+		rel := db.LinBP(iters, echo)
+		mat, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: echo, MaxIter: iters, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BeliefsToResidual(rel, 8, 3)
+		if !got.Matrix().EqualApprox(mat.Beliefs.Matrix(), 1e-9) {
+			t.Fatalf("echo=%v: relational LinBP differs from matrix LinBP\nrel: %v\nmat: %v",
+				echo, got.Matrix(), mat.Beliefs.Matrix())
+		}
+	}
+}
+
+func TestRelationalLinBPRandomGraph(t *testing.T) {
+	g := gen.Random(25, 50, 31)
+	e, _ := beliefs.Seed(25, 3, beliefs.SeedConfig{Fraction: 0.2, Seed: 8})
+	h := coupling.Scale(ho(t), 0.07)
+	db := Load(g, e, h)
+	rel, rounds := db.LinBPUntil(200, 1e-11, true)
+	if rounds >= 200 {
+		t.Fatal("relational LinBP did not converge")
+	}
+	mat, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BeliefsToResidual(rel, 25, 3)
+	if !got.Matrix().EqualApprox(mat.Beliefs.Matrix(), 1e-8) {
+		t.Fatal("relational and matrix fixpoints differ")
+	}
+}
+
+// TestRelationalSBPMatchesInMemory: Algorithm 2 equals package sbp.
+func TestRelationalSBPMatchesInMemory(t *testing.T) {
+	g, e, _ := torusProblem(t, 1)
+	db := Load(g, e, ho(t))
+	st := db.SBP()
+
+	mem, err := sbp.Run(g, e, ho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BeliefsToResidual(st.B, 8, 3)
+	if !got.Matrix().EqualApprox(mem.Beliefs().Matrix(), 1e-9) {
+		t.Fatalf("relational SBP differs:\nrel %v\nmem %v", got.Matrix(), mem.Beliefs().Matrix())
+	}
+	relGeo := GeodesicsToSlice(st.G, 8)
+	memGeo := mem.Geodesics()
+	for i := range memGeo {
+		if relGeo[i] != memGeo[i] {
+			t.Fatalf("geodesics differ at %d: %d vs %d", i, relGeo[i], memGeo[i])
+		}
+	}
+}
+
+func TestRelationalSBPRandomGraphs(t *testing.T) {
+	rng := xrand.New(1234)
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(30)
+		g := gen.Random(n, n+rng.Intn(n), rng.Uint64())
+		e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.15, Seed: rng.Uint64()})
+		db := Load(g, e, ho(t))
+		st := db.SBP()
+		mem, err := sbp.Run(g, e, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BeliefsToResidual(st.B, n, 3)
+		if !got.Matrix().EqualApprox(mem.Beliefs().Matrix(), 1e-9) {
+			t.Fatalf("trial %d: relational SBP differs", trial)
+		}
+	}
+}
+
+// TestRelationalAddBeliefsMatchesScratch: Algorithm 3 == recomputation.
+func TestRelationalAddBeliefsMatchesScratch(t *testing.T) {
+	rng := xrand.New(55)
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(20)
+		g := gen.Random(n, n+rng.Intn(n), rng.Uint64())
+		e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: rng.Uint64()})
+		db := Load(g, e, ho(t))
+		st := db.SBP()
+
+		// Batch: up to 4 newly labeled nodes.
+		en := reldb.New("En", []string{"v", "c", "b"})
+		merged := e.Clone()
+		added := 0
+		for v := 0; v < n && added < 4; v++ {
+			if !e.IsExplicit(v) && rng.Float64() < 0.25 {
+				lr := beliefs.LabelResidual(3, rng.Intn(3), 0.1)
+				merged.Set(v, lr)
+				for c, b := range lr {
+					en.Insert(float64(v), float64(c), b)
+				}
+				added++
+			}
+		}
+		st.AddExplicitBeliefs(en)
+
+		want, err := sbp.Run(g.Clone(), merged, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BeliefsToResidual(st.B, n, 3)
+		if !got.Matrix().EqualApprox(want.Beliefs().Matrix(), 1e-9) {
+			t.Fatalf("trial %d: ΔSBP beliefs differ from scratch", trial)
+		}
+		relGeo := GeodesicsToSlice(st.G, n)
+		for i, wg := range want.Geodesics() {
+			if relGeo[i] != wg {
+				t.Fatalf("trial %d: geodesic[%d] = %d, want %d", trial, i, relGeo[i], wg)
+			}
+		}
+	}
+}
+
+// TestRelationalAddEdgesMatchesScratch: Algorithm 4 == recomputation.
+func TestRelationalAddEdgesMatchesScratch(t *testing.T) {
+	rng := xrand.New(66)
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(20)
+		g := gen.Random(n, n+rng.Intn(n/2), rng.Uint64())
+		e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: rng.Uint64()})
+		db := Load(g, e, ho(t))
+		st := db.SBP()
+
+		var batch []graph.Edge
+		gUpdated := g.Clone()
+		for len(batch) < 5 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			batch = append(batch, graph.Edge{S: u, T: v, W: 1})
+			gUpdated.AddEdge(u, v, 1)
+		}
+		st.AddEdges(batch)
+
+		want, err := sbp.Run(gUpdated, e, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BeliefsToResidual(st.B, n, 3)
+		if !got.Matrix().EqualApprox(want.Beliefs().Matrix(), 1e-9) {
+			t.Fatalf("trial %d: edge ΔSBP beliefs differ from scratch", trial)
+		}
+		relGeo := GeodesicsToSlice(st.G, n)
+		for i, wg := range want.Geodesics() {
+			if relGeo[i] != wg {
+				t.Fatalf("trial %d: geodesic[%d] = %d, want %d", trial, i, relGeo[i], wg)
+			}
+		}
+	}
+}
+
+func TestTopBeliefsQuery(t *testing.T) {
+	b := reldb.New("B", []string{"v", "c", "b"})
+	b.Insert(0, 0, 0.5)
+	b.Insert(0, 1, 0.2)
+	b.Insert(1, 0, 0.3)
+	b.Insert(1, 1, 0.3) // tie
+	top := TopBeliefs(b, 1e-9)
+	if len(top[0]) != 1 || top[0][0] != 0 {
+		t.Fatalf("top[0] = %v", top[0])
+	}
+	if len(top[1]) != 2 {
+		t.Fatalf("top[1] = %v (tie expected)", top[1])
+	}
+}
+
+func TestAddEdgesEmptyBatch(t *testing.T) {
+	g, e, _ := torusProblem(t, 1)
+	db := Load(g, e, ho(t))
+	st := db.SBP()
+	before := st.B.Clone()
+	st.AddEdges(nil)
+	if st.B.Len() != before.Len() {
+		t.Fatal("empty batch must be a no-op")
+	}
+}
+
+func TestAddBeliefsEmptyBatch(t *testing.T) {
+	g, e, _ := torusProblem(t, 1)
+	db := Load(g, e, ho(t))
+	st := db.SBP()
+	before := st.B.Len()
+	st.AddExplicitBeliefs(reldb.New("En", []string{"v", "c", "b"}))
+	if st.B.Len() != before {
+		t.Fatal("empty batch must be a no-op")
+	}
+}

@@ -1,0 +1,141 @@
+package reldb
+
+import "testing"
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	a := New("A", []string{"s", "t", "w"})
+	a.Insert(0, 1, 0.5)
+	a.Insert(0, 2, 0.7)
+	a.Insert(1, 2, 0.9)
+	idx := a.BuildIndex("s")
+	var hits int
+	idx.Lookup([]float64{0}, func(vals []float64) { hits++ })
+	if hits != 2 {
+		t.Fatalf("lookup hits = %d, want 2", hits)
+	}
+	hits = 0
+	idx.Lookup([]float64{5}, func(vals []float64) { hits++ })
+	if hits != 0 {
+		t.Fatal("missing key must not match")
+	}
+}
+
+func TestLookupArityPanics(t *testing.T) {
+	idx := New("A", []string{"x"}).BuildIndex("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.Lookup([]float64{1, 2}, nil)
+}
+
+func TestJoinOnIndexMatchesJoin(t *testing.T) {
+	a := New("A", []string{"s", "t", "w"})
+	a.Insert(0, 1, 0.5)
+	a.Insert(1, 2, 0.9)
+	a.Insert(2, 0, 0.3)
+	probe := New("P", []string{"v", "g"})
+	probe.Insert(1, 10)
+	probe.Insert(2, 20)
+
+	viaJoin := Join("J", probe, a, On{Left: "v", Right: "s"})
+	viaIdx := JoinOnIndex("J", probe, []string{"v"}, a.BuildIndex("s"))
+	jr, ir := viaJoin.SortedRows(), viaIdx.SortedRows()
+	if len(jr) != len(ir) {
+		t.Fatalf("row counts differ: %d vs %d", len(jr), len(ir))
+	}
+	for i := range jr {
+		for c := range jr[i] {
+			if jr[i][c] != ir[i][c] {
+				t.Fatalf("row %d differs: %v vs %v", i, jr[i], ir[i])
+			}
+		}
+	}
+}
+
+func TestIndexAddRow(t *testing.T) {
+	a := New("A", []string{"s", "t", "w"})
+	a.Insert(0, 1, 1)
+	idx := a.BuildIndex("s")
+	idx.AddRow(0, 2, 2)
+	var hits int
+	idx.Lookup([]float64{0}, func(vals []float64) { hits++ })
+	if hits != 2 {
+		t.Fatalf("AddRow not indexed: hits = %d", hits)
+	}
+	if a.Len() != 2 {
+		t.Fatal("AddRow must insert into the base table")
+	}
+}
+
+func TestJoinOnKey(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	g.Upsert(1, 10)
+	g.Upsert(2, 20)
+	probe := New("P", []string{"x", "node"})
+	probe.Insert(100, 1)
+	probe.Insert(200, 2)
+	probe.Insert(300, 3) // no partner
+	j := JoinOnKey("J", probe, []string{"node"}, g)
+	rows := j.SortedRows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// cols: x, node, g
+	if rows[0][2] != 10 || rows[1][2] != 20 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestJoinOnKeyRequiresKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JoinOnKey("J", New("P", []string{"v"}), []string{"v"}, New("B", []string{"v"}))
+}
+
+func TestPKIndexSurvivesInsertAfterUpsert(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	g.Upsert(1, 10) // builds the pk index
+	g.Insert(2, 20) // must be added to the index too
+	if v, ok := g.Get("g", 2); !ok || v != 20 {
+		t.Fatalf("Get after Insert: %v %v", v, ok)
+	}
+	g.Upsert(2, 25)
+	if g.Len() != 2 {
+		t.Fatalf("Upsert after Insert duplicated: %d rows", g.Len())
+	}
+}
+
+func TestPKIndexInvalidatedByDelete(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	g.Upsert(1, 10)
+	g.Upsert(2, 20)
+	g.DeleteWhere(func(r []float64) bool { return r[0] == 1 })
+	if _, ok := g.Get("g", 1); ok {
+		t.Fatal("deleted row still visible")
+	}
+	if v, ok := g.Get("g", 2); !ok || v != 20 {
+		t.Fatalf("surviving row lost: %v %v", v, ok)
+	}
+	g.Upsert(2, 21)
+	if g.Len() != 1 {
+		t.Fatalf("post-delete upsert duplicated: %d rows", g.Len())
+	}
+}
+
+func TestPKIndexInvalidatedByClear(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	g.Upsert(1, 10)
+	g.Clear()
+	if _, ok := g.Get("g", 1); ok {
+		t.Fatal("cleared row still visible")
+	}
+	g.Upsert(1, 11)
+	if v, _ := g.Get("g", 1); v != 11 {
+		t.Fatal("upsert after clear broken")
+	}
+}

@@ -1,0 +1,688 @@
+// Package reldb is a small in-memory relational engine: typed-by-name
+// columns over float64 values, hash equi-joins, group-by aggregates,
+// anti-joins, union-all, and key-based upserts. It exists so the paper's
+// SQL formulations of LinBP (Algorithm 1) and SBP (Algorithms 2–4) can
+// be executed literally, operator by operator, standing in for the
+// PostgreSQL substrate of the paper's disk-bound experiments (see
+// DESIGN.md §4). Node and class ids are stored as float64, which is
+// exact for integers below 2⁵³ — far beyond any graph size here.
+//
+// The engine is deliberately minimal but honest: joins build hash
+// tables, aggregation groups rows, and nothing consults the graph
+// structures of the rest of the repository, so the relational
+// implementations in package relalgo really do pay relational costs.
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a named relation with a fixed column list. The zero value is
+// not usable; create tables with New.
+type Table struct {
+	name string
+	cols []string
+	idx  map[string]int
+	rows [][]float64
+	key  []int // column indices forming the upsert key (may be empty)
+
+	// pk is a lazily built, maintained hash index over the key columns,
+	// giving O(1) Upsert and Get (what a DBMS's primary-key index does).
+	// It is invalidated by DeleteWhere and not copied by Clone/Rename.
+	pk map[string]int
+}
+
+// New creates an empty table. keyCols (optional) name the columns that
+// form the logical primary key used by Upsert; they must be a subset of
+// cols.
+func New(name string, cols []string, keyCols ...string) *Table {
+	t := &Table{name: name, cols: append([]string(nil), cols...), idx: map[string]int{}}
+	for i, c := range t.cols {
+		if _, dup := t.idx[c]; dup {
+			panic(fmt.Sprintf("reldb: duplicate column %q in table %s", c, name))
+		}
+		t.idx[c] = i
+	}
+	for _, kc := range keyCols {
+		t.key = append(t.key, t.mustCol(kc))
+	}
+	return t
+}
+
+func (t *Table) mustCol(name string) int {
+	i, ok := t.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("reldb: table %s has no column %q (have %v)", t.name, name, t.cols))
+	}
+	return i
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Cols returns the column names (do not modify).
+func (t *Table) Cols() []string { return t.cols }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row; the value count must match the column count.
+func (t *Table) Insert(vals ...float64) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("reldb: insert into %s: %d values for %d columns", t.name, len(vals), len(t.cols)))
+	}
+	t.rows = append(t.rows, append([]float64(nil), vals...))
+	if t.pk != nil {
+		t.pk[t.keyOf(t.rows[len(t.rows)-1])] = len(t.rows) - 1
+	}
+}
+
+// ensurePK builds the primary-key hash index if absent.
+func (t *Table) ensurePK() {
+	if t.pk != nil {
+		return
+	}
+	t.pk = make(map[string]int, len(t.rows))
+	for ri, row := range t.rows {
+		t.pk[t.keyOf(row)] = ri
+	}
+}
+
+// Upsert inserts the row or replaces the existing row with the same key
+// (the paper's "!Q(...)" insert-or-update notation). The table must have
+// been created with key columns. Amortized O(1) through the maintained
+// primary-key index.
+func (t *Table) Upsert(vals ...float64) {
+	if len(t.key) == 0 {
+		panic(fmt.Sprintf("reldb: table %s has no key columns", t.name))
+	}
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("reldb: upsert into %s: %d values for %d columns", t.name, len(vals), len(t.cols)))
+	}
+	t.ensurePK()
+	k := t.keyOf(vals)
+	if ri, ok := t.pk[k]; ok {
+		copy(t.rows[ri], vals)
+		return
+	}
+	t.rows = append(t.rows, append([]float64(nil), vals...))
+	t.pk[k] = len(t.rows) - 1
+}
+
+// BuildKeyIndex returns a lookup map from key tuple to row index for
+// fast repeated Upserts; internal helper exposed for the algorithms that
+// upsert in bulk.
+func (t *Table) keyOf(row []float64) string {
+	var sb strings.Builder
+	for _, ki := range t.key {
+		fmt.Fprintf(&sb, "%v|", row[ki])
+	}
+	return sb.String()
+}
+
+// UpsertAll bulk-upserts every row of src (whose columns must match t's
+// in order), replacing rows with equal keys.
+func (t *Table) UpsertAll(src *Table) {
+	if len(t.key) == 0 {
+		panic(fmt.Sprintf("reldb: table %s has no key columns", t.name))
+	}
+	if len(src.cols) != len(t.cols) {
+		panic(fmt.Sprintf("reldb: UpsertAll into %s: column count mismatch", t.name))
+	}
+	for _, row := range src.rows {
+		t.Upsert(row...)
+	}
+}
+
+// Get returns the value of column col in the unique row whose key
+// columns equal keyVals, and whether such a row exists. Amortized O(1)
+// through the primary-key index.
+func (t *Table) Get(col string, keyVals ...float64) (float64, bool) {
+	if len(keyVals) != len(t.key) {
+		panic("reldb: Get key arity mismatch")
+	}
+	ci := t.mustCol(col)
+	t.ensurePK()
+	var kb strings.Builder
+	for _, v := range keyVals {
+		fmt.Fprintf(&kb, "%v|", v)
+	}
+	if ri, ok := t.pk[kb.String()]; ok {
+		return t.rows[ri][ci], true
+	}
+	return 0, false
+}
+
+// JoinOnKey performs an index-nested-loop join of probe against a keyed
+// table via its primary-key index: probeCols align positionally with
+// keyed's key columns. Result columns are probe's plus keyed's non-key
+// columns. Cost is O(|probe|), independent of |keyed|.
+func JoinOnKey(name string, probe *Table, probeCols []string, keyed *Table) *Table {
+	if len(keyed.key) == 0 {
+		panic(fmt.Sprintf("reldb: table %s has no key columns", keyed.name))
+	}
+	if len(probeCols) != len(keyed.key) {
+		panic("reldb: JoinOnKey column count mismatch")
+	}
+	keyed.ensurePK()
+	pIdx := make([]int, len(probeCols))
+	for i, c := range probeCols {
+		pIdx[i] = probe.mustCol(c)
+	}
+	dropB := map[int]bool{}
+	for _, ci := range keyed.key {
+		dropB[ci] = true
+	}
+	outCols := append([]string(nil), probe.cols...)
+	var keepB []int
+	for i, c := range keyed.cols {
+		if dropB[i] {
+			continue
+		}
+		keepB = append(keepB, i)
+		outCols = append(outCols, c)
+	}
+	out := New(name, outCols)
+	var kb strings.Builder
+	for _, row := range probe.rows {
+		kb.Reset()
+		for _, ci := range pIdx {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		ri, ok := keyed.pk[kb.String()]
+		if !ok {
+			continue
+		}
+		vals := make([]float64, 0, len(outCols))
+		vals = append(vals, row...)
+		for _, ci := range keepB {
+			vals = append(vals, keyed.rows[ri][ci])
+		}
+		out.rows = append(out.rows, vals)
+	}
+	return out
+}
+
+// Each calls fn for every row with a map-free accessor: vals is the raw
+// row slice in column order. The callback must not retain vals.
+func (t *Table) Each(fn func(vals []float64)) {
+	for _, row := range t.rows {
+		fn(row)
+	}
+}
+
+// Clear removes all rows, keeping the schema.
+func (t *Table) Clear() {
+	t.rows = t.rows[:0]
+	t.pk = nil
+}
+
+// Clone returns a deep copy with the same schema, key, and rows.
+func (t *Table) Clone() *Table {
+	c := New(t.name, t.cols)
+	c.key = append([]int(nil), t.key...)
+	c.rows = make([][]float64, len(t.rows))
+	for i, r := range t.rows {
+		c.rows[i] = append([]float64(nil), r...)
+	}
+	return c
+}
+
+// Rename returns a shallow-schema copy of t with new table and column
+// names (rows are shared). Useful to disambiguate columns before a join.
+func (t *Table) Rename(name string, cols ...string) *Table {
+	if len(cols) != len(t.cols) {
+		panic("reldb: Rename column count mismatch")
+	}
+	c := New(name, cols)
+	c.rows = t.rows
+	return c
+}
+
+// Project returns a new table containing only the named columns, in the
+// given order (rows copied).
+func (t *Table) Project(name string, cols ...string) *Table {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idxs[i] = t.mustCol(c)
+	}
+	out := New(name, cols)
+	for _, row := range t.rows {
+		vals := make([]float64, len(idxs))
+		for i, ci := range idxs {
+			vals[i] = row[ci]
+		}
+		out.rows = append(out.rows, vals)
+	}
+	return out
+}
+
+// Select returns the rows satisfying pred as a new table sharing t's
+// schema. pred receives the raw row in column order.
+func (t *Table) Select(name string, pred func(vals []float64) bool) *Table {
+	out := New(name, t.cols)
+	out.key = append([]int(nil), t.key...)
+	for _, row := range t.rows {
+		if pred(row) {
+			out.rows = append(out.rows, append([]float64(nil), row...))
+		}
+	}
+	return out
+}
+
+// On is one equality condition of an equi-join: left column = right column.
+type On struct{ Left, Right string }
+
+// Join computes the inner equi-join of a and b under the conditions.
+// The result's columns are a's columns followed by b's columns that are
+// not join targets; column names must not clash (Rename first if they
+// do). A hash table is built on b.
+func Join(name string, a, b *Table, conds ...On) *Table {
+	if len(conds) == 0 {
+		panic("reldb: Join needs at least one condition")
+	}
+	la := make([]int, len(conds))
+	lb := make([]int, len(conds))
+	dropB := map[int]bool{}
+	for i, c := range conds {
+		la[i] = a.mustCol(c.Left)
+		lb[i] = b.mustCol(c.Right)
+		dropB[lb[i]] = true
+	}
+	var outCols []string
+	var keepB []int
+	outCols = append(outCols, a.cols...)
+	for i, c := range b.cols {
+		if dropB[i] {
+			continue
+		}
+		keepB = append(keepB, i)
+		outCols = append(outCols, c)
+	}
+	out := New(name, outCols)
+
+	// Build side: hash of b's join keys.
+	hash := make(map[string][]int, len(b.rows))
+	var kb strings.Builder
+	for ri, row := range b.rows {
+		kb.Reset()
+		for _, ci := range lb {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		hash[kb.String()] = append(hash[kb.String()], ri)
+	}
+	// Probe side.
+	for _, row := range a.rows {
+		kb.Reset()
+		for _, ci := range la {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		for _, ri := range hash[kb.String()] {
+			vals := make([]float64, 0, len(outCols))
+			vals = append(vals, row...)
+			for _, ci := range keepB {
+				vals = append(vals, b.rows[ri][ci])
+			}
+			out.rows = append(out.rows, vals)
+		}
+	}
+	return out
+}
+
+// AntiJoin returns the rows of a that have no join partner in b under
+// the conditions (SQL's NOT EXISTS / EXCEPT pattern used by the SBP
+// algorithms). The result shares a's schema.
+func AntiJoin(name string, a, b *Table, conds ...On) *Table {
+	if len(conds) == 0 {
+		panic("reldb: AntiJoin needs at least one condition")
+	}
+	la := make([]int, len(conds))
+	lb := make([]int, len(conds))
+	for i, c := range conds {
+		la[i] = a.mustCol(c.Left)
+		lb[i] = b.mustCol(c.Right)
+	}
+	exists := make(map[string]bool, len(b.rows))
+	var kb strings.Builder
+	for _, row := range b.rows {
+		kb.Reset()
+		for _, ci := range lb {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		exists[kb.String()] = true
+	}
+	out := New(name, a.cols)
+	for _, row := range a.rows {
+		kb.Reset()
+		for _, ci := range la {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		if !exists[kb.String()] {
+			out.rows = append(out.rows, append([]float64(nil), row...))
+		}
+	}
+	return out
+}
+
+// Index is a persistent hash index over some columns of a table,
+// supporting index-nested-loop joins. It is what a DBMS would use for
+// SBP's frontier expansions (the paper's SQL implementation relies on
+// an "intuitive index based on shortest paths"); without it every
+// frontier step would rescan the whole edge relation.
+//
+// The index sees rows present at Build time plus rows added through
+// AddRow; deletions are not supported (the algorithms never delete from
+// indexed relations).
+type Index struct {
+	t    *Table
+	cols []int
+	m    map[string][]int
+}
+
+// BuildIndex creates a hash index on the named columns.
+func (t *Table) BuildIndex(cols ...string) *Index {
+	idx := &Index{t: t, m: make(map[string][]int, len(t.rows))}
+	for _, c := range cols {
+		idx.cols = append(idx.cols, t.mustCol(c))
+	}
+	var kb strings.Builder
+	for ri, row := range t.rows {
+		kb.Reset()
+		for _, ci := range idx.cols {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		idx.m[kb.String()] = append(idx.m[kb.String()], ri)
+	}
+	return idx
+}
+
+// Lookup invokes fn for every indexed row matching the key values.
+func (idx *Index) Lookup(key []float64, fn func(vals []float64)) {
+	if len(key) != len(idx.cols) {
+		panic("reldb: Lookup key arity mismatch")
+	}
+	var kb strings.Builder
+	for _, v := range key {
+		fmt.Fprintf(&kb, "%v|", v)
+	}
+	for _, ri := range idx.m[kb.String()] {
+		fn(idx.t.rows[ri])
+	}
+}
+
+// JoinOnIndex performs an index-nested-loop equi-join: for every row of
+// the probe table, the index supplies the matching rows of its base
+// table. probeCols names the probe-side columns aligned positionally
+// with the index's columns. The result's columns are the probe's
+// followed by the base table's columns minus the indexed ones — the
+// same shape Join produces, but at cost O(|probe| + matches) instead of
+// O(|probe| + |base|).
+func JoinOnIndex(name string, probe *Table, probeCols []string, idx *Index) *Table {
+	if len(probeCols) != len(idx.cols) {
+		panic("reldb: JoinOnIndex column count mismatch")
+	}
+	pIdx := make([]int, len(probeCols))
+	for i, c := range probeCols {
+		pIdx[i] = probe.mustCol(c)
+	}
+	dropB := map[int]bool{}
+	for _, ci := range idx.cols {
+		dropB[ci] = true
+	}
+	outCols := append([]string(nil), probe.cols...)
+	var keepB []int
+	for i, c := range idx.t.cols {
+		if dropB[i] {
+			continue
+		}
+		keepB = append(keepB, i)
+		outCols = append(outCols, c)
+	}
+	out := New(name, outCols)
+	key := make([]float64, len(pIdx))
+	for _, row := range probe.rows {
+		for i, ci := range pIdx {
+			key[i] = row[ci]
+		}
+		idx.Lookup(key, func(bRow []float64) {
+			vals := make([]float64, 0, len(outCols))
+			vals = append(vals, row...)
+			for _, ci := range keepB {
+				vals = append(vals, bRow[ci])
+			}
+			out.rows = append(out.rows, vals)
+		})
+	}
+	return out
+}
+
+// AddRow appends a row to the index's base table and indexes it,
+// keeping the index consistent with incremental inserts.
+func (idx *Index) AddRow(vals ...float64) {
+	idx.t.Insert(vals...)
+	ri := len(idx.t.rows) - 1
+	var kb strings.Builder
+	for _, ci := range idx.cols {
+		fmt.Fprintf(&kb, "%v|", idx.t.rows[ri][ci])
+	}
+	idx.m[kb.String()] = append(idx.m[kb.String()], ri)
+}
+
+// DeleteWhere removes every row for which pred returns true, returning
+// the number of rows deleted (SQL's DELETE FROM ... WHERE).
+func (t *Table) DeleteWhere(pred func(vals []float64) bool) int {
+	t.pk = nil // row positions shift; the index is rebuilt on next use
+	w := 0
+	deleted := 0
+	for _, row := range t.rows {
+		if pred(row) {
+			deleted++
+			continue
+		}
+		t.rows[w] = row
+		w++
+	}
+	t.rows = t.rows[:w]
+	return deleted
+}
+
+// AntiJoinPred generalizes AntiJoin to NOT EXISTS with an extra theta
+// condition: a row of a is kept unless some row of b matches all
+// equi-conditions and satisfies pred(aRow, bRow). A nil pred means any
+// equi-match excludes (plain AntiJoin). This models the paper's
+// ¬(G(t, gt), gt < i) patterns.
+func AntiJoinPred(name string, a, b *Table, conds []On, pred func(aVals, bVals []float64) bool) *Table {
+	la := make([]int, len(conds))
+	lb := make([]int, len(conds))
+	for i, c := range conds {
+		la[i] = a.mustCol(c.Left)
+		lb[i] = b.mustCol(c.Right)
+	}
+	hash := make(map[string][]int, len(b.rows))
+	var kb strings.Builder
+	for ri, row := range b.rows {
+		kb.Reset()
+		for _, ci := range lb {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		hash[kb.String()] = append(hash[kb.String()], ri)
+	}
+	out := New(name, a.cols)
+	for _, row := range a.rows {
+		kb.Reset()
+		for _, ci := range la {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		excluded := false
+		for _, ri := range hash[kb.String()] {
+			if pred == nil || pred(row, b.rows[ri]) {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out.rows = append(out.rows, append([]float64(nil), row...))
+		}
+	}
+	return out
+}
+
+// AggSpec describes one aggregate output column.
+type AggSpec struct {
+	// Out names the result column.
+	Out string
+	// Op is "sum", "min", "max", or "count".
+	Op string
+	// Product lists input columns whose product forms each aggregated
+	// term (the paper's sum(w·b·h)); empty means the constant 1 (count).
+	Product []string
+}
+
+// Aggregate groups t's rows by the groupBy columns and evaluates the
+// aggregate specs per group. The result's columns are groupBy followed
+// by each spec's Out.
+func Aggregate(name string, t *Table, groupBy []string, specs ...AggSpec) *Table {
+	gIdx := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		gIdx[i] = t.mustCol(c)
+	}
+	type spec struct {
+		op   string
+		cols []int
+	}
+	ss := make([]spec, len(specs))
+	outCols := append([]string(nil), groupBy...)
+	for i, s := range specs {
+		cs := make([]int, len(s.Product))
+		for j, c := range s.Product {
+			cs[j] = t.mustCol(c)
+		}
+		switch s.Op {
+		case "sum", "min", "max", "count":
+		default:
+			panic(fmt.Sprintf("reldb: unknown aggregate op %q", s.Op))
+		}
+		ss[i] = spec{op: s.Op, cols: cs}
+		outCols = append(outCols, s.Out)
+	}
+
+	type group struct {
+		keyVals []float64
+		accs    []float64
+		n       int
+	}
+	groups := map[string]*group{}
+	var order []string
+	var kb strings.Builder
+	for _, row := range t.rows {
+		kb.Reset()
+		for _, ci := range gIdx {
+			fmt.Fprintf(&kb, "%v|", row[ci])
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: make([]float64, len(gIdx)), accs: make([]float64, len(ss))}
+			for i, ci := range gIdx {
+				g.keyVals[i] = row[ci]
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, s := range ss {
+			term := 1.0
+			for _, ci := range s.cols {
+				term *= row[ci]
+			}
+			switch s.op {
+			case "sum":
+				g.accs[i] += term
+			case "count":
+				g.accs[i]++
+			case "min":
+				if g.n == 0 || term < g.accs[i] {
+					g.accs[i] = term
+				}
+			case "max":
+				if g.n == 0 || term > g.accs[i] {
+					g.accs[i] = term
+				}
+			}
+		}
+		g.n++
+	}
+	out := New(name, outCols)
+	for _, k := range order {
+		g := groups[k]
+		vals := make([]float64, 0, len(outCols))
+		vals = append(vals, g.keyVals...)
+		vals = append(vals, g.accs...)
+		out.rows = append(out.rows, vals)
+	}
+	return out
+}
+
+// UnionAll concatenates tables with identical column counts (names taken
+// from the first). Rows are copied.
+func UnionAll(name string, tables ...*Table) *Table {
+	if len(tables) == 0 {
+		panic("reldb: UnionAll needs at least one table")
+	}
+	out := New(name, tables[0].cols)
+	for _, t := range tables {
+		if len(t.cols) != len(out.cols) {
+			panic("reldb: UnionAll column count mismatch")
+		}
+		for _, row := range t.rows {
+			out.rows = append(out.rows, append([]float64(nil), row...))
+		}
+	}
+	return out
+}
+
+// MapCol returns a copy of t with column col transformed by fn
+// (used e.g. to negate the echo term before a union-all aggregation).
+func (t *Table) MapCol(name, col string, fn func(v float64) float64) *Table {
+	ci := t.mustCol(col)
+	out := New(name, t.cols)
+	for _, row := range t.rows {
+		nr := append([]float64(nil), row...)
+		nr[ci] = fn(nr[ci])
+		out.rows = append(out.rows, nr)
+	}
+	return out
+}
+
+// SortedRows returns a copy of the rows in lexicographic order, for
+// stable test comparisons.
+func (t *Table) SortedRows() [][]float64 {
+	out := make([][]float64, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for c := range out[i] {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(%s) %d rows\n", t.name, strings.Join(t.cols, ","), len(t.rows))
+	for i, row := range t.SortedRows() {
+		if i >= 20 {
+			sb.WriteString("...\n")
+			break
+		}
+		fmt.Fprintf(&sb, "  %v\n", row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,289 @@
+package reldb
+
+import (
+	"testing"
+)
+
+func TestInsertAndLen(t *testing.T) {
+	a := New("A", []string{"s", "t", "w"})
+	a.Insert(0, 1, 0.5)
+	a.Insert(1, 0, 0.5)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if a.Name() != "A" || len(a.Cols()) != 3 {
+		t.Fatal("schema wrong")
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("A", []string{"x"}).Insert(1, 2)
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("A", []string{"x", "x"})
+}
+
+func TestUpsert(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	g.Upsert(1, 2)
+	g.Upsert(2, 5)
+	g.Upsert(1, 0) // replace
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if v, ok := g.Get("g", 1); !ok || v != 0 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+}
+
+func TestUpsertWithoutKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("A", []string{"x"}).Upsert(1)
+}
+
+func TestUpsertAll(t *testing.T) {
+	b := New("B", []string{"v", "c", "b"}, "v", "c")
+	b.Insert(0, 0, 1)
+	b.Insert(0, 1, 2)
+	src := New("Bn", []string{"v", "c", "b"})
+	src.Insert(0, 1, 9) // replace
+	src.Insert(1, 0, 3) // new
+	b.UpsertAll(src)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if v, _ := b.Get("b", 0, 1); v != 9 {
+		t.Fatalf("replaced value = %v", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	g := New("G", []string{"v", "g"}, "v")
+	if _, ok := g.Get("g", 7); ok {
+		t.Fatal("missing key must report !ok")
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	a := New("A", []string{"s", "t"})
+	a.Insert(0, 1)
+	a.Insert(1, 2)
+	b := New("B", []string{"v", "x"})
+	b.Insert(1, 10)
+	b.Insert(2, 20)
+	j := Join("J", a, b, On{Left: "t", Right: "v"})
+	if j.Len() != 2 {
+		t.Fatalf("join rows = %d", j.Len())
+	}
+	rows := j.SortedRows()
+	// cols: s, t, x (v dropped)
+	if rows[0][2] != 10 || rows[1][2] != 20 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestJoinMultiCondition(t *testing.T) {
+	a := New("A", []string{"x", "y", "p"})
+	a.Insert(1, 2, 100)
+	a.Insert(1, 3, 200)
+	b := New("B", []string{"u", "v", "q"})
+	b.Insert(1, 2, 7)
+	j := Join("J", a, b, On{Left: "x", Right: "u"}, On{Left: "y", Right: "v"})
+	if j.Len() != 1 {
+		t.Fatalf("rows = %d", j.Len())
+	}
+	if j.SortedRows()[0][3] != 7 {
+		t.Fatalf("row = %v", j.SortedRows()[0])
+	}
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	a := New("A", []string{"k"})
+	a.Insert(1)
+	a.Insert(1)
+	b := New("B", []string{"k"})
+	b.Insert(1)
+	b.Insert(1)
+	b.Insert(1)
+	if j := Join("J", a, b, On{Left: "k", Right: "k"}); j.Len() != 6 {
+		t.Fatalf("cartesian group join = %d rows, want 6", j.Len())
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	a := New("A", []string{"v"})
+	for _, v := range []float64{1, 2, 3} {
+		a.Insert(v)
+	}
+	b := New("B", []string{"v"})
+	b.Insert(2)
+	aj := AntiJoin("AJ", a, b, On{Left: "v", Right: "v"})
+	rows := aj.SortedRows()
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][0] != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAntiJoinPred(t *testing.T) {
+	// NOT EXISTS (G(t, gt) AND gt < 2).
+	cands := New("C", []string{"t"})
+	for _, v := range []float64{1, 2, 3} {
+		cands.Insert(v)
+	}
+	g := New("G", []string{"v", "g"}, "v")
+	g.Insert(1, 1) // gt < 2 → excluded
+	g.Insert(2, 5) // gt ≥ 2 → kept
+	out := AntiJoinPred("O", cands, g, []On{{Left: "t", Right: "v"}},
+		func(a, b []float64) bool { return b[1] < 2 })
+	rows := out.SortedRows()
+	if len(rows) != 2 || rows[0][0] != 2 || rows[1][0] != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggregateSumProduct(t *testing.T) {
+	x := New("X", []string{"g", "a", "b"})
+	x.Insert(1, 2, 3)
+	x.Insert(1, 4, 5)
+	x.Insert(2, 1, 1)
+	agg := Aggregate("S", x, []string{"g"},
+		AggSpec{Out: "s", Op: "sum", Product: []string{"a", "b"}})
+	if v, _ := findRow(agg, 1); v != 26 { // 2·3 + 4·5
+		t.Fatalf("sum = %v", v)
+	}
+	if v, _ := findRow(agg, 2); v != 1 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func findRow(t *Table, key float64) (float64, bool) {
+	var out float64
+	found := false
+	t.Each(func(r []float64) {
+		if r[0] == key {
+			out = r[1]
+			found = true
+		}
+	})
+	return out, found
+}
+
+func TestAggregateMinMaxCount(t *testing.T) {
+	x := New("X", []string{"g", "v"})
+	x.Insert(1, 5)
+	x.Insert(1, -2)
+	x.Insert(1, 3)
+	agg := Aggregate("A", x, []string{"g"},
+		AggSpec{Out: "mn", Op: "min", Product: []string{"v"}},
+		AggSpec{Out: "mx", Op: "max", Product: []string{"v"}},
+		AggSpec{Out: "n", Op: "count"})
+	row := agg.SortedRows()[0]
+	if row[1] != -2 || row[2] != 5 || row[3] != 3 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestAggregateUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Aggregate("A", New("X", []string{"g"}), []string{"g"}, AggSpec{Out: "o", Op: "avg"})
+}
+
+func TestUnionAll(t *testing.T) {
+	a := New("A", []string{"v", "b"})
+	a.Insert(1, 2)
+	b := New("B", []string{"v", "b"})
+	b.Insert(1, 3)
+	b.Insert(2, 4)
+	u := UnionAll("U", a, b)
+	if u.Len() != 3 {
+		t.Fatalf("union rows = %d", u.Len())
+	}
+}
+
+func TestMapCol(t *testing.T) {
+	a := New("A", []string{"v", "b"})
+	a.Insert(1, 2)
+	neg := a.MapCol("N", "b", func(x float64) float64 { return -x })
+	if neg.SortedRows()[0][1] != -2 {
+		t.Fatal("MapCol failed")
+	}
+	if a.SortedRows()[0][1] != 2 {
+		t.Fatal("MapCol must not mutate the source")
+	}
+}
+
+func TestProjectRenameSelect(t *testing.T) {
+	a := New("A", []string{"x", "y", "z"})
+	a.Insert(1, 2, 3)
+	a.Insert(4, 5, 6)
+	p := a.Project("P", "z", "x")
+	if p.SortedRows()[0][0] != 3 || p.SortedRows()[0][1] != 1 {
+		t.Fatalf("project rows = %v", p.SortedRows())
+	}
+	r := a.Rename("R", "a", "b", "c")
+	if r.Cols()[0] != "a" {
+		t.Fatal("rename failed")
+	}
+	s := a.Select("S", func(v []float64) bool { return v[0] > 2 })
+	if s.Len() != 1 || s.SortedRows()[0][0] != 4 {
+		t.Fatal("select failed")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	a := New("A", []string{"v"})
+	for _, v := range []float64{1, 2, 3, 4} {
+		a.Insert(v)
+	}
+	n := a.DeleteWhere(func(r []float64) bool { return r[0] > 2 })
+	if n != 2 || a.Len() != 2 {
+		t.Fatalf("deleted %d, remaining %d", n, a.Len())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New("A", []string{"v"}, "v")
+	a.Insert(1)
+	c := a.Clone()
+	c.Insert(2)
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone must be independent")
+	}
+	c.Upsert(1) // key survives clone
+}
+
+func TestClear(t *testing.T) {
+	a := New("A", []string{"v"})
+	a.Insert(1)
+	a.Clear()
+	if a.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	a := New("A", []string{"v"})
+	a.Insert(1)
+	if a.String() == "" {
+		t.Fatal("String must render")
+	}
+}

@@ -1,0 +1,168 @@
+package sbp
+
+import (
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// TestAddEdgesSortedMatchesScratch: the Appendix C variant must agree
+// with recomputation from scratch on random graphs and batches.
+func TestAddEdgesSortedMatchesScratch(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(40)
+		m := n + rng.Intn(n)
+		g := gen.Random(n, m, rng.Uint64())
+		e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: rng.Uint64()})
+		st, err := Run(g, e, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []graph.Edge
+		for len(batch) < 6 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			batch = append(batch, graph.Edge{S: u, T: v, W: 1})
+		}
+		if err := st.AddEdgesSorted(batch); err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(st.Graph().Clone(), e, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		statesEqual(t, st, want, "sorted edge trial")
+	}
+}
+
+// TestAddEdgesSortedMatchesAddEdges: both incremental variants agree.
+func TestAddEdgesSortedMatchesAddEdges(t *testing.T) {
+	rng := xrand.New(47)
+	for trial := 0; trial < 10; trial++ {
+		n := 25 + rng.Intn(25)
+		g := gen.Random(n, n+rng.Intn(n), rng.Uint64())
+		e, _ := beliefs.Seed(n, 3, beliefs.SeedConfig{Fraction: 0.12, Seed: rng.Uint64()})
+		var batch []graph.Edge
+		for len(batch) < 4 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			batch = append(batch, graph.Edge{S: u, T: v, W: 1})
+		}
+		st1, _ := Run(g.Clone(), e, ho(t))
+		st2, _ := Run(g.Clone(), e, ho(t))
+		if err := st1.AddEdges(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.AddEdgesSorted(batch); err != nil {
+			t.Fatal(err)
+		}
+		statesEqual(t, st2, st1, "variant agreement")
+	}
+}
+
+// TestSortedDoesFewerRecomputes builds the kind of instance Appendix C
+// warns about: a long chain where a batch of new edges triggers
+// cascading re-updates under the simultaneous-wave Algorithm 4 but only
+// one recompute per affected node under the sorted schedule.
+func TestSortedDoesFewerRecomputes(t *testing.T) {
+	build := func() (*State, []graph.Edge) {
+		// Chain 0−1−…−19 with the explicit node at 0, plus a far node 20
+		// connected at the end; new edges create shortcuts of different
+		// depths in one batch (the "seed nodes with different geodesic
+		// numbers" scenario of Appendix C).
+		g := graph.New(22)
+		for i := 0; i < 20; i++ {
+			g.AddUnitEdge(i, i+1)
+		}
+		e := beliefs.New(22, 3)
+		e.Set(0, []float64{2, -1, -1})
+		st, err := Run(g, e, ho(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := []graph.Edge{
+			// Seed 10 gets geodesic 1; seed 12 initially gets 6 via the
+			// 5−12 edge, but the wave from 10 later improves it to 3 —
+			// Algorithm 4 recomputes 12 (and everything behind it) twice,
+			// the sorted schedule once.
+			{S: 0, T: 10, W: 1},
+			{S: 5, T: 12, W: 1},
+			{S: 4, T: 21, W: 1}, // attach the isolated node mid-chain
+		}
+		return st, batch
+	}
+
+	st1, batch := build()
+	base1 := st1.RecomputeCount()
+	if err := st1.AddEdges(batch); err != nil {
+		t.Fatal(err)
+	}
+	wavy := st1.RecomputeCount() - base1
+
+	st2, batch2 := build()
+	base2 := st2.RecomputeCount()
+	if err := st2.AddEdgesSorted(batch2); err != nil {
+		t.Fatal(err)
+	}
+	sorted := st2.RecomputeCount() - base2
+
+	statesEqual(t, st2, st1, "pathological batch")
+	if sorted >= wavy {
+		t.Fatalf("sorted schedule should save work: sorted=%d, wave=%d", sorted, wavy)
+	}
+}
+
+// TestAddEdgesSortedConnectsIsland mirrors the Algorithm 4 test.
+func TestAddEdgesSortedConnectsIsland(t *testing.T) {
+	g := graph.New(4)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(2, 3)
+	e := beliefs.New(4, 3)
+	e.Set(0, []float64{2, -1, -1})
+	st, _ := Run(g, e, ho(t))
+	if err := st.AddEdgesSorted([]graph.Edge{{S: 1, T: 2, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Run(st.Graph().Clone(), e, ho(t))
+	statesEqual(t, st, want, "sorted island")
+}
+
+func TestAddEdgesSortedValidation(t *testing.T) {
+	g, e := torusProblem(t)
+	st, _ := Run(g, e, ho(t))
+	for _, bad := range []graph.Edge{
+		{S: -1, T: 0, W: 1},
+		{S: 0, T: 99, W: 1},
+		{S: 0, T: 1, W: 0},
+		{S: 2, T: 2, W: 1},
+	} {
+		if err := st.AddEdgesSorted([]graph.Edge{bad}); err == nil {
+			t.Fatalf("edge %+v: expected error", bad)
+		}
+	}
+}
+
+func TestRecomputeCountMonotone(t *testing.T) {
+	g, e := torusProblem(t)
+	st, _ := Run(g, e, ho(t))
+	before := st.RecomputeCount()
+	if before == 0 {
+		t.Fatal("initial run must recompute the non-explicit nodes")
+	}
+	en := beliefs.New(8, 3)
+	en.Set(7, beliefs.LabelResidual(3, 1, 0.1))
+	if err := st.AddExplicitBeliefs(en); err != nil {
+		t.Fatal(err)
+	}
+	if st.RecomputeCount() <= before {
+		t.Fatal("updates must add recomputations")
+	}
+}

@@ -1,0 +1,336 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func denseOf(m *CSR) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = make([]float64, m.Cols())
+		m.Row(i, func(j int, v float64) { out[i][j] = v })
+	}
+	return out
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 1, 2)
+	b.Add(1, 2, 3)
+	if b.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", b.NNZ())
+	}
+	m := b.ToCSR()
+	if m.Rows() != 2 || m.Cols() != 3 || m.NNZ() != 2 {
+		t.Fatalf("bad CSR shape %dx%d nnz=%d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(1, 2) != 3 || m.At(0, 0) != 0 {
+		t.Fatal("wrong values")
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestDuplicatesSummed(t *testing.T) {
+	b := NewBuilder(1, 2)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	m := b.ToCSR()
+	if m.NNZ() != 1 || m.At(0, 1) != 5 {
+		t.Fatalf("duplicates not summed: nnz=%d v=%v", m.NNZ(), m.At(0, 1))
+	}
+}
+
+func TestCancellationDropsZeros(t *testing.T) {
+	b := NewBuilder(1, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, -1)
+	b.Add(0, 1, 4)
+	m := b.ToCSR()
+	if m.NNZ() != 1 {
+		t.Fatalf("cancelled entry kept: nnz=%d", m.NNZ())
+	}
+	if m.At(0, 1) != 4 {
+		t.Fatal("surviving value wrong")
+	}
+}
+
+func TestAddSym(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddSym(0, 2, 1.5)
+	b.AddSym(1, 1, 2) // self-loop added once
+	m := b.ToCSR()
+	if m.At(0, 2) != 1.5 || m.At(2, 0) != 1.5 {
+		t.Fatal("AddSym must mirror")
+	}
+	if m.At(1, 1) != 2 {
+		t.Fatalf("self-loop doubled: %v", m.At(1, 1))
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("matrix should be symmetric")
+	}
+}
+
+func TestRowIterationSorted(t *testing.T) {
+	b := NewBuilder(1, 5)
+	b.Add(0, 3, 3)
+	b.Add(0, 1, 1)
+	b.Add(0, 4, 4)
+	m := b.ToCSR()
+	var cols []int
+	m.Row(0, func(j int, v float64) { cols = append(cols, j) })
+	want := []int{1, 3, 4}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("cols = %v, want %v", cols, want)
+		}
+	}
+	if m.RowNNZ(0) != 3 {
+		t.Fatalf("RowNNZ = %d", m.RowNNZ(0))
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, 0, 2}, {0, 3, 0}})
+	y := m.MulVec([]float64{1, 2, 3})
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+// TestMulVecMatchesNaive is a property test comparing CSR SpMV with a
+// naive dense multiply on random small matrices.
+func TestMulVecMatchesNaive(t *testing.T) {
+	f := func(raw [12]float64, xraw [4]float64) bool {
+		b := NewBuilder(3, 4)
+		d := make([][]float64, 3)
+		for i := range d {
+			d[i] = make([]float64, 4)
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				v := math.Mod(raw[i*4+j], 10)
+				if math.IsNaN(v) {
+					v = 0
+				}
+				// Sparsify: drop ~half the entries.
+				if int(math.Abs(v)*10)%2 == 0 {
+					continue
+				}
+				b.Add(i, j, v)
+				d[i][j] = v
+			}
+		}
+		x := make([]float64, 4)
+		for i, v := range xraw {
+			x[i] = math.Mod(v, 10)
+			if math.IsNaN(x[i]) {
+				x[i] = 1
+			}
+		}
+		got := b.ToCSR().MulVec(x)
+		for i := 0; i < 3; i++ {
+			var want float64
+			for j := 0; j < 4; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDenseInto(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, 2}, {0, 3}})
+	// X is 2x2 dense flat: rows [1,10], [2,20].
+	x := []float64{1, 10, 2, 20}
+	y := make([]float64, 4)
+	m.MulDenseInto(y, x, 2)
+	// row0 = 1*[1,10] + 2*[2,20] = [5,50]; row1 = 3*[2,20] = [6,60].
+	want := []float64{5, 50, 6, 60}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMulDenseIntoOverwritesGarbage(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{2}})
+	y := []float64{999}
+	m.MulDenseInto(y, []float64{3}, 1)
+	if y[0] != 6 {
+		t.Fatalf("y = %v, want 6 (stale contents must be cleared)", y[0])
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, 2, 0}, {0, 0, 3}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("shape %dx%d", mt.Rows(), mt.Cols())
+	}
+	if mt.At(1, 0) != 2 || mt.At(2, 1) != 3 || mt.At(0, 1) != 0 {
+		t.Fatal("wrong transpose values")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(raw [9]float64) bool {
+		b := NewBuilder(3, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				v := math.Mod(raw[i*3+j], 5)
+				if math.IsNaN(v) || v == 0 {
+					continue
+				}
+				b.Add(i, j, v)
+			}
+		}
+		m := b.ToCSR()
+		tt := m.T().T()
+		if tt.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, -2}})
+	s := m.Scaled(3)
+	if s.At(0, 0) != 3 || s.At(0, 1) != -6 {
+		t.Fatal("Scaled wrong")
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatal("Scaled must not mutate the receiver")
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, 2}, {0, -3}})
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != -3 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	rss := m.RowSumsSquared()
+	if rss[0] != 5 || rss[1] != 9 {
+		t.Fatalf("RowSumsSquared = %v", rss)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, -2}, {-3, 4}})
+	if m.MaxAbsRowSum() != 7 {
+		t.Fatalf("MaxAbsRowSum = %v", m.MaxAbsRowSum())
+	}
+	if m.MaxAbsColSum() != 6 {
+		t.Fatalf("MaxAbsColSum = %v", m.MaxAbsColSum())
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !NewCSRFromDense([][]float64{{0, 1}, {1, 0}}).IsSymmetric() {
+		t.Fatal("symmetric matrix misclassified")
+	}
+	if NewCSRFromDense([][]float64{{0, 1}, {0, 0}}).IsSymmetric() {
+		t.Fatal("asymmetric matrix misclassified")
+	}
+	if NewCSRFromDense([][]float64{{0, 1, 0}, {1, 0, 0}}).IsSymmetric() {
+		t.Fatal("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewBuilder(0, 0).ToCSR()
+	if m.NNZ() != 0 || m.Rows() != 0 {
+		t.Fatal("empty matrix mishandled")
+	}
+	m2 := NewBuilder(3, 3).ToCSR()
+	y := m2.MulVec([]float64{1, 2, 3})
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty SpMV must be zero")
+		}
+	}
+}
+
+func TestBuilderReusableAfterToCSR(t *testing.T) {
+	b := NewBuilder(1, 2)
+	b.Add(0, 0, 1)
+	m1 := b.ToCSR()
+	b.Add(0, 1, 2)
+	m2 := b.ToCSR()
+	if m1.NNZ() != 1 || m2.NNZ() != 2 {
+		t.Fatalf("builder reuse broken: %d, %d", m1.NNZ(), m2.NNZ())
+	}
+	if m2.At(0, 0) != 1 || m2.At(0, 1) != 2 {
+		t.Fatal("wrong values after reuse")
+	}
+}
+
+func TestNewCSRFromDenseDropsZeros(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{0, 1}, {0, 0}})
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+	_ = denseOf(m)
+}
+
+func TestMulDenseIntoParallelMatchesSerial(t *testing.T) {
+	b := NewBuilder(200, 200)
+	for i := 0; i < 200; i++ {
+		b.AddSym(i, (i*7+3)%200, 1+float64(i%5))
+		b.AddSym(i, (i*13+1)%200, 0.5)
+	}
+	m := b.ToCSR()
+	k := 3
+	x := make([]float64, 200*k)
+	for i := range x {
+		x[i] = float64(i%11) - 5
+	}
+	want := make([]float64, 200*k)
+	m.MulDenseInto(want, x, k)
+	for _, workers := range []int{2, 4, 7, 300} {
+		got := make([]float64, 200*k)
+		m.MulDenseIntoParallel(got, x, k, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: mismatch at %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulDenseIntoParallelFallsBackSerial(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{2}})
+	y := []float64{99}
+	m.MulDenseIntoParallel(y, []float64{3}, 1, 8) // 1 row < 2*workers → serial
+	if y[0] != 6 {
+		t.Fatalf("y = %v", y[0])
+	}
+}
