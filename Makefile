@@ -1,0 +1,37 @@
+# Build, verify, and benchmark targets for the LinBP reproduction.
+#
+#   make verify   - tier-1 gate: build + vet + full test suite
+#   make bench    - run every benchmark with -benchmem and archive the
+#                   results as BENCH_results.json via cmd/benchjson
+#   make bench-quick - the headline kernel benchmarks only (fast)
+#   make race     - race-detector pass over the concurrent packages
+#
+# Tuning knobs (see EXPERIMENTS.md):
+#   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
+
+GO ?= go
+BENCHTIME ?= 1s
+
+.PHONY: verify test vet build bench bench-quick race
+
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-quick:
+	$(GO) test -bench 'Fig7aLinBP|EngineReuse' -benchmem -run '^$$' -benchtime 300ms . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json

@@ -9,6 +9,7 @@ package lsbp_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -76,6 +77,55 @@ func BenchmarkFig7aLinBP(b *testing.B) {
 		b.Run(fmt.Sprintf("graph%d_edges%d", num, g.DirectedEdgeCount()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aLinBPParallel is BenchmarkFig7aLinBP with the fused
+// kernel's row-partitioned worker pool at Workers = NumCPU (the role
+// Parallel Colt played in the paper's JAVA runs). On a single-core host
+// it degenerates to the serial fused kernel.
+func BenchmarkFig7aLinBPParallel(b *testing.B) {
+	h := fig6bH()
+	workers := runtime.NumCPU()
+	for num := 1; num <= maxBenchGraph(); num++ {
+		g, e := kron(num)
+		b.Run(fmt.Sprintf("graph%d_edges%d", num, g.DirectedEdgeCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linbp.Run(g, e, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineReuse is the serving scenario: one prepared LinBP
+// engine answering repeated solves on the same graph. The fused kernel
+// reuses every buffer, so steady state must report 0 allocs/op (the
+// one-shot BenchmarkFig7aLinBP pays a fresh result matrix per call).
+func BenchmarkEngineReuse(b *testing.B) {
+	h := fig6bH()
+	workers := runtime.NumCPU()
+	for num := 1; num <= maxBenchGraph(); num++ {
+		g, e := kron(num)
+		b.Run(fmt.Sprintf("graph%d_edges%d", num, g.DirectedEdgeCount()), func(b *testing.B) {
+			eng, err := linbp.NewEngine(g, h, linbp.Options{EchoCancellation: true, MaxIter: timingIters, Tol: -1, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			dst := beliefs.New(g.N(), 3)
+			if _, _, _, err := eng.SolveInto(dst, e); err != nil { // warm the worker pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := eng.SolveInto(dst, e); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark results can be
+// archived (BENCH_results.json) and compared across PRs:
+//
+//	go test -bench . -benchmem -run '^$' | benchjson > BENCH_results.json
+//
+// Context lines (goos, goarch, pkg, cpu) are captured as metadata; each
+// benchmark line becomes an entry with its iteration count and every
+// reported metric (ns/op, B/op, allocs/op, MB/s, custom units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the b.N the reported averages are over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op" → 305893.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full document.
+type Report struct {
+	// Meta holds the context lines goos/goarch/pkg/cpu (last seen wins
+	// per key; multi-package runs append the pkg list under "pkgs").
+	Meta map[string]string `json:"meta"`
+	// Benchmarks lists every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Failures counts lines starting with FAIL or ok-with-error.
+	Failures int `json:"failures"`
+}
+
+// parseLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+// ok is false for non-benchmark lines.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Need at least name, iterations, and one value+unit pair.
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1, Iterations: iters, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// parse consumes the full benchmark output.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	r := &Report{Meta: map[string]string{}}
+	var pkgs []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if b, ok := parseLine(line); ok {
+			r.Benchmarks = append(r.Benchmarks, b)
+			continue
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				r.Meta[key] = v
+				if key == "pkg" {
+					pkgs = append(pkgs, v)
+				}
+			}
+		}
+		if strings.HasPrefix(line, "FAIL") {
+			r.Failures++
+		}
+	}
+	if len(pkgs) > 1 {
+		r.Meta["pkgs"] = strings.Join(pkgs, ",")
+	}
+	return r, sc.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	report, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if report.Failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7aLinBP/graph3_edges16384        	    1209	    344063 ns/op	   76059 B/op	       6 allocs/op
+BenchmarkEngineReuse/graph3_edges16384-8     	    1582	    305893 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThroughput                          	     100	   1000000 ns/op	  52.31 MB/s
+PASS
+ok  	repro	5.242s
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta["goos"] != "linux" || r.Meta["cpu"] == "" || r.Meta["pkg"] != "repro" {
+		t.Fatalf("meta = %v", r.Meta)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkFig7aLinBP/graph3_edges16384" || b.Procs != 1 || b.Iterations != 1209 {
+		t.Fatalf("bench[0] = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 344063 || b.Metrics["B/op"] != 76059 || b.Metrics["allocs/op"] != 6 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if got := r.Benchmarks[1]; got.Procs != 8 || got.Name != "BenchmarkEngineReuse/graph3_edges16384" {
+		t.Fatalf("procs suffix not stripped: %+v", got)
+	}
+	if got := r.Benchmarks[2].Metrics["MB/s"]; got != 52.31 {
+		t.Fatalf("MB/s = %v", got)
+	}
+	if r.Failures != 0 {
+		t.Fatalf("failures = %d", r.Failures)
+	}
+}
+
+func TestParseFailLine(t *testing.T) {
+	r, err := parse(bufio.NewScanner(strings.NewReader("FAIL\trepro\t0.1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", r.Failures)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"Benchmark",                     // no fields
+		"BenchmarkX notanumber 1 ns/op", // bad iterations
+		"BenchmarkX 10",                 // no metrics
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted garbage", line)
+		}
+	}
+}

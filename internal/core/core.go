@@ -99,6 +99,9 @@ type Options struct {
 	MaxIter int
 	// Tol is the convergence tolerance; negative forces MaxIter rounds.
 	Tol float64
+	// Workers sets the goroutine count of the fused LinBP/LinBP* kernel
+	// (0 or 1 selects the serial pass). BP and SBP ignore it.
+	Workers int
 }
 
 // Result is the uniform output of Solve.
@@ -145,6 +148,7 @@ func Solve(p *Problem, m Method, opts Options) (*Result, error) {
 			EchoCancellation: m == MethodLinBP,
 			MaxIter:          opts.MaxIter,
 			Tol:              opts.Tol,
+			Workers:          opts.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 )
 
 // Options tunes the iterative Jacobi solver. The zero value selects
@@ -65,6 +67,10 @@ func Coefficients(hhat float64) (c1, c2 float64) {
 // Run solves the binary steady-state system iteratively:
 // b ← e + c1·A·b − c2·D·b starting from b = 0. e holds the class-0
 // residual of the explicit beliefs (0 for unlabeled nodes).
+//
+// The iteration is the k = 1 instance of the fused kernel engine with
+// the echo coupling overridden to c2 (Appendix E's coefficient is not
+// c1², so the override hook exists precisely for this collapse).
 func Run(g *graph.Graph, e []float64, hhat float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := g.N()
@@ -72,36 +78,24 @@ func Run(g *graph.Graph, e []float64, hhat float64, opts Options) (*Result, erro
 		return nil, errors.New("fabp: explicit belief vector length mismatch")
 	}
 	c1, c2 := Coefficients(hhat)
-	a := g.Adjacency()
-	d := g.WeightedDegrees()
-
-	cur := make([]float64, n)
-	ab := make([]float64, n)
-	next := make([]float64, n)
-	res := &Result{}
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		a.MulVecInto(ab, cur)
-		var delta float64
-		for s := 0; s < n; s++ {
-			v := e[s] + c1*ab[s] - c2*d[s]*cur[s]
-			ch := math.Abs(v - cur[s])
-			if math.IsNaN(ch) {
-				ch = math.Inf(1) // overflow: report divergence
-			}
-			if ch > delta {
-				delta = ch
-			}
-			next[s] = v
-		}
-		cur, next = next, cur
-		res.Iterations = iter + 1
-		res.Delta = delta
-		if delta <= opts.Tol {
-			res.Converged = true
-			break
-		}
+	ws := kernel.GetWorkspace()
+	defer ws.Release()
+	eng, err := kernel.New(kernel.Config{
+		A:     g.Adjacency(),
+		D:     g.WeightedDegrees(),
+		H:     dense.NewFromRows([][]float64{{c1}}),
+		EchoH: dense.NewFromRows([][]float64{{c2}}),
+	}, ws)
+	if err != nil {
+		return nil, fmt.Errorf("fabp: %w", err)
 	}
-	res.B = cur
+	defer eng.Close()
+	eng.SetExplicit(e)
+
+	res := &Result{}
+	res.Iterations, res.Delta, res.Converged = eng.Run(opts.MaxIter, opts.Tol, nil)
+	res.B = make([]float64, n)
+	copy(res.B, eng.Beliefs())
 	return res, nil
 }
 

@@ -82,6 +82,7 @@ func Kronecker(p int) *graph.Graph {
 		n *= 3
 	}
 	g := graph.New(n)
+	g.ReserveEdges(len(pairs) / 2)
 	for _, pr := range pairs {
 		if pr.u < pr.v { // each undirected edge once; the seed has no self-loops
 			g.AddUnitEdge(int(pr.u), int(pr.v))
@@ -103,6 +104,7 @@ func KroneckerGraphNumber(num int) int {
 // row-major order. Useful as an auxiliary loopy test topology.
 func Grid(rows, cols int) *graph.Graph {
 	g := graph.New(rows * cols)
+	g.ReserveEdges(rows*(cols-1) + (rows-1)*cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -129,6 +131,7 @@ func Random(n, m int, seed uint64) *graph.Graph {
 	}
 	rng := xrand.New(seed)
 	g := graph.New(n)
+	g.ReserveEdges(m)
 	seen := make(map[[2]int]bool, m)
 	for len(seen) < m {
 		u, v := rng.Intn(n), rng.Intn(n)
@@ -261,6 +264,8 @@ func DBLP(cfg DBLPConfig) *DBLPGraph {
 		Kind:      make([]DBLPNodeKind, n),
 		TrueClass: make([]int, n),
 	}
+	// Every paper links to its venue, authors, and title terms.
+	d.G.ReserveEdges(nPapers * (1 + cfg.AuthorsPerPap + cfg.TermsPerPaper))
 	paperID := func(area, i int) int { return area*cfg.PapersPerArea + i }
 	authorID := func(area, i int) int { return nPapers + area*cfg.AuthorsPerArea + i }
 	confID := func(area, i int) int { return nPapers + nAuthors + area*cfg.ConfsPerArea + i }

@@ -84,11 +84,24 @@ func (g *Graph) AddEdge(s, t int, w float64) {
 // AddUnitEdge adds the undirected edge s−t with weight 1.
 func (g *Graph) AddUnitEdge(s, t int) { g.AddEdge(s, t, 1) }
 
+// ReserveEdges pre-sizes the edge list for at least m undirected edges
+// in total. Generators that know their edge counts (Kronecker powers,
+// grids) call it so building large graphs does not regrow the list.
+func (g *Graph) ReserveEdges(m int) {
+	if m <= cap(g.edges) {
+		return
+	}
+	edges := make([]Edge, len(g.edges), m)
+	copy(edges, g.edges)
+	g.edges = edges
+}
+
 // Adjacency returns the symmetric weighted adjacency matrix A as CSR.
 // The result is cached until the next AddEdge.
 func (g *Graph) Adjacency() *sparse.CSR {
 	if g.adj == nil {
 		b := sparse.NewBuilder(g.n, g.n)
+		b.Reserve(2 * len(g.edges))
 		for _, e := range g.edges {
 			b.AddSym(e.S, e.T, e.W)
 		}
@@ -182,6 +195,7 @@ func (g *Graph) ModifiedAdjacency(geodesic []int) *sparse.CSR {
 		panic("graph: geodesic vector length mismatch")
 	}
 	b := sparse.NewBuilder(g.n, g.n)
+	b.Reserve(len(g.edges))
 	for _, e := range g.edges {
 		gs, gt := geodesic[e.S], geodesic[e.T]
 		if gs == Unreachable || gt == Unreachable {
@@ -244,6 +258,11 @@ func (g *Graph) EdgeMatrix() (*sparse.CSR, []Edge) {
 		byTarget[e.T] = append(byTarget[e.T], i)
 	}
 	b := sparse.NewBuilder(len(dir), len(dir))
+	total := 0
+	for _, e := range dir {
+		total += len(byTarget[e.S])
+	}
+	b.Reserve(total)
 	for i, e := range dir {
 		// Row i = edge (u→v); columns: edges (w→u), w ≠ v.
 		for _, j := range byTarget[e.S] {

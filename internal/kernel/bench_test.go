@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchEngine builds a warm engine over a mid-sized random graph.
+func benchEngine(b *testing.B, k, workers int, echo bool) *Engine {
+	b.Helper()
+	a := randomCSR(3000, 8, 42)
+	var d []float64
+	if echo {
+		d = degrees(a)
+	}
+	eng, err := New(Config{A: a, D: d, H: randomCoupling(k, 7), Workers: workers}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := make([]float64, a.Rows()*k)
+	for i := 0; i < len(e); i += 13 {
+		e[i] = 0.05
+	}
+	eng.SetExplicit(e)
+	eng.Step() // warm: spawn workers, fault in buffers
+	b.Cleanup(eng.Close)
+	return eng
+}
+
+// BenchmarkStep times one fused iteration across the unrolled class
+// counts of the paper's experiments (k ∈ {2, 3, 5}) and a generic k.
+func BenchmarkStep(b *testing.B) {
+	for _, k := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			eng := benchEngine(b, k, 1, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepParallel times the row-partitioned pass with the worker
+// pool at NumCPU (on a single-core host this falls back to serial).
+func BenchmarkStepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			eng := benchEngine(b, 3, workers, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepNoEcho isolates the LinBP* path (no echo term).
+func BenchmarkStepNoEcho(b *testing.B) {
+	eng := benchEngine(b, 3, 1, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

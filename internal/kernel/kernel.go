@@ -1,0 +1,565 @@
+// Package kernel is the fused compute engine behind the iterative
+// linearized solvers. One LinBP round (Eq. 6/7)
+//
+//	Bˆ(l+1) = Eˆ + A·Bˆ(l)·Hˆ − D·Bˆ(l)·Hˆ²
+//
+// is executed as a single row-partitioned pass: for every node the
+// sparse A·Bˆ product, the k×k coupling multiply, the echo-cancellation
+// term, and the convergence delta are computed together while the row is
+// hot in cache, with Hˆ and Hˆ² hoisted into flat row-major slices (no
+// bounds-checked At() calls in the inner loop) and fully unrolled fast
+// paths for the class counts the paper's experiments use (k ∈ {2, 3, 5},
+// plus k = 1 for the binary FABP collapse of Appendix E).
+//
+// The engine owns reusable buffers: repeated solves on the same graph —
+// the serving scenario the ROADMAP targets — perform zero steady-state
+// allocations. Workspaces are recycled through a sync.Pool so that even
+// independent Run calls stop reallocating their n×k work arrays. With
+// Workers > 1 the rows are split into nnz-balanced spans processed by a
+// persistent goroutine pool (the role Parallel Colt played in the
+// paper's JAVA implementation); each worker reduces a local max-delta
+// and the engine folds them at the join.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Config describes one fused-iteration operator
+// B ↦ E + A·B·H − D∘(B·H₂).
+type Config struct {
+	// A is the n×n sparse adjacency matrix.
+	A *sparse.CSR
+	// D holds per-row echo scales (the weighted degrees of Section 5.2).
+	// nil disables the echo term entirely (LinBP*).
+	D []float64
+	// H is the k×k residual coupling matrix Hˆ.
+	H *dense.Matrix
+	// EchoH optionally overrides the echo coupling matrix. When nil and
+	// D is set, Hˆ² is used (LinBP). FABP's binary collapse needs the
+	// override: its echo coefficient c2 is not c1² (Appendix E, Eq. 33).
+	EchoH *dense.Matrix
+	// Workers sets the goroutine count for row-partitioned steps.
+	// Values <= 1 select the serial kernel.
+	Workers int
+}
+
+// span is one contiguous, nnz-balanced row range of a parallel pass.
+type span struct{ lo, hi int }
+
+// scratchStride returns the padded per-worker scratch width: at least k,
+// rounded up to a full 64-byte cache line to avoid false sharing.
+func scratchStride(k int) int { return (k + 7) &^ 7 }
+
+// Workspace holds the large reusable buffers of an Engine. Workspaces
+// are recycled via GetWorkspace/Release so repeated solves reuse the
+// same n×k arrays instead of reallocating them per call.
+type Workspace struct {
+	cur, next []float64
+	scratch   []float64 // per-worker A·B row scratch, cache-line padded
+	hbuf      []float64 // flat H and H₂/EchoH, 2·k² values
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace returns a workspace from the package pool. Release it
+// when the engine using it is closed.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the workspace to the pool. The caller must not use
+// the workspace (or any engine built on it) afterwards.
+func (w *Workspace) Release() { wsPool.Put(w) }
+
+// grow resizes the workspace for an n×k problem, reusing existing
+// capacity whenever possible.
+func (w *Workspace) grow(n, k, workers int) {
+	w.cur = growSlice(w.cur, n*k)
+	w.next = growSlice(w.next, n*k)
+	w.scratch = growSlice(w.scratch, workers*scratchStride(k))
+	w.hbuf = growSlice(w.hbuf, 2*k*k)
+}
+
+func growSlice(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Engine executes fused LinBP iterations over one fixed (A, D, H)
+// configuration. It is built once per graph and reused across solves;
+// see New for the construction contract and Close for teardown.
+type Engine struct {
+	a       *sparse.CSR
+	d       []float64
+	e       []float64 // explicit residuals Eˆ, flat n×k; nil reads as 0
+	h, h2   []float64 // flat k×k coupling and echo coupling
+	n, k    int
+	echo    bool
+	workers int
+	ws      *Workspace
+
+	// Parallel machinery, spawned lazily on the first parallel pass.
+	spans   []span
+	work    chan span
+	results chan float64
+	started bool
+	closed  bool
+}
+
+// New validates cfg and builds an engine on ws. A nil ws allocates a
+// private workspace; passing GetWorkspace() enables pooled reuse (the
+// caller releases it after Close). Beliefs start at Bˆ = 0.
+func New(cfg Config, ws *Workspace) (*Engine, error) {
+	if cfg.A == nil || cfg.H == nil {
+		return nil, errors.New("kernel: config needs A and H")
+	}
+	n := cfg.A.Rows()
+	if cfg.A.Cols() != n {
+		return nil, fmt.Errorf("kernel: adjacency %dx%d is not square", n, cfg.A.Cols())
+	}
+	k := cfg.H.Rows()
+	if cfg.H.Cols() != k {
+		return nil, fmt.Errorf("kernel: coupling %dx%d is not square", k, cfg.H.Cols())
+	}
+	if cfg.D != nil && len(cfg.D) != n {
+		return nil, fmt.Errorf("kernel: degree vector length %d, want %d", len(cfg.D), n)
+	}
+	if cfg.EchoH != nil && (cfg.EchoH.Rows() != k || cfg.EchoH.Cols() != k) {
+		return nil, fmt.Errorf("kernel: echo coupling %dx%d, want %dx%d", cfg.EchoH.Rows(), cfg.EchoH.Cols(), k, k)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	ws.grow(n, k, workers)
+
+	e := &Engine{
+		a:       cfg.A,
+		d:       cfg.D,
+		n:       n,
+		k:       k,
+		echo:    cfg.D != nil,
+		workers: workers,
+		ws:      ws,
+	}
+	// Hoist H (and the echo coupling) into flat row-major slices once.
+	e.h = ws.hbuf[:k*k]
+	e.h2 = ws.hbuf[k*k : 2*k*k]
+	hd := cfg.H.Data()
+	copy(e.h, hd)
+	switch {
+	case cfg.EchoH != nil:
+		copy(e.h2, cfg.EchoH.Data())
+	case e.echo:
+		// h2 = H·H computed in place, no dense.Matrix allocation.
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				var s float64
+				for m := 0; m < k; m++ {
+					s += hd[i*k+m] * hd[m*k+j]
+				}
+				e.h2[i*k+j] = s
+			}
+		}
+	default:
+		for i := range e.h2 {
+			e.h2[i] = 0
+		}
+	}
+	e.Reset()
+	return e, nil
+}
+
+// checkOpen panics on use after Close: a closed engine may share its
+// workspace with a newer engine through the pool, so continuing to
+// write would silently corrupt the other engine's state.
+func (e *Engine) checkOpen() {
+	if e.closed {
+		panic("kernel: engine used after Close")
+	}
+}
+
+// Reset zeroes the belief state (the Bˆ = 0 start of Section 3).
+func (e *Engine) Reset() {
+	e.checkOpen()
+	for i := range e.ws.cur {
+		e.ws.cur[i] = 0
+	}
+}
+
+// SetStart warm-starts the iteration from b (flat n×k, copied).
+func (e *Engine) SetStart(b []float64) {
+	e.checkOpen()
+	if len(b) != e.n*e.k {
+		panic(fmt.Sprintf("kernel: start length %d, want %d", len(b), e.n*e.k))
+	}
+	copy(e.ws.cur, b)
+}
+
+// SetExplicit installs the explicit residual beliefs Eˆ (flat n×k). The
+// slice is retained, not copied, so callers may mutate entries between
+// steps (the incremental solver does). nil means Eˆ = 0.
+func (e *Engine) SetExplicit(explicit []float64) {
+	if explicit != nil && len(explicit) != e.n*e.k {
+		panic(fmt.Sprintf("kernel: explicit length %d, want %d", len(explicit), e.n*e.k))
+	}
+	e.e = explicit
+}
+
+// Beliefs returns the current belief state as a flat n×k view of the
+// engine's buffer. Valid until the next Step/Run; treat as read-only.
+func (e *Engine) Beliefs() []float64 {
+	e.checkOpen()
+	return e.ws.cur[:e.n*e.k]
+}
+
+// Step executes one fused update round and returns the maximum absolute
+// belief change. Steady-state Steps perform no allocations.
+func (e *Engine) Step() float64 {
+	e.checkOpen()
+	delta := e.pass()
+	e.ws.cur, e.ws.next = e.ws.next, e.ws.cur
+	return delta
+}
+
+// Run iterates Step up to maxIter times, stopping early once the delta
+// drops to tol (tol < 0 forces exactly maxIter rounds, the paper's
+// timing setup). onIter, if non-nil, observes every round.
+func (e *Engine) Run(maxIter int, tol float64, onIter func(iter int, delta float64)) (iters int, delta float64, converged bool) {
+	for iters < maxIter {
+		delta = e.Step()
+		iters++
+		if onIter != nil {
+			onIter(iters, delta)
+		}
+		if delta <= tol {
+			return iters, delta, true
+		}
+	}
+	return iters, delta, false
+}
+
+// ApplyInto computes dst = A·src·H − D∘(src·H₂) — the bare update
+// operator without the explicit-belief term — through the same fused
+// row kernels as Step. It backs spectral.LinBPOp's power iteration
+// (Lemma 8), so the spectral criteria and the solver share one
+// implementation of the operator. dst and src are flat n×k and must
+// not alias. The engine's iteration state is left untouched.
+func (e *Engine) ApplyInto(dst, src []float64) {
+	e.checkOpen()
+	if len(src) != e.n*e.k || len(dst) != e.n*e.k {
+		panic("kernel: ApplyInto dimension mismatch")
+	}
+	savedCur, savedNext, savedE := e.ws.cur, e.ws.next, e.e
+	e.ws.cur, e.ws.next, e.e = src, dst, nil
+	e.pass()
+	e.ws.cur, e.ws.next, e.e = savedCur, savedNext, savedE
+}
+
+// pass runs one full fused update ws.cur → ws.next and returns the max
+// delta (ignored by the spectral ApplyInto path).
+func (e *Engine) pass() float64 {
+	if e.workers > 1 && e.n >= 2*e.workers {
+		e.startWorkers()
+		for _, s := range e.spans {
+			e.work <- s
+		}
+		var delta float64
+		for range e.spans {
+			if d := <-e.results; d > delta {
+				delta = d
+			}
+		}
+		return delta
+	}
+	// The serial fallback runs the identical row kernel as the parallel
+	// spans, so results are bitwise identical across Workers settings.
+	return e.rows(0, e.n, e.ws.scratch[:scratchStride(e.k)])
+}
+
+// startWorkers lazily spawns the persistent goroutine pool and the
+// nnz-balanced spans it consumes. Spans are finer than the worker count
+// so a heavy span (Kronecker graphs have very skewed rows) can be
+// compensated by work stealing from the shared channel.
+func (e *Engine) startWorkers() {
+	if e.started {
+		return
+	}
+	nspans := e.workers * 4
+	target := e.a.NNZ()/nspans + 1
+	stride := scratchStride(e.k)
+	e.spans = e.spans[:0]
+	lo, acc := 0, 0
+	for i := 0; i < e.n; i++ {
+		acc += e.a.RowNNZ(i)
+		if acc >= target && i+1 < e.n {
+			e.spans = append(e.spans, span{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	e.spans = append(e.spans, span{lo, e.n})
+	e.work = make(chan span, len(e.spans))
+	e.results = make(chan float64, len(e.spans))
+	for w := 0; w < e.workers; w++ {
+		go e.worker(e.ws.scratch[w*stride : (w+1)*stride])
+	}
+	e.started = true
+}
+
+func (e *Engine) worker(scratch []float64) {
+	for s := range e.work {
+		e.results <- e.rows(s.lo, s.hi, scratch)
+	}
+}
+
+// Close stops the worker pool. The engine must not be used afterwards;
+// a workspace obtained from GetWorkspace may be Released only after
+// Close returns.
+func (e *Engine) Close() {
+	if e.started && !e.closed {
+		close(e.work)
+	}
+	e.closed = true
+}
+
+// rows processes rows [lo, hi) of one update round, fused: sparse
+// product, coupling multiply, echo term, and local max delta in a
+// single pass per row. scratch provides k floats of per-worker storage
+// for the generic-k path.
+func (e *Engine) rows(lo, hi int, scratch []float64) float64 {
+	switch e.k {
+	case 1:
+		return e.rows1(lo, hi)
+	case 2:
+		return e.rows2(lo, hi)
+	case 3:
+		return e.rows3(lo, hi)
+	case 5:
+		return e.rows5(lo, hi)
+	default:
+		return e.rowsGeneric(lo, hi, scratch)
+	}
+}
+
+// delta1 folds one element change into the running max, mapping the NaN
+// of Inf−Inf (post-overflow divergence) to +Inf so divergence is
+// reported rather than masked.
+func delta1(delta, v, b float64) float64 {
+	ch := math.Abs(v - b)
+	if ch != ch {
+		ch = math.Inf(1)
+	}
+	if ch > delta {
+		return ch
+	}
+	return delta
+}
+
+// rows1 is the k = 1 scalar collapse (FABP, Appendix E):
+// next = e + h·(A·b) − h₂·d∘b.
+func (e *Engine) rows1(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h, h2 := e.h[0], e.h2[0]
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var ab float64
+		for p, j := range cols {
+			ab += vals[p] * cur[j]
+		}
+		var v float64
+		if e.e != nil {
+			v = e.e[i]
+		}
+		v += ab * h
+		if e.echo {
+			v -= e.d[i] * cur[i] * h2
+		}
+		delta = delta1(delta, v, cur[i])
+		next[i] = v
+	}
+	return delta
+}
+
+func (e *Engine) rows2(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h00, h01, h10, h11 := e.h[0], e.h[1], e.h[2], e.h[3]
+	g00, g01, g10, g11 := e.h2[0], e.h2[1], e.h2[2], e.h2[3]
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var ab0, ab1 float64
+		for p, j := range cols {
+			v := vals[p]
+			x := cur[j*2 : j*2+2]
+			ab0 += v * x[0]
+			ab1 += v * x[1]
+		}
+		var v0, v1 float64
+		if e.e != nil {
+			er := e.e[i*2 : i*2+2]
+			v0, v1 = er[0], er[1]
+		}
+		v0 += ab0*h00 + ab1*h10
+		v1 += ab0*h01 + ab1*h11
+		b := cur[i*2 : i*2+2]
+		if e.echo {
+			di := e.d[i]
+			v0 -= di * (b[0]*g00 + b[1]*g10)
+			v1 -= di * (b[0]*g01 + b[1]*g11)
+		}
+		delta = delta1(delta, v0, b[0])
+		delta = delta1(delta, v1, b[1])
+		nx := next[i*2 : i*2+2]
+		nx[0], nx[1] = v0, v1
+	}
+	return delta
+}
+
+func (e *Engine) rows3(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h00, h01, h02 := e.h[0], e.h[1], e.h[2]
+	h10, h11, h12 := e.h[3], e.h[4], e.h[5]
+	h20, h21, h22 := e.h[6], e.h[7], e.h[8]
+	g00, g01, g02 := e.h2[0], e.h2[1], e.h2[2]
+	g10, g11, g12 := e.h2[3], e.h2[4], e.h2[5]
+	g20, g21, g22 := e.h2[6], e.h2[7], e.h2[8]
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var ab0, ab1, ab2 float64
+		for p, j := range cols {
+			v := vals[p]
+			x := cur[j*3 : j*3+3]
+			ab0 += v * x[0]
+			ab1 += v * x[1]
+			ab2 += v * x[2]
+		}
+		var v0, v1, v2 float64
+		if e.e != nil {
+			er := e.e[i*3 : i*3+3]
+			v0, v1, v2 = er[0], er[1], er[2]
+		}
+		v0 += ab0*h00 + ab1*h10 + ab2*h20
+		v1 += ab0*h01 + ab1*h11 + ab2*h21
+		v2 += ab0*h02 + ab1*h12 + ab2*h22
+		b := cur[i*3 : i*3+3]
+		if e.echo {
+			di := e.d[i]
+			v0 -= di * (b[0]*g00 + b[1]*g10 + b[2]*g20)
+			v1 -= di * (b[0]*g01 + b[1]*g11 + b[2]*g21)
+			v2 -= di * (b[0]*g02 + b[1]*g12 + b[2]*g22)
+		}
+		delta = delta1(delta, v0, b[0])
+		delta = delta1(delta, v1, b[1])
+		delta = delta1(delta, v2, b[2])
+		nx := next[i*3 : i*3+3]
+		nx[0], nx[1], nx[2] = v0, v1, v2
+	}
+	return delta
+}
+
+func (e *Engine) rows5(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h, g := e.h, e.h2
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var ab0, ab1, ab2, ab3, ab4 float64
+		for p, j := range cols {
+			v := vals[p]
+			x := cur[j*5 : j*5+5]
+			ab0 += v * x[0]
+			ab1 += v * x[1]
+			ab2 += v * x[2]
+			ab3 += v * x[3]
+			ab4 += v * x[4]
+		}
+		var v0, v1, v2, v3, v4 float64
+		if e.e != nil {
+			er := e.e[i*5 : i*5+5]
+			v0, v1, v2, v3, v4 = er[0], er[1], er[2], er[3], er[4]
+		}
+		v0 += ab0*h[0] + ab1*h[5] + ab2*h[10] + ab3*h[15] + ab4*h[20]
+		v1 += ab0*h[1] + ab1*h[6] + ab2*h[11] + ab3*h[16] + ab4*h[21]
+		v2 += ab0*h[2] + ab1*h[7] + ab2*h[12] + ab3*h[17] + ab4*h[22]
+		v3 += ab0*h[3] + ab1*h[8] + ab2*h[13] + ab3*h[18] + ab4*h[23]
+		v4 += ab0*h[4] + ab1*h[9] + ab2*h[14] + ab3*h[19] + ab4*h[24]
+		b := cur[i*5 : i*5+5]
+		if e.echo {
+			di := e.d[i]
+			v0 -= di * (b[0]*g[0] + b[1]*g[5] + b[2]*g[10] + b[3]*g[15] + b[4]*g[20])
+			v1 -= di * (b[0]*g[1] + b[1]*g[6] + b[2]*g[11] + b[3]*g[16] + b[4]*g[21])
+			v2 -= di * (b[0]*g[2] + b[1]*g[7] + b[2]*g[12] + b[3]*g[17] + b[4]*g[22])
+			v3 -= di * (b[0]*g[3] + b[1]*g[8] + b[2]*g[13] + b[3]*g[18] + b[4]*g[23])
+			v4 -= di * (b[0]*g[4] + b[1]*g[9] + b[2]*g[14] + b[3]*g[19] + b[4]*g[24])
+		}
+		delta = delta1(delta, v0, b[0])
+		delta = delta1(delta, v1, b[1])
+		delta = delta1(delta, v2, b[2])
+		delta = delta1(delta, v3, b[3])
+		delta = delta1(delta, v4, b[4])
+		nx := next[i*5 : i*5+5]
+		nx[0], nx[1], nx[2], nx[3], nx[4] = v0, v1, v2, v3, v4
+	}
+	return delta
+}
+
+// rowsGeneric handles arbitrary k with a per-worker scratch row, still
+// fused into a single pass per row.
+func (e *Engine) rowsGeneric(lo, hi int, scratch []float64) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	k := e.k
+	h, h2 := e.h, e.h2
+	ab := scratch[:k]
+	var delta float64
+	for i := lo; i < hi; i++ {
+		for c := range ab {
+			ab[c] = 0
+		}
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		for p, j := range cols {
+			v := vals[p]
+			x := cur[j*k : j*k+k]
+			for c, xv := range x {
+				ab[c] += v * xv
+			}
+		}
+		bRow := cur[i*k : i*k+k]
+		nxRow := next[i*k : i*k+k]
+		for c := 0; c < k; c++ {
+			var v float64
+			if e.e != nil {
+				v = e.e[i*k+c]
+			}
+			for j, abv := range ab {
+				v += abv * h[j*k+c]
+			}
+			if e.echo {
+				var s float64
+				for j, bv := range bRow {
+					s += bv * h2[j*k+c]
+				}
+				v -= e.d[i] * s
+			}
+			delta = delta1(delta, v, bRow[c])
+			nxRow[c] = v
+		}
+	}
+	return delta
+}

@@ -1,0 +1,330 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// refStep is the serial reference round — the seed implementation of
+// linbp.Run's inner loop, kept verbatim with bounds-checked At() calls.
+// The fused engine must reproduce it across all paths.
+func refStep(next, cur, eData []float64, a *sparse.CSR, h, h2 *dense.Matrix, d []float64, n, k int, echo bool) float64 {
+	ab := make([]float64, n*k)
+	a.MulDenseInto(ab, cur, k)
+	var delta float64
+	for s := 0; s < n; s++ {
+		abRow := ab[s*k : (s+1)*k]
+		bRow := cur[s*k : (s+1)*k]
+		nxRow := next[s*k : (s+1)*k]
+		for i := 0; i < k; i++ {
+			var v float64
+			if eData != nil {
+				v = eData[s*k+i]
+			}
+			for j := 0; j < k; j++ {
+				v += abRow[j] * h.At(j, i)
+			}
+			if echo {
+				var echoTerm float64
+				for j := 0; j < k; j++ {
+					echoTerm += bRow[j] * h2.At(j, i)
+				}
+				v -= d[s] * echoTerm
+			}
+			ch := math.Abs(v - bRow[i])
+			if math.IsNaN(ch) {
+				ch = math.Inf(1)
+			}
+			if ch > delta {
+				delta = ch
+			}
+			nxRow[i] = v
+		}
+	}
+	return delta
+}
+
+// randomCSR builds a symmetric sparse matrix with roughly avgDeg
+// entries per row, deterministic in seed.
+func randomCSR(n, avgDeg int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	b := sparse.NewBuilder(n, n)
+	b.Reserve(n * avgDeg)
+	for i := 0; i < n*avgDeg/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddSym(u, v, 0.5+rng.Float64())
+	}
+	return b.ToCSR()
+}
+
+// randomCoupling returns a small random symmetric k×k matrix scaled to
+// keep the iteration contracting.
+func randomCoupling(k int, seed uint64) *dense.Matrix {
+	rng := xrand.New(seed)
+	h := dense.New(k, k)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			v := (rng.Float64() - 0.5) * 0.02
+			h.Set(i, j, v)
+			h.Set(j, i, v)
+		}
+	}
+	return h
+}
+
+func degrees(a *sparse.CSR) []float64 { return a.RowSumsSquared() }
+
+// TestEngineMatchesReference is the determinism/equivalence suite of
+// the fused kernel: every unrolled and generic path, serial and
+// parallel with worker counts {1, 2, 4, 8}, odd n, with and without the
+// echo-cancellation term, must match the serial seed reference within
+// 1e-12 after several rounds.
+func TestEngineMatchesReference(t *testing.T) {
+	const iters = 7
+	for _, n := range []int{1, 9, 257} { // odd sizes, including a 1-node graph
+		for _, k := range []int{1, 2, 3, 4, 5, 7} { // unrolled {1,2,3,5} + generic {4,7}
+			for _, echo := range []bool{false, true} {
+				for _, workers := range []int{1, 2, 4, 8} {
+					a := randomCSR(n, 6, uint64(n*k+1))
+					h := randomCoupling(k, uint64(k)+3)
+					var d []float64
+					if echo {
+						d = degrees(a)
+					}
+					// Random explicit beliefs on ~20% of nodes.
+					rng := xrand.New(uint64(n) + 17)
+					e := make([]float64, n*k)
+					for i := range e {
+						if rng.Float64() < 0.2 {
+							e[i] = rng.Float64() - 0.5
+						}
+					}
+
+					eng, err := New(Config{A: a, D: d, H: h, Workers: workers}, nil)
+					if err != nil {
+						t.Fatalf("n=%d k=%d: %v", n, k, err)
+					}
+					eng.SetExplicit(e)
+
+					h2 := h.Mul(h)
+					ref := make([]float64, n*k)
+					refNext := make([]float64, n*k)
+					for it := 0; it < iters; it++ {
+						wantDelta := refStep(refNext, ref, e, a, h, h2, d, n, k, echo)
+						ref, refNext = refNext, ref
+						gotDelta := eng.Step()
+						if math.Abs(gotDelta-wantDelta) > 1e-12*(1+math.Abs(wantDelta)) {
+							t.Fatalf("n=%d k=%d echo=%v workers=%d iter %d: delta %g, want %g",
+								n, k, echo, workers, it, gotDelta, wantDelta)
+						}
+					}
+					got := eng.Beliefs()
+					for i := range ref {
+						if math.Abs(got[i]-ref[i]) > 1e-12*(1+math.Abs(ref[i])) {
+							t.Fatalf("n=%d k=%d echo=%v workers=%d: beliefs[%d] = %g, want %g",
+								n, k, echo, workers, i, got[i], ref[i])
+						}
+					}
+					eng.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestEngineEchoOverride checks the EchoH hook (FABP's c2 ≠ c1²).
+func TestEngineEchoOverride(t *testing.T) {
+	a := randomCSR(33, 4, 5)
+	d := degrees(a)
+	h := dense.NewFromRows([][]float64{{0.04}})
+	echoH := dense.NewFromRows([][]float64{{0.009}}) // ≠ 0.04²
+	eng, err := New(Config{A: a, D: d, H: h, EchoH: echoH}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	e := make([]float64, 33)
+	e[0], e[16] = 0.1, -0.2
+	eng.SetExplicit(e)
+	eng.Step()
+	eng.Step()
+
+	// Reference: b ← e + h·(A·b) − echoH·d∘b.
+	cur := make([]float64, 33)
+	next := make([]float64, 33)
+	for it := 0; it < 2; it++ {
+		ab := a.MulVec(cur)
+		for i := range cur {
+			next[i] = e[i] + 0.04*ab[i] - 0.009*d[i]*cur[i]
+		}
+		cur, next = next, cur
+	}
+	for i, want := range cur {
+		if math.Abs(eng.Beliefs()[i]-want) > 1e-15 {
+			t.Fatalf("beliefs[%d] = %g, want %g", i, eng.Beliefs()[i], want)
+		}
+	}
+}
+
+// TestEngineApplyInto checks the bare operator against a manual
+// reference (the spectral power-iteration path).
+func TestEngineApplyInto(t *testing.T) {
+	n, k := 41, 3
+	a := randomCSR(n, 5, 11)
+	h := randomCoupling(k, 2)
+	d := degrees(a)
+	for _, workers := range []int{1, 4} {
+		eng, err := New(Config{A: a, D: d, H: h, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(9)
+		src := make([]float64, n*k)
+		for i := range src {
+			src[i] = rng.Float64() - 0.5
+		}
+		dst := make([]float64, n*k)
+		eng.ApplyInto(dst, src)
+
+		want := make([]float64, n*k)
+		refStep(want, src, nil, a, h, h.Mul(h), d, n, k, true)
+		// refStep's delta compares against src; only the values matter here.
+		for i := range want {
+			if math.Abs(dst[i]-want[i]) > 1e-12 {
+				t.Fatalf("workers=%d: dst[%d] = %g, want %g", workers, i, dst[i], want[i])
+			}
+		}
+		// ApplyInto must not disturb the engine's iteration state.
+		if got := eng.Beliefs(); got[0] != 0 {
+			t.Fatalf("ApplyInto corrupted belief state: %g", got[0])
+		}
+		eng.Close()
+	}
+}
+
+// TestEngineZeroAllocSteps asserts the serving guarantee: once warm, a
+// Step allocates nothing, for the serial and the parallel engine alike.
+func TestEngineZeroAllocSteps(t *testing.T) {
+	a := randomCSR(301, 6, 21)
+	h := randomCoupling(3, 4)
+	e := make([]float64, 301*3)
+	e[0] = 0.1
+	for _, workers := range []int{1, 4} {
+		eng, err := New(Config{A: a, D: degrees(a), H: h, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetExplicit(e)
+		eng.Step() // warm up: spawns the worker pool on the first pass
+		allocs := testing.AllocsPerRun(50, func() { eng.Step() })
+		if allocs > 0 {
+			t.Errorf("workers=%d: %v allocs per Step, want 0", workers, allocs)
+		}
+		eng.Close()
+	}
+}
+
+// TestWorkspaceReuse checks that pooled workspaces are recycled and
+// resized across differently-shaped problems.
+func TestWorkspaceReuse(t *testing.T) {
+	ws := GetWorkspace()
+	a1 := randomCSR(50, 4, 1)
+	eng, err := New(Config{A: a1, H: randomCoupling(3, 1)}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step()
+	eng.Close()
+	// Reuse the same workspace for a larger problem and a generic k.
+	a2 := randomCSR(80, 4, 2)
+	eng2, err := New(Config{A: a2, D: degrees(a2), H: randomCoupling(4, 2)}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Step()
+	eng2.Close()
+	ws.Release()
+}
+
+// TestEngineValidation covers the constructor's error paths.
+func TestEngineValidation(t *testing.T) {
+	a := randomCSR(10, 3, 1)
+	h := randomCoupling(2, 1)
+	cases := []Config{
+		{A: nil, H: h},
+		{A: a, H: nil},
+		{A: a, H: dense.New(2, 3)},
+		{A: a, H: h, D: make([]float64, 4)},
+		{A: a, H: h, D: make([]float64, 10), EchoH: dense.New(3, 3)},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestEngineDivergenceReportsInf checks the NaN→Inf mapping that keeps
+// diverged runs reporting non-convergence (matching the seed solver).
+func TestEngineDivergenceReportsInf(t *testing.T) {
+	// A strongly amplifying iteration: big coupling, star graph.
+	b := sparse.NewBuilder(3, 3)
+	b.AddSym(0, 1, 100)
+	b.AddSym(0, 2, 100)
+	a := b.ToCSR()
+	h := dense.NewFromRows([][]float64{{50, -50}, {-50, 50}})
+	eng, err := New(Config{A: a, H: h}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	e := make([]float64, 6)
+	e[0], e[1] = 1, -1
+	eng.SetExplicit(e)
+	var last float64
+	for i := 0; i < 400; i++ {
+		last = eng.Step()
+		if math.IsInf(last, 1) {
+			return // overflow surfaced as +Inf delta, as intended
+		}
+	}
+	if !math.IsInf(last, 1) && last <= 1e300 {
+		t.Fatalf("expected divergence to surface, delta %g", last)
+	}
+}
+
+// TestEngineUseAfterClosePanics guards the workspace-pool safety
+// contract: a closed engine may share its workspace with a newer
+// engine, so any further use must panic loudly instead of silently
+// corrupting the other engine's buffers.
+func TestEngineUseAfterClosePanics(t *testing.T) {
+	a := randomCSR(20, 3, 1)
+	eng, err := New(Config{A: a, H: randomCoupling(2, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step()
+	eng.Close()
+	for name, fn := range map[string]func(){
+		"Step":      func() { eng.Step() },
+		"Reset":     func() { eng.Reset() },
+		"SetStart":  func() { eng.SetStart(make([]float64, 40)) },
+		"ApplyInto": func() { eng.ApplyInto(make([]float64, 40), make([]float64, 40)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Close did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

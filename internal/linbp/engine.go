@@ -1,0 +1,82 @@
+package linbp
+
+import (
+	"fmt"
+
+	"repro/internal/beliefs"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+// Engine is a LinBP solver prepared once for a fixed graph and coupling
+// and reused across many solves — the serving scenario where the same
+// network answers classification queries for changing explicit beliefs.
+// All n×k work buffers live in the underlying kernel engine, so
+// steady-state SolveInto calls perform zero allocations.
+//
+// An Engine is not safe for concurrent use; run one per goroutine or
+// serialize access. Call Close when done.
+type Engine struct {
+	eng  *kernel.Engine
+	ws   *kernel.Workspace
+	n, k int
+	opts Options
+}
+
+// NewEngine prepares a reusable solver for graph g and residual
+// coupling h (already scaled by εH). opts.OnIteration is honored on
+// every solve.
+func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	n, k := g.N(), h.Rows()
+	if h.Cols() != k {
+		return nil, fmt.Errorf("linbp: coupling matrix %dx%d is not square", h.Rows(), h.Cols())
+	}
+	var d []float64
+	if opts.EchoCancellation {
+		d = g.WeightedDegrees()
+	}
+	ws := kernel.GetWorkspace()
+	eng, err := kernel.New(kernel.Config{A: g.Adjacency(), D: d, H: h, Workers: opts.Workers}, ws)
+	if err != nil {
+		ws.Release()
+		return nil, fmt.Errorf("linbp: %w", err)
+	}
+	return &Engine{eng: eng, ws: ws, n: n, k: k, opts: opts}, nil
+}
+
+// Solve runs LinBP for the explicit beliefs e, allocating a fresh
+// result. Use SolveInto for the zero-allocation path.
+func (s *Engine) Solve(e *beliefs.Residual) (*Result, error) {
+	dst := beliefs.New(s.n, s.k)
+	iters, delta, converged, err := s.SolveInto(dst, e)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Beliefs: dst, Iterations: iters, Converged: converged, Delta: delta}, nil
+}
+
+// SolveInto runs LinBP for the explicit beliefs e and writes the final
+// residual beliefs into dst (n×k, overwritten). In steady state it
+// performs no allocations.
+func (s *Engine) SolveInto(dst *beliefs.Residual, e *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
+	if e.N() != s.n || e.K() != s.k {
+		return 0, 0, false, fmt.Errorf("linbp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), s.n, s.k)
+	}
+	if dst.N() != s.n || dst.K() != s.k {
+		return 0, 0, false, fmt.Errorf("linbp: destination matrix %dx%d does not match n=%d k=%d", dst.N(), dst.K(), s.n, s.k)
+	}
+	s.eng.Reset()
+	s.eng.SetExplicit(e.Matrix().Data())
+	iters, delta, converged = s.eng.Run(s.opts.MaxIter, s.opts.Tol, s.opts.OnIteration)
+	copy(dst.Matrix().Data(), s.eng.Beliefs())
+	return iters, delta, converged, nil
+}
+
+// Close releases the worker pool and returns the workspace to the
+// package pool. The engine must not be used afterwards.
+func (s *Engine) Close() {
+	s.eng.Close()
+	s.ws.Release()
+}

@@ -1,0 +1,98 @@
+package linbp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/gen"
+)
+
+// TestEngineMatchesRun checks the reusable serving engine against the
+// one-shot Run on the same problem, echo on and off.
+func TestEngineMatchesRun(t *testing.T) {
+	g := gen.Kronecker(5)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 1})
+	h := coupling.Fig6bResidual().Scaled(0.001)
+	for _, echo := range []bool{false, true} {
+		opts := Options{EchoCancellation: echo, MaxIter: 50}
+		want, err := Run(g, e, h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(g, h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ { // reuse across solves
+			got, err := eng.Solve(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Iterations != want.Iterations || got.Converged != want.Converged {
+				t.Fatalf("echo=%v trial %d: (iters, converged) = (%d, %v), want (%d, %v)",
+					echo, trial, got.Iterations, got.Converged, want.Iterations, want.Converged)
+			}
+			wd, gd := want.Beliefs.Matrix().Data(), got.Beliefs.Matrix().Data()
+			for i := range wd {
+				if math.Abs(wd[i]-gd[i]) > 1e-14 {
+					t.Fatalf("echo=%v trial %d: beliefs[%d] = %g, want %g", echo, trial, i, gd[i], wd[i])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestRunWorkBufferAllocations is the allocation-assertion satellite:
+// routing Run through the pooled kernel workspace must eliminate the
+// per-call cur/ab/next work arrays. What remains per call is the
+// returned Result (its n×k belief matrix plus a handful of small
+// headers) — so the bound here is a fixed small count, where the seed
+// implementation paid three extra n×k slices on top of it.
+func TestRunWorkBufferAllocations(t *testing.T) {
+	g := gen.Kronecker(5)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 1})
+	h := coupling.Fig6bResidual().Scaled(0.001)
+	opts := Options{EchoCancellation: true, MaxIter: 5, Tol: -1}
+	if _, err := Run(g, e, h, opts); err != nil { // warm the workspace pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Run(g, e, h, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Result struct + beliefs.Residual + dense.Matrix + its data slice +
+	// kernel.Engine + slack for the runtime; the three n×k work buffers
+	// of the seed implementation must not reappear.
+	if allocs > 8 {
+		t.Errorf("Run allocates %v objects per call, want <= 8 (work buffers must come from the pool)", allocs)
+	}
+}
+
+// TestSolveIntoZeroAllocs asserts the serving path end to end: a warm
+// engine solving into a caller-owned destination allocates nothing.
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	g := gen.Kronecker(5)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 1})
+	h := coupling.Fig6bResidual().Scaled(0.001)
+	eng, err := NewEngine(g, h, Options{EchoCancellation: true, MaxIter: 5, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dst := beliefs.New(g.N(), 3)
+	if _, _, _, err := eng.SolveInto(dst, e); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, _, err := eng.SolveInto(dst, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("SolveInto allocates %v objects per call, want 0", allocs)
+	}
+}

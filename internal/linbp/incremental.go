@@ -2,11 +2,11 @@ package linbp
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 )
 
 // Incremental maintains a LinBP solution across input changes by
@@ -84,6 +84,7 @@ func (inc *Incremental) resolve() (*Result, error) {
 }
 
 // runFrom is Run with a caller-provided starting point instead of Bˆ = 0.
+// It drives the fused kernel engine with a pooled workspace.
 func runFrom(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options, start *beliefs.Residual) (*Result, error) {
 	opts = opts.withDefaults()
 	n, k, err := validate(g, e, h)
@@ -93,81 +94,26 @@ func runFrom(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options,
 	if start != nil && (start.N() != n || start.K() != k) {
 		return nil, fmt.Errorf("linbp: start matrix %dx%d does not match n=%d k=%d", start.N(), start.K(), n, k)
 	}
-	a := g.Adjacency()
 	var d []float64
 	if opts.EchoCancellation {
 		d = g.WeightedDegrees()
 	}
-	h2 := h.Mul(h)
-
-	cur := make([]float64, n*k)
-	if start != nil {
-		copy(cur, start.Matrix().Data())
+	ws := kernel.GetWorkspace()
+	defer ws.Release()
+	eng, err := kernel.New(kernel.Config{A: g.Adjacency(), D: d, H: h, Workers: opts.Workers}, ws)
+	if err != nil {
+		return nil, fmt.Errorf("linbp: %w", err)
 	}
-	ab := make([]float64, n*k)
-	next := make([]float64, n*k)
-	eData := e.Matrix().Data()
+	defer eng.Close()
+	eng.SetExplicit(e.Matrix().Data())
+	if start != nil {
+		eng.SetStart(start.Matrix().Data())
+	}
 
 	res := &Result{}
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		a.MulDenseInto(ab, cur, k)
-		delta := stepInto(next, cur, ab, eData, h, h2, d, n, k, opts.EchoCancellation)
-		cur, next = next, cur
-		res.Iterations = iter + 1
-		res.Delta = delta
-		if opts.OnIteration != nil {
-			opts.OnIteration(iter+1, delta)
-		}
-		if delta <= opts.Tol {
-			res.Converged = true
-			break
-		}
-	}
+	res.Iterations, res.Delta, res.Converged = eng.Run(opts.MaxIter, opts.Tol, opts.OnIteration)
 	bm := dense.New(n, k)
-	copy(bm.Data(), cur)
+	copy(bm.Data(), eng.Beliefs())
 	res.Beliefs = beliefs.FromMatrix(bm)
 	return res, nil
 }
-
-// stepInto computes one Jacobi round next = Eˆ + (A·B)·Hˆ − D·B·Hˆ² and
-// returns the maximum change against cur.
-func stepInto(next, cur, ab, eData []float64, h, h2 *dense.Matrix, d []float64, n, k int, echo bool) float64 {
-	var delta float64
-	for s := 0; s < n; s++ {
-		abRow := ab[s*k : (s+1)*k]
-		bRow := cur[s*k : (s+1)*k]
-		nxRow := next[s*k : (s+1)*k]
-		eRow := eData[s*k : (s+1)*k]
-		for i := 0; i < k; i++ {
-			v := eRow[i]
-			for j := 0; j < k; j++ {
-				v += abRow[j] * h.At(j, i)
-			}
-			if echo {
-				var echoTerm float64
-				for j := 0; j < k; j++ {
-					echoTerm += bRow[j] * h2.At(j, i)
-				}
-				v -= d[s] * echoTerm
-			}
-			ch := abs(v - bRow[i])
-			if ch != ch { // NaN from Inf − Inf after overflow: diverged
-				ch = inf
-			}
-			if ch > delta {
-				delta = ch
-			}
-			nxRow[i] = v
-		}
-	}
-	return delta
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-var inf = math.Inf(1)

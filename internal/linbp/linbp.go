@@ -38,9 +38,10 @@ type Options struct {
 	// 1-based round number and the round's maximum belief change. Used
 	// by the Fig. 7d experiment for per-iteration timing.
 	OnIteration func(iter int, delta float64)
-	// Workers parallelizes the A·Bˆ kernel across goroutines (the role
-	// Parallel Colt played in the paper's JAVA implementation). 0 or 1
-	// keeps the single-threaded kernel the paper's evaluation uses.
+	// Workers parallelizes the fused update kernel across goroutines
+	// (the role Parallel Colt played in the paper's JAVA
+	// implementation). 0 or 1 keeps the single-threaded kernel the
+	// paper's evaluation uses.
 	Workers int
 }
 
@@ -80,72 +81,13 @@ func validate(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) (n, k int, e
 // Run executes the iterative LinBP updates on graph g with explicit
 // residual beliefs e and residual coupling matrix h (already scaled by
 // εH). Iteration starts from Bˆ = 0 as Section 3 suggests.
+//
+// Each round runs through the fused compute engine of package kernel
+// (sparse product, coupling multiply, echo cancellation, and delta in
+// one row-partitioned pass); the n×k work buffers come from the
+// engine's workspace pool, so repeated Runs do not reallocate them.
 func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	n, k, err := validate(g, e, h)
-	if err != nil {
-		return nil, err
-	}
-	a := g.Adjacency()
-	var d []float64
-	if opts.EchoCancellation {
-		d = g.WeightedDegrees()
-	}
-	h2 := h.Mul(h)
-
-	cur := make([]float64, n*k)  // Bˆ, row-major
-	ab := make([]float64, n*k)   // A·Bˆ scratch
-	next := make([]float64, n*k) // Bˆ(l+1)
-	eData := e.Matrix().Data()
-
-	res := &Result{}
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		a.MulDenseIntoParallel(ab, cur, k, opts.Workers)
-		var delta float64
-		for s := 0; s < n; s++ {
-			abRow := ab[s*k : (s+1)*k]
-			bRow := cur[s*k : (s+1)*k]
-			nxRow := next[s*k : (s+1)*k]
-			eRow := eData[s*k : (s+1)*k]
-			for i := 0; i < k; i++ {
-				v := eRow[i]
-				for j := 0; j < k; j++ {
-					v += abRow[j] * h.At(j, i)
-				}
-				if opts.EchoCancellation {
-					var echo float64
-					for j := 0; j < k; j++ {
-						echo += bRow[j] * h2.At(j, i)
-					}
-					v -= d[s] * echo
-				}
-				ch := math.Abs(v - bRow[i])
-				if math.IsNaN(ch) {
-					// Inf − Inf after overflow: the iteration has
-					// diverged; force a non-converged report.
-					ch = math.Inf(1)
-				}
-				if ch > delta {
-					delta = ch
-				}
-				nxRow[i] = v
-			}
-		}
-		cur, next = next, cur
-		res.Iterations = iter + 1
-		res.Delta = delta
-		if opts.OnIteration != nil {
-			opts.OnIteration(iter+1, delta)
-		}
-		if delta <= opts.Tol {
-			res.Converged = true
-			break
-		}
-	}
-	bm := dense.New(n, k)
-	copy(bm.Data(), cur)
-	res.Beliefs = beliefs.FromMatrix(bm)
-	return res, nil
+	return runFrom(g, e, h, opts, nil)
 }
 
 // ClosedFormLimit is the largest n·k for which ClosedForm will

@@ -13,7 +13,6 @@ package sparse
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // Builder accumulates (row, col, value) triplets for a rows×cols matrix
@@ -31,6 +30,25 @@ func NewBuilder(rows, cols int) *Builder {
 		panic(fmt.Sprintf("sparse: negative dimension %dx%d", rows, cols))
 	}
 	return &Builder{rows: rows, cols: cols}
+}
+
+// Reserve grows the builder's triplet storage so that at least nnz
+// triplets can be recorded in total without reallocation. Loaders that
+// know their edge counts up front (Kronecker powers, grids, edge lists)
+// use it to avoid repeated triple-slice append regrowth.
+func (b *Builder) Reserve(nnz int) {
+	if nnz <= cap(b.v) {
+		return
+	}
+	r := make([]int, len(b.r), nnz)
+	copy(r, b.r)
+	b.r = r
+	c := make([]int, len(b.c), nnz)
+	copy(c, b.c)
+	b.c = c
+	v := make([]float64, len(b.v), nnz)
+	copy(v, b.v)
+	b.v = v
 }
 
 // Add records the triplet (i, j, v). Duplicates are summed on ToCSR.
@@ -187,6 +205,15 @@ func (m *CSR) Row(i int, fn func(col int, val float64)) {
 // RowNNZ returns the number of stored entries in row i.
 func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
 
+// RowView returns the stored column indices and values of row i as
+// slices aliasing the CSR storage. Callers must not modify them. Unlike
+// Row it involves no callback, so it is the zero-overhead accessor used
+// by the fused compute kernels.
+func (m *CSR) RowView(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
 // MulVec returns y = m·x.
 func (m *CSR) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
@@ -235,46 +262,27 @@ func (m *CSR) MulDenseInto(y, x []float64, k int) {
 	}
 }
 
-// MulDenseIntoParallel is MulDenseInto with the rows partitioned across
-// workers goroutines (the role Parallel Colt played in the paper's JAVA
-// implementation). workers <= 1 falls back to the serial kernel. Row
-// chunks are disjoint, so no synchronization beyond the final join is
-// needed. Note that the paper's evaluation pins everything to one
-// processor for comparability; benchmarks here do the same by default.
-func (m *CSR) MulDenseIntoParallel(y, x []float64, k, workers int) {
-	if workers <= 1 || m.rows < 2*workers {
-		m.MulDenseInto(y, x, k)
-		return
-	}
+// MulDenseAddInto computes Y += m·X (accumulating, without zeroing Y
+// first) for dense row-major X and Y with k columns stored as flat
+// slices — the fused accumulate counterpart of MulDenseInto. It lets
+// callers compose updates of the form Y = C + A·X without a separate
+// n×k scratch pass: by the associativity rewrite (A·B)·Hˆ = A·(B·Hˆ),
+// one LinBP round is expressible as Y = Eˆ − D·(B·Hˆ²) then
+// Y += A·(B·Hˆ). Y must not alias X.
+func (m *CSR) MulDenseAddInto(y, x []float64, k int) {
 	if len(x) != m.cols*k || len(y) != m.rows*k {
-		panic(fmt.Sprintf("sparse: MulDenseIntoParallel dimension mismatch: len(x)=%d len(y)=%d k=%d", len(x), len(y), k))
+		panic(fmt.Sprintf("sparse: MulDenseAddInto dimension mismatch: len(x)=%d len(y)=%d k=%d", len(x), len(y), k))
 	}
-	var wg sync.WaitGroup
-	chunk := (m.rows + workers - 1) / workers
-	for lo := 0; lo < m.rows; lo += chunk {
-		hi := lo + chunk
-		if hi > m.rows {
-			hi = m.rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				yi := y[i*k : (i+1)*k]
-				for c := range yi {
-					yi[c] = 0
-				}
-				for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-					v := m.val[p]
-					xj := x[m.colIdx[p]*k : (m.colIdx[p]+1)*k]
-					for c, xv := range xj {
-						yi[c] += v * xv
-					}
-				}
+	for i := 0; i < m.rows; i++ {
+		yi := y[i*k : (i+1)*k]
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			v := m.val[p]
+			xj := x[m.colIdx[p]*k : (m.colIdx[p]+1)*k]
+			for c, xv := range xj {
+				yi[c] += v * xv
 			}
-		}(lo, hi)
+		}
 	}
-	wg.Wait()
 }
 
 // T returns the transpose as a new CSR.

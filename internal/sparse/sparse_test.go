@@ -301,36 +301,102 @@ func TestNewCSRFromDenseDropsZeros(t *testing.T) {
 	_ = denseOf(m)
 }
 
-func TestMulDenseIntoParallelMatchesSerial(t *testing.T) {
-	b := NewBuilder(200, 200)
-	for i := 0; i < 200; i++ {
-		b.AddSym(i, (i*7+3)%200, 1+float64(i%5))
-		b.AddSym(i, (i*13+1)%200, 0.5)
-	}
+func TestBuilderReserve(t *testing.T) {
+	b := NewBuilder(10, 10)
+	b.Add(0, 1, 2)
+	b.Reserve(100)
+	b.Add(1, 2, 3)
 	m := b.ToCSR()
-	k := 3
-	x := make([]float64, 200*k)
-	for i := range x {
-		x[i] = float64(i%11) - 5
+	if m.At(0, 1) != 2 || m.At(1, 2) != 3 {
+		t.Fatal("Reserve lost triplets")
 	}
-	want := make([]float64, 200*k)
-	m.MulDenseInto(want, x, k)
-	for _, workers := range []int{2, 4, 7, 300} {
-		got := make([]float64, 200*k)
-		m.MulDenseIntoParallel(got, x, k, workers)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("workers=%d: mismatch at %d: %v vs %v", workers, i, got[i], want[i])
+	// Reserving less than the current capacity is a no-op.
+	b.Reserve(1)
+	b.Add(2, 3, 4)
+	if got := b.ToCSR().At(2, 3); got != 4 {
+		t.Fatalf("At(2,3) = %v after no-op Reserve", got)
+	}
+	// Adds within the reserved capacity must not reallocate.
+	b2 := NewBuilder(100, 100)
+	b2.Reserve(50)
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 50; i++ {
+			b2.r = b2.r[:0]
+			b2.c = b2.c[:0]
+			b2.v = b2.v[:0]
+			for j := 0; j < 50; j++ {
+				b2.Add(j%100, (j*7)%100, 1)
 			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("%v allocs while adding within reserved capacity, want 0", allocs)
+	}
+}
+
+func TestRowView(t *testing.T) {
+	m := NewCSRFromDense([][]float64{
+		{0, 1, 0, 2},
+		{0, 0, 0, 0},
+		{3, 0, 4, 5},
+	})
+	cols, vals := m.RowView(2)
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 2 || cols[2] != 3 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if vals[0] != 3 || vals[1] != 4 || vals[2] != 5 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if cols, vals := m.RowView(1); len(cols) != 0 || len(vals) != 0 {
+		t.Fatal("empty row should yield empty views")
+	}
+}
+
+func TestMulDenseAddInto(t *testing.T) {
+	m := NewCSRFromDense([][]float64{
+		{0, 2, 0},
+		{1, 0, 3},
+	})
+	k := 2
+	x := []float64{1, 2, 3, 4, 5, 6} // 3×2
+	y := []float64{10, 20, 30, 40}   // 2×2, pre-filled accumulator
+	m.MulDenseAddInto(y, x, k)
+	// m·x = [[6, 8], [16, 20]]; accumulated on top of y's old values.
+	want := []float64{16, 28, 46, 60}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
 		}
 	}
 }
 
-func TestMulDenseIntoParallelFallsBackSerial(t *testing.T) {
-	m := NewCSRFromDense([][]float64{{2}})
-	y := []float64{99}
-	m.MulDenseIntoParallel(y, []float64{3}, 1, 8) // 1 row < 2*workers → serial
-	if y[0] != 6 {
-		t.Fatalf("y = %v", y[0])
+func TestMulDenseAddIntoMatchesMulDenseInto(t *testing.T) {
+	b := NewBuilder(40, 40)
+	for i := 0; i < 40; i++ {
+		b.AddSym(i, (i*13+7)%40, float64(i%5)+0.5)
 	}
+	m := b.ToCSR()
+	k := 3
+	x := make([]float64, 40*k)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, 40*k)
+	m.MulDenseInto(want, x, k)
+	got := make([]float64, 40*k)
+	m.MulDenseAddInto(got, x, k) // accumulating onto zeros == plain product
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulDenseAddIntoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension-mismatch panic")
+		}
+	}()
+	NewCSRFromDense([][]float64{{1}}).MulDenseAddInto(make([]float64, 2), make([]float64, 1), 1)
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/kernel"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -147,14 +148,17 @@ func RadiusDense(m *dense.Matrix, opts Options) (float64, error) {
 //
 // acting on n×k matrices flattened row-major (node-major). Setting
 // EchoCancellation to false yields the LinBP* operator Hˆ⊗A.
+//
+// The operator delegates to the fused compute engine of package
+// kernel, so the convergence criteria evaluate exactly the update the
+// iterative solver executes — one implementation, no drift.
 type LinBPOp struct {
 	A                *sparse.CSR   // n×n symmetric adjacency
 	D                []float64     // weighted degrees (Σ w², Section 5.2)
 	H                *dense.Matrix // k×k residual coupling matrix Hˆ
-	H2               *dense.Matrix // Hˆ², precomputed
 	EchoCancellation bool
 
-	scratch []float64 // n·k workspace for A·B
+	eng *kernel.Engine
 }
 
 // NewLinBPOp builds the update operator for adjacency a, degrees d, and
@@ -167,56 +171,19 @@ func NewLinBPOp(a *sparse.CSR, d []float64, h *dense.Matrix, echo bool) *LinBPOp
 	if echo && len(d) != a.Rows() {
 		panic("spectral: degree vector length mismatch")
 	}
-	return &LinBPOp{
-		A:                a,
-		D:                d,
-		H:                h,
-		H2:               h.Mul(h),
-		EchoCancellation: echo,
-		scratch:          make([]float64, a.Rows()*h.Rows()),
+	var kd []float64
+	if echo {
+		kd = d
 	}
+	eng, err := kernel.New(kernel.Config{A: a, D: kd, H: h}, nil)
+	if err != nil {
+		panic("spectral: " + err.Error())
+	}
+	return &LinBPOp{A: a, D: d, H: h, EchoCancellation: echo, eng: eng}
 }
 
 // Dim implements Operator: n·k.
 func (o *LinBPOp) Dim() int { return o.A.Rows() * o.H.Rows() }
 
-// Apply implements Operator.
-func (o *LinBPOp) Apply(dst, src []float64) {
-	n, k := o.A.Rows(), o.H.Rows()
-	// scratch = A·B  (n×k)
-	o.A.MulDenseInto(o.scratch, src, k)
-	// dst = (A·B)·Hˆ  row by row; Hˆ is symmetric so right-multiplication
-	// by Hˆ is a plain row·matrix product.
-	h := o.H
-	for i := 0; i < n; i++ {
-		si := o.scratch[i*k : (i+1)*k]
-		di := dst[i*k : (i+1)*k]
-		for c := 0; c < k; c++ {
-			var s float64
-			for j := 0; j < k; j++ {
-				s += si[j] * h.At(j, c)
-			}
-			di[c] = s
-		}
-	}
-	if !o.EchoCancellation {
-		return
-	}
-	// dst −= D·B·Hˆ²
-	h2 := o.H2
-	for i := 0; i < n; i++ {
-		d := o.D[i]
-		if d == 0 {
-			continue
-		}
-		bi := src[i*k : (i+1)*k]
-		di := dst[i*k : (i+1)*k]
-		for c := 0; c < k; c++ {
-			var s float64
-			for j := 0; j < k; j++ {
-				s += bi[j] * h2.At(j, c)
-			}
-			di[c] -= d * s
-		}
-	}
-}
+// Apply implements Operator via the engine's fused bare-operator pass.
+func (o *LinBPOp) Apply(dst, src []float64) { o.eng.ApplyInto(dst, src) }

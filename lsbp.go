@@ -155,6 +155,28 @@ func AutoEpsilonH(g *Graph, ho *Matrix, m Method) (float64, error) {
 	return core.AutoEpsilonH(g, ho, m)
 }
 
+// LinBPEngine is a LinBP solver prepared once for a fixed graph and
+// coupling and reused across many solves, backed by the fused
+// zero-allocation compute kernel — the right shape for serving heavy
+// repeated classification traffic over one network. Construct with
+// NewLinBPEngine; Close it when done.
+type LinBPEngine = linbp.Engine
+
+// LinBPOptions tunes a LinBPEngine (echo cancellation, iteration
+// bounds, and the Workers count for the row-partitioned parallel pass).
+type LinBPOptions = linbp.Options
+
+// NewLinBPEngine prepares a reusable solver for the problem's graph and
+// scaled coupling. Explicit beliefs are supplied per solve:
+//
+//	eng, _ := lsbp.NewLinBPEngine(p, lsbp.LinBPOptions{EchoCancellation: true})
+//	defer eng.Close()
+//	res, _ := eng.Solve(e)          // fresh result
+//	eng.SolveInto(dst, e)           // zero-allocation serving path
+func NewLinBPEngine(p *Problem, opts LinBPOptions) (*LinBPEngine, error) {
+	return linbp.NewEngine(p.Graph, p.ScaledH(), opts)
+}
+
 // IncrementalLinBP maintains a LinBP fixpoint across belief and edge
 // insertions by warm-starting the iteration (the future-work direction
 // of the paper's Section 8). Construct with NewIncrementalLinBP.
