@@ -1,9 +1,12 @@
 # Build, verify, and benchmark targets for the LinBP reproduction.
 #
-#   make verify   - tier-1 gate: build + vet + full test suite
+#   make verify   - tier-1 gate: build + gofmt + vet + full test suite
 #   make bench    - run every benchmark with -benchmem and archive the
 #                   results as BENCH_results.json via cmd/benchjson
 #   make bench-quick - the headline kernel benchmarks only (fast)
+#   make bench-batch - the prepared-Solver serving benchmark: SolveBatch
+#                   vs sequential one-shot Solve throughput rows into
+#                   BENCH_results.json
 #   make race     - race-detector pass over the concurrent packages
 #
 # Tuning knobs (see EXPERIMENTS.md):
@@ -12,12 +15,18 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: verify test vet build bench bench-quick race
+.PHONY: verify test fmt vet build bench bench-quick bench-batch race
 
-verify: build vet test
+verify: build fmt vet test
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +35,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/
+	$(GO) test -race ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_results.json
@@ -34,4 +43,8 @@ bench:
 
 bench-quick:
 	$(GO) test -bench 'Fig7aLinBP|EngineReuse' -benchmem -run '^$$' -benchtime 300ms . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-batch:
+	$(GO) test -bench 'SolveBatch' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json

@@ -7,6 +7,8 @@
 package lsbp_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -15,6 +17,7 @@ import (
 
 	"repro/internal/beliefs"
 	"repro/internal/bp"
+	"repro/internal/core"
 	"repro/internal/coupling"
 	"repro/internal/dense"
 	"repro/internal/fabp"
@@ -131,6 +134,62 @@ func BenchmarkEngineReuse(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSolveBatch measures the serving surface of the unified
+// prepared-Solver API on the Fig. 7a graph3 workload (5 fixed LinBP
+// rounds, the paper's timing convention): R independent classification
+// requests answered (a) by R sequential one-shot lsbp.Solve calls —
+// each paying validation, preparation, the result matrix, and the top
+// assignment — and (b) by one SolveBatch on a prepared solver, which
+// fuses the requests into multi-block kernel rounds that traverse the
+// CSR once per round for the whole batch. Compare the oneshot and
+// batch ns/op per request; the batch path is the serving-throughput
+// row EXPERIMENTS.md tracks.
+func BenchmarkSolveBatch(b *testing.B) {
+	const nreq = 16
+	g, _ := kron(3)
+	ho := coupling.Fig6bResidual()
+	p := &core.Problem{Graph: g, Explicit: beliefs.New(g.N(), 3), Ho: ho, EpsilonH: 0.001}
+	es := make([]*beliefs.Residual, nreq)
+	for i := range es {
+		es[i], _ = beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: uint64(i + 1)})
+	}
+
+	b.Run(fmt.Sprintf("oneshot_%dreq", nreq), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range es {
+				q := &core.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 0.001}
+				if _, err := core.Solve(q, core.MethodLinBP, core.Options{MaxIter: timingIters, Tol: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run(fmt.Sprintf("batch_%dreq", nreq), func(b *testing.B) {
+		s, err := core.Prepare(p, core.MethodLinBP, core.WithMaxIter(timingIters), core.WithTol(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		reqs := make([]core.Request, nreq)
+		for i, e := range es {
+			reqs[i] = core.Request{E: e, Dst: beliefs.New(g.N(), 3)}
+		}
+		ctx := context.Background()
+		s.SolveBatch(ctx, reqs) // warm the fused engine
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range s.SolveBatch(ctx, reqs) {
+				if r.Err != nil && !errors.Is(r.Err, core.ErrNotConverged) {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFig7bRelLinBP times LinBP on the relational engine — the

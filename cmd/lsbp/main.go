@@ -1,6 +1,9 @@
 // Command lsbp runs one of the paper's inference methods on a graph
 // given as an edge list plus a label file, and prints the top belief
-// assignment per node.
+// assignment per node. It drives the prepared-Solver API: the problem
+// is prepared once, solved under an optional -timeout deadline
+// (context cancellation aborts a running solve at iteration-round
+// granularity), and the solver's serving stats line is reported.
 //
 // Usage:
 //
@@ -15,6 +18,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +34,14 @@ func main() {
 		edgesPath = flag.String("edges", "", "edge list file: 's t [w]' per line (required)")
 		labelPath = flag.String("labels", "", "label file: 'node class' per line (required)")
 		k         = flag.Int("k", 2, "number of classes")
-		method    = flag.String("method", "linbp", "bp | linbp | linbpstar | sbp")
+		method    = flag.String("method", "linbp", "bp | linbp | linbpstar | sbp | fabp")
 		eps       = flag.Float64("eps", 0, "εH coupling scale; 0 = auto from Lemma 8")
 		strength  = flag.Float64("homophily", 0.8, "homophily strength for the default coupling")
 		coupPath  = flag.String("coupling", "", "optional k×k stochastic coupling matrix file")
 		maxIter   = flag.Int("maxiter", 200, "iteration cap for iterative methods")
+		tol       = flag.Float64("tol", 0, "convergence tolerance (0 = method default; negative forces maxiter rounds)")
+		workers   = flag.Int("workers", 0, "kernel worker goroutines (0 = serial)")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *edgesPath == "" || *labelPath == "" {
@@ -54,36 +62,37 @@ func main() {
 		check(err)
 	}
 
-	var m lsbp.Method
-	switch strings.ToLower(*method) {
-	case "bp":
-		m = lsbp.BP
-	case "linbp":
-		m = lsbp.LinBP
-	case "linbpstar", "linbp*":
-		m = lsbp.LinBPStar
-	case "sbp":
-		m = lsbp.SBP
-	default:
-		check(fmt.Errorf("unknown method %q", *method))
-	}
-
-	epsH := *eps
-	if epsH == 0 && m != lsbp.SBP {
-		target := m
-		if target == lsbp.BP {
-			target = lsbp.LinBP // BP has no criterion; borrow LinBP's
-		}
-		epsH, err = lsbp.AutoEpsilonH(g, ho, target)
-		check(err)
-		fmt.Fprintf(os.Stderr, "auto eps_H = %g\n", epsH)
-	}
-
-	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: epsH}
-	res, err := lsbp.Solve(p, m, lsbp.Options{MaxIter: *maxIter})
+	m, err := parseMethod(*method)
 	check(err)
-	if !res.Converged {
+
+	opts := []lsbp.Option{lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol), lsbp.WithWorkers(*workers)}
+	if *eps == 0 && m != lsbp.SBP {
+		opts = append(opts, lsbp.WithAutoEpsilonH())
+	}
+
+	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: *eps}
+	s, err := lsbp.Prepare(p, m, opts...)
+	check(err)
+	defer s.Close()
+	if *eps == 0 && m != lsbp.SBP {
+		fmt.Fprintf(os.Stderr, "auto eps_H = %g\n", s.Stats().EpsilonH)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := s.Solve(ctx, e)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		check(fmt.Errorf("solve exceeded -timeout %v after %d iterations", *timeout, s.Stats().Iterations))
+	case errors.Is(err, lsbp.ErrNotConverged):
 		fmt.Fprintf(os.Stderr, "warning: %v did not converge (delta %g)\n", m, res.Delta)
+	default:
+		check(err)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -94,6 +103,24 @@ func main() {
 			strs[i] = strconv.Itoa(c)
 		}
 		fmt.Fprintf(w, "%d %s\n", node, strings.Join(strs, ","))
+	}
+}
+
+// parseMethod maps the -method flag onto the Method enum.
+func parseMethod(name string) (lsbp.Method, error) {
+	switch strings.ToLower(name) {
+	case "bp":
+		return lsbp.BP, nil
+	case "linbp":
+		return lsbp.LinBP, nil
+	case "linbpstar", "linbp*":
+		return lsbp.LinBPStar, nil
+	case "sbp":
+		return lsbp.SBP, nil
+	case "fabp":
+		return lsbp.FABP, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", name)
 	}
 }
 

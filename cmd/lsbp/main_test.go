@@ -79,3 +79,22 @@ func TestLoadMatrix(t *testing.T) {
 		t.Fatal("non-numeric must error")
 	}
 }
+
+func TestParseMethod(t *testing.T) {
+	lsbp := func(name string) int {
+		m, err := parseMethod(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return int(m)
+	}
+	if lsbp("bp") == lsbp("linbp") || lsbp("linbp*") != lsbp("linbpstar") {
+		t.Fatal("method mapping wrong")
+	}
+	if lsbp("sbp") == lsbp("fabp") {
+		t.Fatal("sbp and fabp must differ")
+	}
+	if _, err := parseMethod("nope"); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,17 +13,26 @@ import (
 )
 
 func main() {
-	// Start from a modest random network with a few labeled nodes.
+	// Start from a modest random network with a few labeled nodes. The
+	// prepared SBP solver materializes the incremental state in
+	// Result.SBP, which then absorbs the event stream.
 	g := lsbp.RandomGraph(200, 400, 1)
 	e, seeds := lsbp.SeedBeliefs(200, 3, lsbp.SeedConfig{Fraction: 0.05, Seed: 2})
 	ho, err := lsbp.NewCouplingFromStochastic(lsbp.Fig1c())
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := lsbp.RunSBP(g, e, ho)
+	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 1}
+	solver, err := lsbp.PrepareSBP(p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := solver.Solve(context.Background(), e)
+	solver.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.SBP
 	fmt.Printf("initial: %d nodes, %d edges, %d labeled\n", g.N(), g.NumEdges(), len(seeds))
 	printGeodesicHistogram(st)
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,24 +44,28 @@ func main() {
 		}
 	}
 
-	// Fig. 1c as the coupling matrix; auto-scaled εH.
+	// Fig. 1c as the coupling matrix; εH auto-scaled at Prepare time.
+	// An investigation dashboard re-scores the same marketplace as new
+	// labels arrive, so the LinBP solver is prepared once.
 	ho, err := lsbp.NewCouplingFromStochastic(lsbp.Fig1c())
 	if err != nil {
 		log.Fatal(err)
 	}
-	eps, err := lsbp.AutoEpsilonH(g, ho, lsbp.LinBP)
+	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 0}
+	s, err := lsbp.PrepareLinBP(p, lsbp.WithAutoEpsilonH())
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: eps}
-	res, err := lsbp.Solve(p, lsbp.LinBP, lsbp.Options{})
+	defer s.Close()
+	res, err := s.Solve(context.Background(), e)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("auction network: %d users, %d interactions, %d labeled\n",
 		n, g.NumEdges(), labeled)
-	fmt.Printf("auto eps_H = %.4f, converged after %d iterations\n\n", eps, res.Iterations)
+	fmt.Printf("auto eps_H = %.4f, converged after %d iterations\n\n",
+		s.Stats().EpsilonH, res.Iterations)
 
 	// Confusion matrix over the unlabeled nodes.
 	var confusion [3][3]int

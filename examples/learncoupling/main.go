@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,15 +49,16 @@ func main() {
 		name string
 		ho   *lsbp.Matrix
 	}{{"expert", expert}, {"learned", learned}} {
-		eps, err := lsbp.AutoEpsilonH(g, run.ho, lsbp.LinBP)
+		p := &lsbp.Problem{Graph: g, Explicit: e, Ho: run.ho, EpsilonH: 0}
+		s, err := lsbp.PrepareLinBP(p, lsbp.WithAutoEpsilonH())
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := &lsbp.Problem{Graph: g, Explicit: e, Ho: run.ho, EpsilonH: eps}
-		res, err := lsbp.Solve(p, lsbp.LinBP, lsbp.Options{})
+		res, err := s.Solve(context.Background(), e)
 		if err != nil {
 			log.Fatal(err)
 		}
+		s.Close()
 		var correct, total int
 		for v := 0; v < n; v++ {
 			if partial[v] != lsbp.UnlabeledNode || len(res.Top[v]) != 1 {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,29 +21,42 @@ func main() {
 
 	// Known partisans: nodes 0-2 lean class 0, nodes 57-59 class 1.
 	e := lsbp.NewBeliefs(n, 2)
-	scalar := make([]float64, n)
 	for _, v := range []int{0, 1, 2} {
 		e.Set(v, lsbp.LabelResidual(2, 0, 0.1))
-		scalar[v] = 0.1
 	}
 	for _, v := range []int{57, 58, 59} {
 		e.Set(v, lsbp.LabelResidual(2, 1, 0.1))
-		scalar[v] = -0.1
 	}
 
-	// Multi-class LinBP with the k=2 homophily coupling [[ĥ,−ĥ],[−ĥ,ĥ]].
+	// Multi-class LinBP and the binary FABP collapse run through the
+	// same prepared-Solver surface on the same Problem.
 	const hhat = 0.05
 	ho := lsbp.NewMatrix([][]float64{{hhat, -hhat}, {-hhat, hhat}})
 	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 1}
-	res, err := lsbp.Solve(p, lsbp.LinBP, lsbp.Options{MaxIter: 500})
+	ctx := context.Background()
+
+	lin, err := lsbp.PrepareLinBP(p, lsbp.WithMaxIter(500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lin.Close()
+	res, err := lin.Solve(ctx, e)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Binary FABP (Appendix E): one scalar per node.
-	b, err := lsbp.BinaryFABP(g, scalar, hhat)
+	fab, err := lsbp.PrepareFABP(p, lsbp.WithMaxIter(500))
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer fab.Close()
+	fres, err := fab.Solve(ctx, e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := make([]float64, n)
+	for v := 0; v < n; v++ {
+		b[v] = fres.Beliefs.Row(v)[0]
 	}
 
 	var maxGap float64

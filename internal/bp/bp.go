@@ -11,15 +11,21 @@
 // a faithful message-passing implementation, including its cost profile
 // (one message per directed edge per iteration) and its lack of
 // convergence guarantees on loopy graphs.
+//
+// The directed-edge layout (two messages per undirected edge plus the
+// incoming-message index) depends only on the graph, so it is prepared
+// once in an Engine and reused across solves; Run is the one-shot
+// convenience wrapper.
 package bp
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 )
 
@@ -58,71 +64,118 @@ type Result struct {
 	Delta float64
 }
 
-// Run executes loopy BP on g with stochastic coupling matrix h (the
-// uncentered H of Problem 1) and explicit beliefs e given in residual
-// form. The uncentered prior 1/k + eˆs must be a valid probability
-// vector for every node; nodes with zero residual rows get the uniform
-// prior. Self-loops are rejected.
-func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*Result, error) {
+// Engine is a BP solver prepared once for a fixed graph and stochastic
+// coupling matrix and reused across solves: the directed-edge layout
+// and every message/product buffer are allocated at construction, so
+// repeated solves only pay the message rounds themselves.
+//
+// An Engine is not safe for concurrent use. Unlike the kernel-backed
+// engines it holds no pooled resources, so it has no Close.
+type Engine struct {
+	g    *graph.Graph
+	h    *dense.Matrix
+	n, k int
+	opts Options
+
+	src, dst []int   // directed edge endpoints; reverse(d) = d^1
+	incoming [][]int // node -> incoming directed edge ids
+
+	prior     []float64 // uncentered priors, refreshed per solve
+	msg, next []float64 // per-directed-edge messages
+	logP, qs  []float64 // log-product and per-edge scratch
+}
+
+// NewEngine validates the shapes and builds the directed-edge layout.
+// h is the uncentered stochastic coupling matrix H of Problem 1.
+func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	n, k := g.N(), h.Rows()
 	if h.Cols() != k {
-		return nil, errors.New("bp: coupling matrix must be square")
+		return nil, fmt.Errorf("bp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
 	}
-	if e.N() != n || e.K() != k {
-		return nil, fmt.Errorf("bp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), n, k)
-	}
-
-	// Uncentered priors, validated as probabilities.
-	prior := make([]float64, n*k)
-	for s := 0; s < n; s++ {
-		row := e.Row(s)
-		for i := 0; i < k; i++ {
-			p := 1/float64(k) + row[i]
-			if p < -1e-12 || p > 1+1e-12 {
-				return nil, fmt.Errorf("bp: node %d class %d: prior %v outside [0,1]; scale the explicit residuals down", s, i, p)
-			}
-			if p < 0 {
-				p = 0
-			}
-			prior[s*k+i] = p
-		}
-	}
-
-	// Directed edge layout: undirected edge idx -> directed 2*idx (s→t)
-	// and 2*idx+1 (t→s); reverse(d) = d^1.
 	edges := g.Edges()
 	m := len(edges)
-	src := make([]int, 2*m)
-	dst := make([]int, 2*m)
+	en := &Engine{
+		g: g, h: h, n: n, k: k, opts: opts,
+		src:      make([]int, 2*m),
+		dst:      make([]int, 2*m),
+		incoming: make([][]int, n),
+		prior:    make([]float64, n*k),
+		msg:      make([]float64, 2*m*k),
+		next:     make([]float64, 2*m*k),
+		logP:     make([]float64, n*k),
+		qs:       make([]float64, k),
+	}
+	// Directed edge layout: undirected edge idx -> directed 2*idx (s→t)
+	// and 2*idx+1 (t→s).
 	for idx, ed := range edges {
 		if ed.S == ed.T {
 			return nil, fmt.Errorf("bp: self-loop at node %d not supported", ed.S)
 		}
-		src[2*idx], dst[2*idx] = ed.S, ed.T
-		src[2*idx+1], dst[2*idx+1] = ed.T, ed.S
+		en.src[2*idx], en.dst[2*idx] = ed.S, ed.T
+		en.src[2*idx+1], en.dst[2*idx+1] = ed.T, ed.S
 	}
-	incoming := make([][]int, n)
 	for d := 0; d < 2*m; d++ {
-		incoming[dst[d]] = append(incoming[dst[d]], d)
+		en.incoming[en.dst[d]] = append(en.incoming[en.dst[d]], d)
 	}
+	return en, nil
+}
 
+// SolveInto runs BP for the explicit residual beliefs e and writes the
+// final residual beliefs into out (n×k, overwritten). scale multiplies
+// the explicit residuals before they become priors (1 for the verbatim
+// run; Lemma 12 makes rescaling harmless for the classification and the
+// core dispatcher uses it to keep priors valid). ctx is checked at
+// every message round; on cancellation the solve aborts with ctx.Err()
+// and out holds the beliefs implied by the last completed messages.
+func (en *Engine) SolveInto(ctx context.Context, out *beliefs.Residual, e *beliefs.Residual, scale float64) (iters int, delta float64, converged bool, err error) {
+	n, k := en.n, en.k
+	if e.N() != n || e.K() != k {
+		return 0, 0, false, fmt.Errorf("bp: belief matrix %dx%d does not match n=%d k=%d: %w", e.N(), e.K(), n, k, errs.ErrDimensionMismatch)
+	}
+	if out.N() != n || out.K() != k {
+		return 0, 0, false, fmt.Errorf("bp: destination matrix %dx%d does not match n=%d k=%d: %w", out.N(), out.K(), n, k, errs.ErrDimensionMismatch)
+	}
+	// Uncentered priors, validated as probabilities.
+	for s := 0; s < n; s++ {
+		row := e.Row(s)
+		for i := 0; i < k; i++ {
+			p := 1/float64(k) + scale*row[i]
+			if p < -1e-12 || p > 1+1e-12 {
+				return 0, 0, false, fmt.Errorf("bp: node %d class %d: prior %v outside [0,1]; scale the explicit residuals down", s, i, p)
+			}
+			if p < 0 {
+				p = 0
+			}
+			en.prior[s*k+i] = p
+		}
+	}
 	// Messages, all initialized to the neutral 1 (centered default).
-	msg := make([]float64, 2*m*k)
-	next := make([]float64, 2*m*k)
+	msg, next := en.msg, en.next
 	for i := range msg {
 		msg[i] = 1
 	}
-
-	logP := make([]float64, n*k) // log of es(j)·Π mus(j) per node
-	qs := make([]float64, k)     // per-edge scratch
-	res := &Result{}
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		computeLogProducts(logP, prior, msg, incoming, n, k)
-		var delta float64
-		for d := 0; d < 2*m; d++ {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	h, qs, logP := en.h, en.qs, en.logP
+	for iter := 0; iter < en.opts.MaxIter; iter++ {
+		if done != nil {
+			select {
+			case <-done:
+				en.msg = msg // keep the last completed round's messages
+				en.next = next
+				en.finalBeliefs(out, msg)
+				return iters, delta, false, ctx.Err()
+			default:
+			}
+		}
+		computeLogProducts(logP, en.prior, msg, en.incoming, n, k)
+		var roundDelta float64
+		for d := range en.src {
 			rev := d ^ 1
-			s := src[d]
+			s := en.src[d]
 			// q(j) = log( es(j)·Π_{u∈N(s)} mus(j) / mts(j) ): divide the
 			// full product by the reverse message to exclude the target.
 			maxq := math.Inf(-1)
@@ -146,9 +199,9 @@ func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*R
 			}
 			// Normalize to sum k (Eq. 3's Zst), then track the change.
 			if sum > 0 {
-				scale := float64(k) / sum
+				sc := float64(k) / sum
 				for i := 0; i < k; i++ {
-					next[d*k+i] *= scale
+					next[d*k+i] *= sc
 				}
 			}
 			for i := 0; i < k; i++ {
@@ -156,34 +209,41 @@ func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*R
 				if math.IsNaN(ch) {
 					ch = math.Inf(1) // overflow: report divergence
 				}
-				if ch > delta {
-					delta = ch
+				if ch > roundDelta {
+					roundDelta = ch
 				}
 			}
 		}
 		msg, next = next, msg
-		res.Iterations = iter + 1
-		res.Delta = delta
-		if delta <= opts.Tol {
-			res.Converged = true
+		iters = iter + 1
+		delta = roundDelta
+		if delta <= en.opts.Tol {
+			converged = true
 			break
 		}
 	}
+	en.msg, en.next = msg, next
+	en.finalBeliefs(out, msg)
+	return iters, delta, converged, nil
+}
 
-	// Final beliefs (Eq. 1), normalized to sum 1, then centered.
-	computeLogProducts(logP, prior, msg, incoming, n, k)
-	bm := dense.New(n, k)
+// finalBeliefs evaluates Eq. 1 for the given messages, normalized to
+// sum 1 and centered into residual form.
+func (en *Engine) finalBeliefs(out *beliefs.Residual, msg []float64) {
+	n, k := en.n, en.k
+	computeLogProducts(en.logP, en.prior, msg, en.incoming, n, k)
+	bm := out.Matrix()
 	for s := 0; s < n; s++ {
 		maxl := math.Inf(-1)
 		for i := 0; i < k; i++ {
-			if logP[s*k+i] > maxl {
-				maxl = logP[s*k+i]
+			if en.logP[s*k+i] > maxl {
+				maxl = en.logP[s*k+i]
 			}
 		}
 		row := bm.Row(s)
 		var sum float64
 		for i := 0; i < k; i++ {
-			v := math.Exp(logP[s*k+i] - maxl)
+			v := math.Exp(en.logP[s*k+i] - maxl)
 			row[i] = v
 			sum += v
 		}
@@ -191,7 +251,26 @@ func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*R
 			row[i] = row[i]/sum - 1/float64(k)
 		}
 	}
-	res.Beliefs = beliefs.FromMatrix(bm)
+}
+
+// Run executes loopy BP on g with stochastic coupling matrix h (the
+// uncentered H of Problem 1) and explicit beliefs e given in residual
+// form. The uncentered prior 1/k + eˆs must be a valid probability
+// vector for every node; nodes with zero residual rows get the uniform
+// prior. Self-loops are rejected.
+func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*Result, error) {
+	en, err := NewEngine(g, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	if e.N() != g.N() {
+		return nil, fmt.Errorf("bp: belief matrix %dx%d does not match n=%d k=%d: %w", e.N(), e.K(), g.N(), h.Rows(), errs.ErrDimensionMismatch)
+	}
+	res := &Result{Beliefs: beliefs.New(en.n, en.k)}
+	res.Iterations, res.Delta, res.Converged, err = en.SolveInto(context.Background(), res.Beliefs, e, 1)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

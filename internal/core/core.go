@@ -1,28 +1,47 @@
 // Package core ties the reproduction together: it defines the Problem
-// type (graph + explicit beliefs + coupling, Problem 1 of the paper) and
-// a uniform Solve entry point that dispatches to the four inference
-// methods the paper evaluates — standard loopy BP, LinBP, LinBP*, and
-// SBP — so that callers and experiments can swap methods freely.
+// type (graph + explicit beliefs + coupling, Problem 1 of the paper)
+// and the prepared-solver serving surface — Prepare builds a reusable
+// Solver for any of the methods the paper evaluates (standard loopy BP,
+// LinBP, LinBP*, SBP, and the binary FABP collapse of Appendix E), and
+// the legacy one-shot Solve entry point is a thin wrapper over it — so
+// that callers and experiments can swap methods freely.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/beliefs"
-	"repro/internal/bp"
 	"repro/internal/coupling"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/linbp"
 	"repro/internal/sbp"
 )
 
+// Sentinel errors of the solver API, re-exported from the shared leaf
+// package so callers can classify failures with errors.Is/As.
+var (
+	// ErrNotConverged wraps every iterative solve that exhausts its
+	// iteration budget; the partial result is still returned with it.
+	ErrNotConverged = errs.ErrNotConverged
+	// ErrDimensionMismatch wraps every shape inconsistency between
+	// graph, beliefs, coupling, and destination buffers.
+	ErrDimensionMismatch = errs.ErrDimensionMismatch
+	// ErrInvalidCoupling wraps every coupling-matrix defect.
+	ErrInvalidCoupling = errs.ErrInvalidCoupling
+	// ErrClosed wraps any use of a Solver after Close.
+	ErrClosed = errs.ErrClosed
+)
+
 // Method selects the inference algorithm.
 type Method int
 
-// The four methods of the paper's evaluation.
+// The four methods of the paper's evaluation, plus the binary (k = 2)
+// FABP collapse of Appendix E.
 const (
 	// MethodBP is standard loopy belief propagation (Section 2).
 	MethodBP Method = iota
@@ -32,6 +51,9 @@ const (
 	MethodLinBPStar
 	// MethodSBP is single-pass BP (Section 6).
 	MethodSBP
+	// MethodFABP is the binary-case scalar linearization (Appendix E);
+	// it requires k = 2.
+	MethodFABP
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +67,8 @@ func (m Method) String() string {
 		return "LinBP*"
 	case MethodSBP:
 		return "SBP"
+	case MethodFABP:
+		return "FABP"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -74,12 +98,20 @@ func (p *Problem) Validate() error {
 	if p.EpsilonH < 0 {
 		return errors.New("core: negative EpsilonH")
 	}
+	// A non-square Ho is rejected explicitly: comparing only K against
+	// Ho.Rows() would let e.g. a k×(k+1) matrix slip through to the
+	// per-method code paths.
+	if p.Ho.Rows() != p.Ho.Cols() {
+		return fmt.Errorf("core: coupling matrix %dx%d is not square: %w",
+			p.Ho.Rows(), p.Ho.Cols(), errs.ErrDimensionMismatch)
+	}
 	if p.Explicit.N() != p.Graph.N() {
-		return fmt.Errorf("core: %d belief rows for %d nodes", p.Explicit.N(), p.Graph.N())
+		return fmt.Errorf("core: %d belief rows for %d nodes: %w",
+			p.Explicit.N(), p.Graph.N(), errs.ErrDimensionMismatch)
 	}
 	if p.Explicit.K() != p.Ho.Rows() {
-		return fmt.Errorf("core: %d belief classes vs %dx%d coupling",
-			p.Explicit.K(), p.Ho.Rows(), p.Ho.Cols())
+		return fmt.Errorf("core: %d belief classes vs %dx%d coupling: %w",
+			p.Explicit.K(), p.Ho.Rows(), p.Ho.Cols(), errs.ErrDimensionMismatch)
 	}
 	if err := coupling.ValidateResidual(p.Ho); err != nil {
 		return err
@@ -121,56 +153,26 @@ type Result struct {
 	SBP *sbp.State
 }
 
-// Solve runs the chosen method on the problem.
+// Solve runs the chosen method on the problem. It is a thin
+// compatibility wrapper over the prepared-solver API: it Prepares a
+// Solver, runs one solve, and Closes it. Callers issuing repeated
+// solves over the same graph should hold on to Prepare's Solver
+// instead. Unlike Solver.Solve, non-convergence is reported through
+// Result.Converged rather than as an error (the historical contract).
 //
 // For BP, the explicit residuals are auto-rescaled (Lemma 12 makes this
 // harmless for the classification) so the uncentered priors are valid
 // probabilities, and the coupling is uncentered to a stochastic matrix.
 func Solve(p *Problem, m Method, opts Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	s, err := Prepare(p, m, WithWorkers(opts.Workers), WithMaxIter(opts.MaxIter), WithTol(opts.Tol))
+	if err != nil {
 		return nil, err
 	}
-	res := &Result{Method: m}
-	switch m {
-	case MethodBP:
-		e := p.Explicit
-		if lambda := bpSafeScale(e); lambda != 1 {
-			e = e.Clone().Scale(lambda)
-		}
-		h := coupling.Uncenter(p.ScaledH())
-		r, err := bp.Run(p.Graph, e, h, bp.Options{MaxIter: opts.MaxIter, Tol: opts.Tol})
-		if err != nil {
-			return nil, err
-		}
-		res.Beliefs, res.Iterations, res.Converged, res.Delta = r.Beliefs, r.Iterations, r.Converged, r.Delta
-	case MethodLinBP, MethodLinBPStar:
-		r, err := linbp.Run(p.Graph, p.Explicit, p.ScaledH(), linbp.Options{
-			EchoCancellation: m == MethodLinBP,
-			MaxIter:          opts.MaxIter,
-			Tol:              opts.Tol,
-			Workers:          opts.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Beliefs, res.Iterations, res.Converged, res.Delta = r.Beliefs, r.Iterations, r.Converged, r.Delta
-	case MethodSBP:
-		st, err := sbp.Run(p.Graph, p.Explicit, p.Ho)
-		if err != nil {
-			return nil, err
-		}
-		res.Beliefs = st.Beliefs()
-		res.SBP = st
-		res.Converged = true
-		for _, g := range st.Geodesics() {
-			if g > res.Iterations {
-				res.Iterations = g
-			}
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown method %v", m)
+	defer s.Close()
+	res, err := s.Solve(context.Background(), p.Explicit)
+	if err != nil && !errors.Is(err, ErrNotConverged) {
+		return nil, err
 	}
-	res.Top = res.Beliefs.TopAssignment()
 	return res, nil
 }
 

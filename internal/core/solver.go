@@ -1,0 +1,793 @@
+// The prepared-solver serving surface: Prepare builds a Solver that
+// preprocesses everything derivable from the problem's fixed parts —
+// the CSR adjacency, the weighted degrees, the flattened couplings,
+// kernel workspaces, BP's directed-edge layout, SBP's geodesic ordering
+// — once, and then answers many solves for changing explicit beliefs.
+// This is the "prepare once, solve many" shape the paper's
+// data-management pitch implies: one network, heavy repeated
+// classification traffic.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/beliefs"
+	"repro/internal/bp"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/errs"
+	"repro/internal/fabp"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/linbp"
+	"repro/internal/sbp"
+	"repro/internal/sparse"
+)
+
+// Option configures Prepare. Options replace the zero-value Options
+// struct for the prepared API; unset options select the same per-method
+// defaults the one-shot Solve uses.
+type Option func(*config)
+
+type config struct {
+	workers int
+	maxIter int
+	tol     float64
+	echo    bool
+	echoSet bool
+	autoEps bool
+}
+
+// WithWorkers sets the goroutine count of the fused kernel's
+// row-partitioned parallel pass (LinBP, LinBP*, FABP, and their
+// batches). 0 or 1 selects the serial kernel. BP and SBP ignore it.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMaxIter bounds the update rounds of iterative methods
+// (method-specific default when unset or 0).
+func WithMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
+
+// WithTol sets the convergence tolerance: iteration stops once no
+// belief (or BP message) entry changes by more than tol between
+// rounds. 0 selects the method default; negative forces exactly
+// MaxIter rounds (the paper's timing setup).
+func WithTol(tol float64) Option { return func(c *config) { c.tol = tol } }
+
+// WithEchoCancellation selects between LinBP (true, Eq. 4) and LinBP*
+// (false, Eq. 5) regardless of which of the two methods was named;
+// other methods ignore it.
+func WithEchoCancellation(on bool) Option {
+	return func(c *config) { c.echo = on; c.echoSet = true }
+}
+
+// WithAutoEpsilonH derives the coupling scale from the exact
+// convergence criterion (half the Lemma 8 threshold, the paper's
+// Section 7 recommendation) instead of using Problem.EpsilonH. BP and
+// FABP borrow LinBP's criterion; SBP is εH-invariant and ignores it.
+// The chosen value is reported by Stats().EpsilonH.
+func WithAutoEpsilonH() Option { return func(c *config) { c.autoEps = true } }
+
+// SolveInfo describes one completed solve on the serving path.
+type SolveInfo struct {
+	// Iterations is the number of update rounds executed (for SBP, the
+	// number of geodesic levels propagated).
+	Iterations int
+	// Converged reports whether the fixpoint was reached within the
+	// tolerance. SBP always converges.
+	Converged bool
+	// Delta is the final maximum belief/message change (0 for SBP).
+	Delta float64
+}
+
+// Request is one unit of work for Solver.SolveBatch.
+type Request struct {
+	// E holds the explicit residual beliefs of this request (n×k).
+	E *beliefs.Residual
+	// Dst, when non-nil, receives the final residual beliefs (n×k,
+	// overwritten), so steady-state batches allocate nothing. When nil
+	// a fresh matrix is allocated for the response.
+	Dst *beliefs.Residual
+}
+
+// Response is the outcome of one batch request.
+type Response struct {
+	// Beliefs holds the final residual beliefs (Request.Dst when that
+	// was set). nil when Err prevented the solve from running.
+	Beliefs *beliefs.Residual
+	// Info carries the solve diagnostics. Requests batched into the
+	// same fused chunk share rounds, so they report the chunk's
+	// iteration count and maximum delta.
+	Info SolveInfo
+	// Err is nil on success, wraps ErrNotConverged when the iteration
+	// budget ran out (Beliefs then holds the last iterate), wraps
+	// ErrDimensionMismatch for ill-shaped requests, or carries the
+	// context error when the batch was cancelled.
+	Err error
+}
+
+// SolverStats is a snapshot of a Solver's configuration and lifetime
+// counters, for serving observability.
+type SolverStats struct {
+	// Method is the prepared inference method.
+	Method Method
+	// N and K are the problem dimensions.
+	N, K int
+	// Workers is the configured kernel worker count (0 = serial).
+	Workers int
+	// EpsilonH is the effective coupling scale (after WithAutoEpsilonH).
+	EpsilonH float64
+	// Solves counts completed Solve/SolveInto calls; BatchRequests
+	// counts requests served through SolveBatch (Batches calls) for
+	// every method — batch-internal solves are not double-counted
+	// into Solves.
+	Solves, Batches, BatchRequests int64
+	// Iterations accumulates the update rounds the engine executed —
+	// the work done, so requests fused into one chunk contribute
+	// their shared rounds once.
+	Iterations int64
+	// NotConverged counts solves that exhausted the iteration budget;
+	// Cancelled counts solves aborted by context.
+	NotConverged, Cancelled int64
+}
+
+// Solver is a prepared inference engine over one fixed problem
+// configuration (graph + coupling + εH): construct it once with
+// Prepare (or the per-method PrepareBP/PrepareLinBP/PrepareSBP/
+// PrepareFABP wrappers in the facade), then issue many solves for
+// changing explicit beliefs. All four methods serve through this one
+// interface with their preprocessed state reused across solves.
+//
+// Solvers are not safe for concurrent use; run one per goroutine or
+// serialize access. Close releases pooled resources.
+type Solver interface {
+	// Solve runs the method for the explicit residual beliefs e and
+	// allocates a fresh result (including the top-belief assignment).
+	// Non-convergence is reported as an error wrapping ErrNotConverged
+	// with the result still returned; cancellation via ctx returns the
+	// context error within one kernel round.
+	Solve(ctx context.Context, e *beliefs.Residual) (*Result, error)
+	// SolveInto is the serving path: it writes the final residual
+	// beliefs into dst (n×k, overwritten) and skips the result and
+	// top-assignment allocations. For the kernel-backed methods
+	// (LinBP, LinBP*, FABP) steady-state calls allocate nothing.
+	SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error)
+	// SolveBatch answers independent requests over the shared prepared
+	// state, amortizing workspace acquisition across the batch; the
+	// LinBP/LinBP* implementation additionally fuses requests into
+	// multi-block kernel rounds that traverse the adjacency structure
+	// once per round for the whole batch. The returned slice is owned
+	// by the solver and overwritten by the next SolveBatch call.
+	SolveBatch(ctx context.Context, reqs []Request) []Response
+	// Stats returns a snapshot of configuration and serving counters.
+	Stats() SolverStats
+	// Close releases pooled resources. It is idempotent; any solve
+	// after Close fails with ErrClosed.
+	Close() error
+}
+
+// Prepare validates the problem once and builds a prepared Solver for
+// the method. The problem's Graph, Ho, and EpsilonH are fixed at
+// preparation time; Explicit only participates in shape validation and
+// may be a zero matrix for pure serving use.
+func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch m {
+	case MethodBP, MethodLinBP, MethodLinBPStar, MethodSBP, MethodFABP:
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+	echo := m != MethodLinBPStar // LinBP and the FABP collapse cancel echo
+	if cfg.echoSet && (m == MethodLinBP || m == MethodLinBPStar) {
+		echo = cfg.echo
+		if echo {
+			m = MethodLinBP
+		} else {
+			m = MethodLinBPStar
+		}
+	}
+	eps := p.EpsilonH
+	if cfg.autoEps && m != MethodSBP {
+		var err error
+		eps, err = autoEpsilon(p.Graph, p.Ho, m == MethodLinBP || m == MethodBP || m == MethodFABP)
+		if err != nil {
+			return nil, err
+		}
+	}
+	base := solverBase{method: m, n: p.Graph.N(), k: p.K(), workers: cfg.workers, eps: eps}
+	switch m {
+	case MethodBP:
+		return newBPSolver(p, base, cfg)
+	case MethodLinBP, MethodLinBPStar:
+		return newLinBPSolver(p, base, cfg)
+	case MethodSBP:
+		return newSBPSolver(p, base)
+	default:
+		return newFABPSolver(p, base, cfg)
+	}
+}
+
+// autoEpsilon is AutoEpsilonH without the method restriction: half the
+// exact Lemma 8 threshold for the chosen echo setting.
+func autoEpsilon(g *graph.Graph, ho *dense.Matrix, echo bool) (float64, error) {
+	eps, err := linbp.MaxEpsilonH(g, ho, echo, true)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(eps, 1) {
+		return 1, nil
+	}
+	return eps / 2, nil
+}
+
+// solverBase carries the identity and counters every method solver
+// shares. Counters are plain ints because a Solver is single-goroutine
+// by contract; the kernel's internal worker pool never touches them.
+type solverBase struct {
+	method  Method
+	n, k    int
+	workers int
+	eps     float64
+	closed  bool
+
+	solves, batches, batchReqs int64
+	iterations                 int64
+	notConverged, cancelled    int64
+	resp                       []Response
+}
+
+func (b *solverBase) Stats() SolverStats {
+	return SolverStats{
+		Method: b.method, N: b.n, K: b.k, Workers: b.workers, EpsilonH: b.eps,
+		Solves: b.solves, Batches: b.batches, BatchRequests: b.batchReqs,
+		Iterations: b.iterations, NotConverged: b.notConverged, Cancelled: b.cancelled,
+	}
+}
+
+// record folds one solve outcome into the counters and normalizes the
+// error: non-convergence becomes an ErrNotConverged wrap, context
+// aborts pass through.
+func (b *solverBase) record(info SolveInfo, err error) (SolveInfo, error) {
+	b.iterations += int64(info.Iterations)
+	if err != nil {
+		b.cancelled++
+		return info, fmt.Errorf("core: %v solve: %w", b.method, err)
+	}
+	if !info.Converged {
+		b.notConverged++
+		return info, fmt.Errorf("core: %v after %d iterations (delta %g): %w",
+			b.method, info.Iterations, info.Delta, errs.ErrNotConverged)
+	}
+	return info, nil
+}
+
+func (b *solverBase) errClosed() error {
+	return fmt.Errorf("core: %v solver: %w", b.method, errs.ErrClosed)
+}
+
+// checkShapes validates one dst/e pair against the prepared dimensions.
+func (b *solverBase) checkShapes(dst, e *beliefs.Residual) error {
+	if e == nil || dst == nil {
+		return fmt.Errorf("core: nil belief matrix: %w", errs.ErrDimensionMismatch)
+	}
+	if e.N() != b.n || e.K() != b.k || dst.N() != b.n || dst.K() != b.k {
+		return fmt.Errorf("core: belief matrix %dx%d / destination %dx%d do not match n=%d k=%d: %w",
+			e.N(), e.K(), dst.N(), dst.K(), b.n, b.k, errs.ErrDimensionMismatch)
+	}
+	return nil
+}
+
+// finish assembles the allocating-path Result from a SolveInto outcome.
+func (b *solverBase) finish(dst *beliefs.Residual, info SolveInfo, err error) (*Result, error) {
+	res := &Result{
+		Method: b.method, Beliefs: dst,
+		Iterations: info.Iterations, Converged: info.Converged, Delta: info.Delta,
+	}
+	if err != nil && !isNotConverged(err) {
+		return nil, err
+	}
+	res.Top = dst.TopAssignment()
+	return res, err
+}
+
+func isNotConverged(err error) bool {
+	return err != nil && errors.Is(err, errs.ErrNotConverged)
+}
+
+// sequentialBatch is the shared SolveBatch shape for methods without a
+// fused multi-request kernel: requests run one after another over the
+// same prepared state, reusing the solver's cached response slice.
+func sequentialBatch(b *solverBase, s Solver, ctx context.Context, reqs []Request) []Response {
+	b.batches++
+	resp := b.resp[:0]
+	for _, req := range reqs {
+		b.batchReqs++
+		dst := req.Dst
+		if dst == nil {
+			dst = beliefs.New(b.n, b.k)
+		}
+		var r Response
+		if req.E == nil {
+			r.Err = fmt.Errorf("core: nil request beliefs: %w", errs.ErrDimensionMismatch)
+		} else {
+			// Re-classify the inner SolveInto as a batch request so
+			// Solves counts the same thing for every method.
+			before := b.solves
+			info, err := s.SolveInto(ctx, dst, req.E)
+			b.solves = before
+			r = Response{Beliefs: dst, Info: info, Err: err}
+		}
+		resp = append(resp, r)
+	}
+	b.resp = resp
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// LinBP / LinBP*
+
+// batchWidth caps the flat row width (blocks·k) of a fused batch
+// chunk. Width 12 keeps every chunk on the kernel's register-blocked
+// fast paths (k ∈ {2, 3}) and the working set close to the
+// single-problem one, which matters on cache-resident graphs.
+const batchWidth = 12
+
+type linbpBatchEngine struct {
+	eng *kernel.Engine
+	ws  *kernel.Workspace
+	ein []float64 // interleaved explicit beliefs, n × blocks·k
+}
+
+// linbpSolver serves LinBP and LinBP* through prepared kernel engines:
+// one single-problem engine for Solve/SolveInto and, lazily, one fused
+// multi-block engine per batch chunk size for SolveBatch. All engines
+// share the graph's CSR, the degree vector, and the coupling.
+type linbpSolver struct {
+	solverBase
+	a       *sparse.CSR
+	d       []float64
+	h       *dense.Matrix
+	maxIter int
+	tol     float64
+
+	eng   *linbp.Engine
+	batch map[int]*linbpBatchEngine
+	chunk []int // scratch: indices of the requests in the current chunk
+}
+
+func newLinBPSolver(p *Problem, base solverBase, cfg config) (*linbpSolver, error) {
+	h := coupling.Scale(p.Ho, base.eps)
+	eng, err := linbp.NewEngine(p.Graph, h, linbp.Options{
+		EchoCancellation: base.method == MethodLinBP,
+		MaxIter:          cfg.maxIter,
+		Tol:              cfg.tol,
+		Workers:          cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &linbpSolver{
+		solverBase: base,
+		a:          p.Graph.Adjacency(),
+		h:          h,
+		maxIter:    cfg.maxIter,
+		tol:        cfg.tol,
+		eng:        eng,
+		batch:      map[int]*linbpBatchEngine{},
+	}
+	if s.maxIter == 0 {
+		s.maxIter = linbp.DefaultMaxIter
+	}
+	if s.tol == 0 {
+		s.tol = linbp.DefaultTol
+	}
+	if base.method == MethodLinBP {
+		s.d = p.Graph.WeightedDegrees()
+	}
+	return s, nil
+}
+
+func (s *linbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	dst := beliefs.New(s.n, s.k)
+	info, err := s.SolveInto(ctx, dst, e)
+	return s.finish(dst, info, err)
+}
+
+func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if s.closed {
+		return SolveInfo{}, s.errClosed()
+	}
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves++
+	iters, delta, converged, err := s.eng.SolveIntoContext(ctx, dst, e)
+	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+}
+
+// maxBlocks is the largest number of requests fused into one kernel
+// chunk for this solver's class count.
+func (s *linbpSolver) maxBlocks() int {
+	b := batchWidth / s.k
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// batchEngine returns the cached fused engine for a chunk of c
+// requests, building it on first use. Steady-state batches of
+// recurring sizes therefore allocate nothing.
+func (s *linbpSolver) batchEngine(c int) (*linbpBatchEngine, error) {
+	if be, ok := s.batch[c]; ok {
+		return be, nil
+	}
+	ws := kernel.GetWorkspace()
+	eng, err := kernel.New(kernel.Config{A: s.a, D: s.d, H: s.h, Workers: s.workers, Blocks: c}, ws)
+	if err != nil {
+		ws.Release()
+		return nil, fmt.Errorf("core: batch engine: %w", err)
+	}
+	be := &linbpBatchEngine{eng: eng, ws: ws, ein: make([]float64, s.n*c*s.k)}
+	s.batch[c] = be
+	return be, nil
+}
+
+// SolveBatch fuses the requests into multi-block kernel chunks: each
+// update round traverses the CSR once for every request in a chunk, so
+// a batch of R requests costs far less than R one-shot solves even on
+// a single core (and the chunks still run on the nnz-balanced worker
+// pool when Workers > 1). Requests in a chunk share rounds: iteration
+// stops once every request's delta is within tolerance, and the shared
+// round count and maximum delta are reported for each. Results match
+// the request's one-shot solve up to summation-order rounding (~1 ulp
+// per round).
+func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	if s.closed {
+		return s.failAllBase(reqs, s.errClosed())
+	}
+	s.batches++
+	s.batchReqs += int64(len(reqs))
+	resp := s.resp[:0]
+	for range reqs {
+		resp = append(resp, Response{})
+	}
+	s.resp = resp
+
+	// Partition the well-shaped requests into chunks of at most
+	// maxBlocks, failing ill-shaped ones up front.
+	pending := s.chunk[:0]
+	for i, req := range reqs {
+		if req.E == nil || req.E.N() != s.n || req.E.K() != s.k ||
+			(req.Dst != nil && (req.Dst.N() != s.n || req.Dst.K() != s.k)) {
+			resp[i].Err = fmt.Errorf("core: request %d does not match n=%d k=%d: %w", i, s.n, s.k, errs.ErrDimensionMismatch)
+			continue
+		}
+		pending = append(pending, i)
+	}
+	s.chunk = pending
+
+	var batchErr error
+	for lo := 0; lo < len(pending); lo += s.maxBlocks() {
+		hi := lo + s.maxBlocks()
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		chunk := pending[lo:hi]
+		if batchErr != nil {
+			for _, ri := range chunk {
+				resp[ri].Err = batchErr
+				s.cancelled++
+			}
+			continue
+		}
+		batchErr = s.solveChunk(ctx, reqs, resp, chunk)
+	}
+	return resp
+}
+
+// solveChunk runs one fused chunk and fills its responses. A returned
+// error (context cancellation or engine failure) tells SolveBatch to
+// fail the remaining chunks without running them.
+func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Response, chunk []int) error {
+	c := len(chunk)
+	be, err := s.batchEngine(c)
+	if err != nil {
+		for _, ri := range chunk {
+			resp[ri].Err = err
+		}
+		return err
+	}
+	n, k := s.n, s.k
+	// Interleave the chunk's explicit beliefs: node i's blocks·k row
+	// holds request 0..c-1's k-wide rows back to back. Element loops
+	// instead of per-row copy() — at k ∈ {2,3} the memmove call would
+	// cost more than the moved bytes.
+	for bi, ri := range chunk {
+		ed := reqs[ri].E.Matrix().Data()
+		for i := 0; i < n; i++ {
+			dst := be.ein[(i*c+bi)*k : (i*c+bi)*k+k]
+			src := ed[i*k : i*k+k]
+			for j := range dst {
+				dst[j] = src[j]
+			}
+		}
+	}
+	be.eng.ResetFast()
+	be.eng.SetExplicit(be.ein)
+	iters, delta, converged, runErr := be.eng.RunContext(ctx, s.maxIter, s.tol, nil)
+	s.iterations += int64(iters)
+
+	// One shared error value per chunk: its requests share rounds, so
+	// they share the outcome too.
+	var chunkErr error
+	switch {
+	case runErr != nil:
+		chunkErr = fmt.Errorf("core: %v batch: %w", s.method, runErr)
+	case !converged:
+		chunkErr = fmt.Errorf("core: %v after %d iterations (delta %g): %w",
+			s.method, iters, delta, errs.ErrNotConverged)
+	}
+
+	// De-interleave results and fill the chunk's responses. When no
+	// round completed (pre-cancelled context) the engine buffer is not
+	// meaningful; the responses carry only the error.
+	state := be.eng.Beliefs()
+	info := SolveInfo{Iterations: iters, Converged: converged, Delta: delta}
+	for bi, ri := range chunk {
+		resp[ri].Info = info
+		resp[ri].Err = chunkErr
+		switch {
+		case runErr != nil:
+			s.cancelled++
+		case !converged:
+			s.notConverged++
+		}
+		if iters == 0 {
+			// No round completed (pre-cancelled context or a
+			// non-positive iteration cap): with ResetFast the engine
+			// buffer may hold a previous chunk, so expose no beliefs.
+			continue
+		}
+		dst := reqs[ri].Dst
+		if dst == nil {
+			dst = beliefs.New(n, k)
+		}
+		dd := dst.Matrix().Data()
+		for i := 0; i < n; i++ {
+			out := dd[i*k : i*k+k]
+			src := state[(i*c+bi)*k : (i*c+bi)*k+k]
+			for j := range out {
+				out[j] = src[j]
+			}
+		}
+		resp[ri].Beliefs = dst
+	}
+	if runErr != nil {
+		return fmt.Errorf("core: %v batch: %w", s.method, runErr)
+	}
+	return nil
+}
+
+func (s *linbpSolver) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.eng.Close()
+	for _, be := range s.batch {
+		be.eng.Close()
+		be.ws.Release()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// BP
+
+// bpSolver serves standard loopy BP through a prepared bp.Engine,
+// reusing the directed-edge layout and message buffers across solves.
+// Explicit residuals too large to be valid priors are rescaled per
+// solve exactly as the one-shot Solve always did (Lemma 12).
+type bpSolver struct {
+	solverBase
+	eng *bp.Engine
+}
+
+func newBPSolver(p *Problem, base solverBase, cfg config) (*bpSolver, error) {
+	h := coupling.Uncenter(coupling.Scale(p.Ho, base.eps))
+	eng, err := bp.NewEngine(p.Graph, h, bp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	if err != nil {
+		return nil, err
+	}
+	return &bpSolver{solverBase: base, eng: eng}, nil
+}
+
+func (s *bpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	dst := beliefs.New(s.n, s.k)
+	info, err := s.SolveInto(ctx, dst, e)
+	return s.finish(dst, info, err)
+}
+
+func (s *bpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if s.closed {
+		return SolveInfo{}, s.errClosed()
+	}
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves++
+	iters, delta, converged, err := s.eng.SolveInto(ctx, dst, e, bpSafeScale(e))
+	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+}
+
+func (s *bpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+}
+
+func (s *bpSolver) Close() error { s.closed = true; return nil }
+
+// ---------------------------------------------------------------------------
+// SBP
+
+// sbpSolver serves single-pass BP. Solve materializes a full
+// incremental State (the legacy contract — Result.SBP supports
+// AddExplicitBeliefs/AddEdges); SolveInto and SolveBatch use the
+// prepared Runner, which reuses the geodesic ordering across solves
+// with an unchanged explicit node set. SBP is εH-invariant, so the
+// unscaled Hˆo is used throughout.
+type sbpSolver struct {
+	solverBase
+	g      *graph.Graph
+	ho     *dense.Matrix
+	runner *sbp.Runner
+}
+
+func newSBPSolver(p *Problem, base solverBase) (*sbpSolver, error) {
+	runner, err := sbp.NewRunner(p.Graph, p.Ho)
+	if err != nil {
+		return nil, err
+	}
+	return &sbpSolver{solverBase: base, g: p.Graph, ho: p.Ho, runner: runner}, nil
+}
+
+func (s *sbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	if s.closed {
+		return nil, s.errClosed()
+	}
+	if err := s.checkShapes(e, e); err != nil {
+		return nil, err
+	}
+	s.solves++
+	st, err := sbp.RunContext(ctx, s.g, e, s.ho)
+	if err != nil {
+		s.cancelled++
+		return nil, fmt.Errorf("core: %v solve: %w", s.method, err)
+	}
+	res := &Result{Method: s.method, Beliefs: st.Beliefs(), SBP: st, Converged: true}
+	for _, g := range st.Geodesics() {
+		if g > res.Iterations {
+			res.Iterations = g
+		}
+	}
+	s.iterations += int64(res.Iterations)
+	res.Top = res.Beliefs.TopAssignment()
+	return res, nil
+}
+
+func (s *sbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if s.closed {
+		return SolveInfo{}, s.errClosed()
+	}
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves++
+	levels, err := s.runner.SolveInto(ctx, dst, e)
+	info := SolveInfo{Iterations: levels, Converged: err == nil}
+	return s.record(info, err)
+}
+
+func (s *sbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	if s.closed {
+		return s.failAllBase(reqs, s.errClosed())
+	}
+	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+}
+
+func (s *sbpSolver) Close() error { s.closed = true; return nil }
+
+// ---------------------------------------------------------------------------
+// FABP
+
+// fabpSolver serves the binary (k = 2) scalar linearization of
+// Appendix E through a prepared fabp.Engine. The k×k residual problem
+// surface is kept: explicit beliefs come in as n×2 residual rows whose
+// class-0 component is the scalar input, and results are expanded back
+// to (b, −b) rows, so FABP really is a drop-in fourth method.
+type fabpSolver struct {
+	solverBase
+	eng    *fabp.Engine
+	es, bs []float64 // scalar explicit/result scratch
+}
+
+func newFABPSolver(p *Problem, base solverBase, cfg config) (*fabpSolver, error) {
+	if p.K() != 2 {
+		return nil, fmt.Errorf("core: FABP needs k=2 classes, got k=%d: %w", p.K(), errs.ErrDimensionMismatch)
+	}
+	// Any valid k=2 residual coupling has the form [[ĥ,−ĥ],[−ĥ,ĥ]];
+	// the scaled ĥ is its (0,0) entry.
+	hhat := base.eps * p.Ho.At(0, 0)
+	eng, err := fabp.NewEngine(p.Graph, hhat, fabp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	if err != nil {
+		return nil, err
+	}
+	return &fabpSolver{
+		solverBase: base,
+		eng:        eng,
+		es:         make([]float64, base.n),
+		bs:         make([]float64, base.n),
+	}, nil
+}
+
+func (s *fabpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	dst := beliefs.New(s.n, s.k)
+	info, err := s.SolveInto(ctx, dst, e)
+	return s.finish(dst, info, err)
+}
+
+func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if s.closed {
+		return SolveInfo{}, s.errClosed()
+	}
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves++
+	ed := e.Matrix().Data()
+	for i := 0; i < s.n; i++ {
+		s.es[i] = ed[i*2]
+	}
+	iters, delta, converged, err := s.eng.SolveInto(ctx, s.bs, s.es)
+	dd := dst.Matrix().Data()
+	for i, b := range s.bs {
+		dd[i*2], dd[i*2+1] = b, -b
+	}
+	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+}
+
+func (s *fabpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	if s.closed {
+		return s.failAllBase(reqs, s.errClosed())
+	}
+	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+}
+
+func (s *fabpSolver) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.eng.Close()
+	return nil
+}
+
+// failAllBase fills the cached response slice with one shared error.
+func (b *solverBase) failAllBase(reqs []Request, err error) []Response {
+	resp := b.resp[:0]
+	for range reqs {
+		resp = append(resp, Response{Err: err})
+	}
+	b.resp = resp
+	return resp
+}

@@ -12,21 +12,24 @@
 package coupling
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/errs"
 )
 
-// Validation errors returned by Validate and NewResidual.
+// Validation errors returned by Validate and NewResidual. Each wraps
+// errs.ErrInvalidCoupling, so callers of the solver API can classify
+// any coupling defect with errors.Is(err, ErrInvalidCoupling) while
+// still matching the specific failure here.
 var (
-	ErrNotSquare        = errors.New("coupling: matrix is not square")
-	ErrNotSymmetric     = errors.New("coupling: matrix is not symmetric")
-	ErrNotStochastic    = errors.New("coupling: rows/columns do not sum to 1")
-	ErrNegativeEntry    = errors.New("coupling: negative entry")
-	ErrResidualRowSum   = errors.New("coupling: residual rows/columns do not sum to 0")
-	ErrResidualTooLarge = errors.New("coupling: residual entries must stay within (-1/k, 1-1/k)")
+	ErrNotSquare        = fmt.Errorf("coupling: matrix is not square: %w", errs.ErrInvalidCoupling)
+	ErrNotSymmetric     = fmt.Errorf("coupling: matrix is not symmetric: %w", errs.ErrInvalidCoupling)
+	ErrNotStochastic    = fmt.Errorf("coupling: rows/columns do not sum to 1: %w", errs.ErrInvalidCoupling)
+	ErrNegativeEntry    = fmt.Errorf("coupling: negative entry: %w", errs.ErrInvalidCoupling)
+	ErrResidualRowSum   = fmt.Errorf("coupling: residual rows/columns do not sum to 0: %w", errs.ErrInvalidCoupling)
+	ErrResidualTooLarge = fmt.Errorf("coupling: residual entries must stay within (-1/k, 1-1/k): %w", errs.ErrInvalidCoupling)
 )
 
 // tol is the numeric slack used by all validations.
@@ -179,7 +182,7 @@ func Sinkhorn(m *dense.Matrix, maxIter int, tolerance float64) (*dense.Matrix, e
 			return out, nil
 		}
 	}
-	return nil, errors.New("coupling: Sinkhorn did not converge")
+	return nil, fmt.Errorf("coupling: Sinkhorn did not converge: %w", errs.ErrNotConverged)
 }
 
 // Homophily returns the k×k residual coupling matrix where each class

@@ -1,0 +1,29 @@
+// Package errs defines the sentinel errors of the public solver API.
+// It is a leaf package so that every layer — the kernel-facing method
+// implementations (bp, linbp, sbp, fabp), the coupling validators, and
+// the core dispatch — can wrap the same sentinels with fmt.Errorf("%w")
+// and callers can classify failures uniformly with errors.Is/As instead
+// of matching message strings.
+package errs
+
+import "errors"
+
+var (
+	// ErrNotConverged reports that an iterative solve exhausted its
+	// iteration budget before reaching the convergence tolerance. The
+	// partial result (the last iterate) is still returned alongside it.
+	ErrNotConverged = errors.New("solver did not converge")
+
+	// ErrDimensionMismatch reports inconsistent shapes between the
+	// graph, the explicit beliefs, the coupling matrix, or a
+	// caller-provided destination buffer.
+	ErrDimensionMismatch = errors.New("dimension mismatch")
+
+	// ErrInvalidCoupling reports a coupling matrix that violates the
+	// paper's requirements (square, symmetric, doubly stochastic /
+	// centered residual, entries in range).
+	ErrInvalidCoupling = errors.New("invalid coupling matrix")
+
+	// ErrClosed reports use of a solver after Close.
+	ErrClosed = errors.New("solver is closed")
+)

@@ -14,11 +14,12 @@
 package fabp
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/kernel"
 )
@@ -64,22 +65,32 @@ func Coefficients(hhat float64) (c1, c2 float64) {
 	return 2 * hhat / den, 4 * hhat * hhat / den
 }
 
-// Run solves the binary steady-state system iteratively:
-// b ← e + c1·A·b − c2·D·b starting from b = 0. e holds the class-0
-// residual of the explicit beliefs (0 for unlabeled nodes).
+// Engine is a binary FABP solver prepared once for a fixed graph and
+// residual coupling strength ĥ and reused across solves — the k = 1
+// instance of the fused kernel engine with the echo coupling overridden
+// to c2 (Appendix E's coefficient is not c1², so the override hook
+// exists precisely for this collapse). Steady-state SolveInto calls
+// perform zero allocations.
 //
-// The iteration is the k = 1 instance of the fused kernel engine with
-// the echo coupling overridden to c2 (Appendix E's coefficient is not
-// c1², so the override hook exists precisely for this collapse).
-func Run(g *graph.Graph, e []float64, hhat float64, opts Options) (*Result, error) {
+// An Engine is not safe for concurrent use. Call Close when done.
+type Engine struct {
+	eng    *kernel.Engine
+	ws     *kernel.Workspace
+	n      int
+	opts   Options
+	closed bool
+}
+
+// NewEngine prepares a reusable binary solver for graph g and residual
+// coupling strength hhat (|ĥ| must be < 1/2, else the linearization's
+// implicit (I−Hˆ²)⁻¹ does not exist and ErrInvalidCoupling is wrapped).
+func NewEngine(g *graph.Graph, hhat float64, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	n := g.N()
-	if len(e) != n {
-		return nil, errors.New("fabp: explicit belief vector length mismatch")
+	if math.Abs(hhat) >= 0.5 {
+		return nil, fmt.Errorf("fabp: |ĥ| = %v must be < 1/2: %w", hhat, errs.ErrInvalidCoupling)
 	}
 	c1, c2 := Coefficients(hhat)
 	ws := kernel.GetWorkspace()
-	defer ws.Release()
 	eng, err := kernel.New(kernel.Config{
 		A:     g.Adjacency(),
 		D:     g.WeightedDegrees(),
@@ -87,15 +98,68 @@ func Run(g *graph.Graph, e []float64, hhat float64, opts Options) (*Result, erro
 		EchoH: dense.NewFromRows([][]float64{{c2}}),
 	}, ws)
 	if err != nil {
+		ws.Release()
 		return nil, fmt.Errorf("fabp: %w", err)
 	}
-	defer eng.Close()
-	eng.SetExplicit(e)
+	return &Engine{eng: eng, ws: ws, n: g.N(), opts: opts}, nil
+}
 
-	res := &Result{}
-	res.Iterations, res.Delta, res.Converged = eng.Run(opts.MaxIter, opts.Tol, nil)
-	res.B = make([]float64, n)
-	copy(res.B, eng.Beliefs())
+// SolveInto runs the Jacobi iteration for the class-0 explicit
+// residuals e and writes the final scalar beliefs into dst (length n,
+// overwritten). ctx is checked at every kernel round boundary; on
+// cancellation the solve aborts with ctx.Err() and dst holds the last
+// completed iterate.
+func (s *Engine) SolveInto(ctx context.Context, dst, e []float64) (iters int, delta float64, converged bool, err error) {
+	if s.closed {
+		return 0, 0, false, fmt.Errorf("fabp: %w", errs.ErrClosed)
+	}
+	if len(e) != s.n || len(dst) != s.n {
+		return 0, 0, false, fmt.Errorf("fabp: belief vector lengths %d/%d do not match n=%d: %w", len(e), len(dst), s.n, errs.ErrDimensionMismatch)
+	}
+	s.eng.ResetFast()
+	s.eng.SetExplicit(e)
+	iters, delta, converged, err = s.eng.RunContext(ctx, s.opts.MaxIter, s.opts.Tol, nil)
+	if iters == 0 {
+		// Nothing ran: the last completed iterate is the zero start,
+		// and with ResetFast the engine buffer may hold a prior solve.
+		for i := range dst {
+			dst[i] = 0
+		}
+		return iters, delta, converged, err
+	}
+	copy(dst, s.eng.Beliefs())
+	return iters, delta, converged, err
+}
+
+// Close releases the kernel engine and its pooled workspace. Close is
+// idempotent; the engine must not be used afterwards.
+func (s *Engine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.eng.Close()
+	s.ws.Release()
+}
+
+// Run solves the binary steady-state system iteratively:
+// b ← e + c1·A·b − c2·D·b starting from b = 0. e holds the class-0
+// residual of the explicit beliefs (0 for unlabeled nodes).
+func Run(g *graph.Graph, e []float64, hhat float64, opts Options) (*Result, error) {
+	n := g.N()
+	if len(e) != n {
+		return nil, fmt.Errorf("fabp: explicit belief vector length %d does not match n=%d: %w", len(e), n, errs.ErrDimensionMismatch)
+	}
+	eng, err := NewEngine(g, hhat, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	res := &Result{B: make([]float64, n)}
+	res.Iterations, res.Delta, res.Converged, err = eng.SolveInto(context.Background(), res.B, e)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -19,9 +19,20 @@
 // persistent goroutine pool (the role Parallel Colt played in the
 // paper's JAVA implementation); each worker reduces a local max-delta
 // and the engine folds them at the join.
+//
+// Two serving-oriented hooks extend the basic round loop. RunContext
+// checks context cancellation at every round boundary, so a deadline or
+// cancel aborts a running solve within one kernel round. Config.Blocks
+// batches several independent solves over the same (A, D, H) into one
+// engine: the belief state widens to n×(blocks·k), each round traverses
+// the CSR once for the whole batch (the sparse product reads each
+// neighbor row as one contiguous blocks·k span instead of `blocks`
+// scattered k-wide loads), and the coupling is applied block-diagonally
+// so every block evolves exactly as it would alone.
 package kernel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,6 +59,13 @@ type Config struct {
 	// Workers sets the goroutine count for row-partitioned steps.
 	// Values <= 1 select the serial kernel.
 	Workers int
+	// Blocks batches that many independent solves sharing (A, D, H)
+	// into one engine. The flat state becomes n×(blocks·k) with the
+	// blocks interleaved per node, and H is applied per k-block, so
+	// each block evolves exactly as it would alone (up to the
+	// summation order of the blocked vs unrolled coupling multiply,
+	// ~1 ulp per round). Values <= 1 select the plain engine.
+	Blocks int
 }
 
 // span is one contiguous, nnz-balanced row range of a parallel pass.
@@ -64,6 +82,7 @@ type Workspace struct {
 	cur, next []float64
 	scratch   []float64 // per-worker A·B row scratch, cache-line padded
 	hbuf      []float64 // flat H and H₂/EchoH, 2·k² values
+	act       []byte    // per-node activity map for the sparse round 2
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
@@ -76,13 +95,18 @@ func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
 // the workspace (or any engine built on it) afterwards.
 func (w *Workspace) Release() { wsPool.Put(w) }
 
-// grow resizes the workspace for an n×k problem, reusing existing
-// capacity whenever possible.
-func (w *Workspace) grow(n, k, workers int) {
-	w.cur = growSlice(w.cur, n*k)
-	w.next = growSlice(w.next, n*k)
-	w.scratch = growSlice(w.scratch, workers*scratchStride(k))
+// grow resizes the workspace for a problem with n rows of width wd
+// (wd = blocks·k) and a k×k coupling, reusing existing capacity
+// whenever possible.
+func (w *Workspace) grow(n, wd, k, workers int) {
+	w.cur = growSlice(w.cur, n*wd)
+	w.next = growSlice(w.next, n*wd)
+	w.scratch = growSlice(w.scratch, workers*scratchStride(wd))
 	w.hbuf = growSlice(w.hbuf, 2*k*k)
+	if cap(w.act) < n {
+		w.act = make([]byte, n)
+	}
+	w.act = w.act[:n]
 }
 
 func growSlice(s []float64, n int) []float64 {
@@ -98,12 +122,33 @@ func growSlice(s []float64, n int) []float64 {
 type Engine struct {
 	a       *sparse.CSR
 	d       []float64
-	e       []float64 // explicit residuals Eˆ, flat n×k; nil reads as 0
+	e       []float64 // explicit residuals Eˆ, flat n×wd; nil reads as 0
 	h, h2   []float64 // flat k×k coupling and echo coupling
 	n, k    int
+	blocks  int // independent solves batched into this engine
+	wd      int // row width: blocks·k
 	echo    bool
 	workers int
 	ws      *Workspace
+
+	// startZero marks that the belief state is the all-zero start of
+	// Section 3, letting the next Step shortcut to Bˆ¹ = Eˆ (the sparse
+	// product of a zero matrix contributes nothing), which skips one
+	// full SpMM round on every solve-from-scratch.
+	startZero bool
+	// track enables the per-entry max-delta reduction. RunContext
+	// clears it for the non-final rounds of fixed-round runs (tol < 0
+	// with no per-iteration observer), where the intermediate deltas
+	// are never read.
+	track bool
+	// sparseNext marks that the state equals Eˆ (the shortcut round
+	// just ran), so the next round may skip neighbors whose belief row
+	// is entirely zero — explicit beliefs are sparse, making round 2
+	// mostly dead loads. act is the per-node nonzero map for that
+	// round (nil in dense rounds); skipping exact-zero rows leaves the
+	// arithmetic bitwise identical.
+	sparseNext bool
+	act        []byte
 
 	// Parallel machinery, spawned lazily on the first parallel pass.
 	spans   []span
@@ -138,19 +183,26 @@ func New(cfg Config, ws *Workspace) (*Engine, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	blocks := cfg.Blocks
+	if blocks < 1 {
+		blocks = 1
+	}
 	if ws == nil {
 		ws = new(Workspace)
 	}
-	ws.grow(n, k, workers)
+	ws.grow(n, blocks*k, k, workers)
 
 	e := &Engine{
 		a:       cfg.A,
 		d:       cfg.D,
 		n:       n,
 		k:       k,
+		blocks:  blocks,
+		wd:      blocks * k,
 		echo:    cfg.D != nil,
 		workers: workers,
 		ws:      ws,
+		track:   true,
 	}
 	// Hoist H (and the echo coupling) into flat row-major slices once.
 	e.h = ws.hbuf[:k*k]
@@ -195,39 +247,104 @@ func (e *Engine) Reset() {
 	for i := range e.ws.cur {
 		e.ws.cur[i] = 0
 	}
+	e.startZero = true
+	e.sparseNext = false
 }
 
-// SetStart warm-starts the iteration from b (flat n×k, copied).
+// ResetFast marks the zero start of Section 3 without clearing the
+// state buffer: the first Step's Bˆ¹ = Eˆ shortcut overwrites the state
+// in full (or zeroes it when Eˆ is nil), so the eager clear would be
+// redundant stores. Callers that might read Beliefs before completing
+// a round must use Reset.
+func (e *Engine) ResetFast() {
+	e.checkOpen()
+	e.startZero = true
+	e.sparseNext = false
+}
+
+// Width returns the flat row width of the engine's state: k for a
+// single-problem engine, blocks·k for a batched one.
+func (e *Engine) Width() int { return e.wd }
+
+// SetStart warm-starts the iteration from b (flat n×width, copied).
 func (e *Engine) SetStart(b []float64) {
 	e.checkOpen()
-	if len(b) != e.n*e.k {
-		panic(fmt.Sprintf("kernel: start length %d, want %d", len(b), e.n*e.k))
+	if len(b) != e.n*e.wd {
+		panic(fmt.Sprintf("kernel: start length %d, want %d", len(b), e.n*e.wd))
 	}
 	copy(e.ws.cur, b)
+	e.startZero = false
+	e.sparseNext = false
 }
 
-// SetExplicit installs the explicit residual beliefs Eˆ (flat n×k). The
-// slice is retained, not copied, so callers may mutate entries between
-// steps (the incremental solver does). nil means Eˆ = 0.
+// SetExplicit installs the explicit residual beliefs Eˆ (flat n×width).
+// The slice is retained, not copied, so callers may mutate entries
+// between steps (the incremental solver does). nil means Eˆ = 0.
 func (e *Engine) SetExplicit(explicit []float64) {
-	if explicit != nil && len(explicit) != e.n*e.k {
-		panic(fmt.Sprintf("kernel: explicit length %d, want %d", len(explicit), e.n*e.k))
+	if explicit != nil && len(explicit) != e.n*e.wd {
+		panic(fmt.Sprintf("kernel: explicit length %d, want %d", len(explicit), e.n*e.wd))
 	}
 	e.e = explicit
 }
 
-// Beliefs returns the current belief state as a flat n×k view of the
-// engine's buffer. Valid until the next Step/Run; treat as read-only.
+// Beliefs returns the current belief state as a flat n×width view of
+// the engine's buffer. Valid until the next Step/Run; treat as
+// read-only.
 func (e *Engine) Beliefs() []float64 {
 	e.checkOpen()
-	return e.ws.cur[:e.n*e.k]
+	return e.ws.cur[:e.n*e.wd]
 }
 
 // Step executes one fused update round and returns the maximum absolute
 // belief change. Steady-state Steps perform no allocations.
 func (e *Engine) Step() float64 {
 	e.checkOpen()
+	if e.startZero {
+		// Bˆ¹ = Eˆ + A·0·Hˆ − D∘(0·Hˆ₂) = Eˆ exactly: the first round
+		// from the zero start is a copy, no sparse pass needed. The
+		// copy doubles as the scan for the per-node activity map that
+		// lets the next round skip all-zero neighbor rows.
+		e.startZero = false
+		state := e.ws.cur[:e.n*e.wd]
+		if e.e == nil {
+			// Eˆ = 0: the zero state is the fixpoint step. Clear it
+			// explicitly so the shortcut also covers ResetFast.
+			for i := range state {
+				state[i] = 0
+			}
+			return 0
+		}
+		copy(state, e.e)
+		act := e.ws.act[:e.n]
+		wd := e.wd
+		var delta float64
+		for i := 0; i < e.n; i++ {
+			row := state[i*wd : i*wd+wd]
+			var a byte
+			for _, v := range row {
+				if v != 0 {
+					a = 1
+					break
+				}
+			}
+			act[i] = a
+			if e.track {
+				for _, v := range row {
+					delta = delta1(delta, v, 0)
+				}
+			}
+		}
+		e.sparseNext = true
+		return delta
+	}
+	if e.sparseNext {
+		e.sparseNext = false
+		e.act = e.ws.act[:e.n]
+	} else {
+		e.act = nil
+	}
 	delta := e.pass()
+	e.act = nil
 	e.ws.cur, e.ws.next = e.ws.next, e.ws.cur
 	return delta
 }
@@ -236,28 +353,56 @@ func (e *Engine) Step() float64 {
 // drops to tol (tol < 0 forces exactly maxIter rounds, the paper's
 // timing setup). onIter, if non-nil, observes every round.
 func (e *Engine) Run(maxIter int, tol float64, onIter func(iter int, delta float64)) (iters int, delta float64, converged bool) {
+	iters, delta, converged, _ = e.RunContext(context.Background(), maxIter, tol, onIter)
+	return iters, delta, converged
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at
+// every round boundary, so a cancelled context or an expired deadline
+// aborts the solve within one kernel round. On abort it returns the
+// rounds completed so far and ctx.Err() (context.Canceled or
+// context.DeadlineExceeded); the belief state holds the last completed
+// iterate. A nil ctx disables the checks.
+func (e *Engine) RunContext(ctx context.Context, maxIter int, tol float64, onIter func(iter int, delta float64)) (iters int, delta float64, converged bool, err error) {
+	e.checkOpen()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	// Fixed-round runs with no observer never read the intermediate
+	// deltas; skip the per-entry reduction until the final round.
+	skipDelta := tol < 0 && onIter == nil
+	defer func() { e.track = true }()
 	for iters < maxIter {
+		if done != nil {
+			select {
+			case <-done:
+				return iters, delta, false, ctx.Err()
+			default:
+			}
+		}
+		e.track = !skipDelta || iters+1 == maxIter
 		delta = e.Step()
 		iters++
 		if onIter != nil {
 			onIter(iters, delta)
 		}
 		if delta <= tol {
-			return iters, delta, true
+			return iters, delta, true, nil
 		}
 	}
-	return iters, delta, false
+	return iters, delta, false, nil
 }
 
 // ApplyInto computes dst = A·src·H − D∘(src·H₂) — the bare update
 // operator without the explicit-belief term — through the same fused
 // row kernels as Step. It backs spectral.LinBPOp's power iteration
 // (Lemma 8), so the spectral criteria and the solver share one
-// implementation of the operator. dst and src are flat n×k and must
-// not alias. The engine's iteration state is left untouched.
+// implementation of the operator. dst and src are flat n×width and
+// must not alias. The engine's iteration state is left untouched.
 func (e *Engine) ApplyInto(dst, src []float64) {
 	e.checkOpen()
-	if len(src) != e.n*e.k || len(dst) != e.n*e.k {
+	if len(src) != e.n*e.wd || len(dst) != e.n*e.wd {
 		panic("kernel: ApplyInto dimension mismatch")
 	}
 	savedCur, savedNext, savedE := e.ws.cur, e.ws.next, e.e
@@ -284,7 +429,7 @@ func (e *Engine) pass() float64 {
 	}
 	// The serial fallback runs the identical row kernel as the parallel
 	// spans, so results are bitwise identical across Workers settings.
-	return e.rows(0, e.n, e.ws.scratch[:scratchStride(e.k)])
+	return e.rows(0, e.n, e.ws.scratch[:scratchStride(e.wd)])
 }
 
 // startWorkers lazily spawns the persistent goroutine pool and the
@@ -297,7 +442,7 @@ func (e *Engine) startWorkers() {
 	}
 	nspans := e.workers * 4
 	target := e.a.NNZ()/nspans + 1
-	stride := scratchStride(e.k)
+	stride := scratchStride(e.wd)
 	e.spans = e.spans[:0]
 	lo, acc := 0, 0
 	for i := 0; i < e.n; i++ {
@@ -334,21 +479,212 @@ func (e *Engine) Close() {
 
 // rows processes rows [lo, hi) of one update round, fused: sparse
 // product, coupling multiply, echo term, and local max delta in a
-// single pass per row. scratch provides k floats of per-worker storage
-// for the generic-k path.
+// single pass per row. scratch provides width floats of per-worker
+// storage for the generic/blocked path.
 func (e *Engine) rows(lo, hi int, scratch []float64) float64 {
-	switch e.k {
-	case 1:
-		return e.rows1(lo, hi)
-	case 2:
-		return e.rows2(lo, hi)
-	case 3:
-		return e.rows3(lo, hi)
-	case 5:
-		return e.rows5(lo, hi)
-	default:
-		return e.rowsGeneric(lo, hi, scratch)
+	if e.blocks == 1 {
+		switch e.k {
+		case 1:
+			return e.rows1(lo, hi)
+		case 2:
+			return e.rows2(lo, hi)
+		case 3:
+			return e.rows3(lo, hi)
+		case 5:
+			return e.rows5(lo, hi)
+		}
+	} else {
+		// Register-blocked batch fast paths: narrow enough (width 12)
+		// that all accumulators stay in registers, with the column
+		// index and value loads shared across the whole chunk. The
+		// summation order matches the single-problem fast paths, so
+		// each block is bitwise identical to its own serial solve.
+		switch {
+		case e.k == 3 && e.blocks == 4:
+			return e.rows3x4(lo, hi)
+		case e.k == 2 && e.blocks == 6:
+			return e.rows2x6(lo, hi)
+		}
 	}
+	return e.rowsBlocked(lo, hi, scratch)
+}
+
+// rows3x4 fuses four k=3 solves (width 12): one CSR traversal per row
+// feeds twelve register accumulators, then the coupling and echo terms
+// are applied per block exactly as rows3 does.
+func (e *Engine) rows3x4(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h, g := e.h, e.h2
+	h00, h01, h02 := h[0], h[1], h[2]
+	h10, h11, h12 := h[3], h[4], h[5]
+	h20, h21, h22 := h[6], h[7], h[8]
+	g00, g01, g02 := g[0], g[1], g[2]
+	g10, g11, g12 := g[3], g[4], g[5]
+	g20, g21, g22 := g[6], g[7], g[8]
+	act := e.act
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11 float64
+		for p, j := range cols {
+			if act != nil && act[j] == 0 {
+				continue // neighbor's belief row is exactly zero
+			}
+			v := vals[p]
+			x := cur[j*12 : j*12+12]
+			a0 += v * x[0]
+			a1 += v * x[1]
+			a2 += v * x[2]
+			a3 += v * x[3]
+			a4 += v * x[4]
+			a5 += v * x[5]
+			a6 += v * x[6]
+			a7 += v * x[7]
+			a8 += v * x[8]
+			a9 += v * x[9]
+			a10 += v * x[10]
+			a11 += v * x[11]
+		}
+		b := cur[i*12 : i*12+12]
+		nx := next[i*12 : i*12+12]
+		var e0, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11 float64
+		if e.e != nil {
+			er := e.e[i*12 : i*12+12]
+			e0, e1, e2, e3, e4, e5 = er[0], er[1], er[2], er[3], er[4], er[5]
+			e6, e7, e8, e9, e10, e11 = er[6], er[7], er[8], er[9], er[10], er[11]
+		}
+		v0 := e0 + (a0*h00 + a1*h10 + a2*h20)
+		v1 := e1 + (a0*h01 + a1*h11 + a2*h21)
+		v2 := e2 + (a0*h02 + a1*h12 + a2*h22)
+		v3 := e3 + (a3*h00 + a4*h10 + a5*h20)
+		v4 := e4 + (a3*h01 + a4*h11 + a5*h21)
+		v5 := e5 + (a3*h02 + a4*h12 + a5*h22)
+		v6 := e6 + (a6*h00 + a7*h10 + a8*h20)
+		v7 := e7 + (a6*h01 + a7*h11 + a8*h21)
+		v8 := e8 + (a6*h02 + a7*h12 + a8*h22)
+		v9 := e9 + (a9*h00 + a10*h10 + a11*h20)
+		v10 := e10 + (a9*h01 + a10*h11 + a11*h21)
+		v11 := e11 + (a9*h02 + a10*h12 + a11*h22)
+		if e.echo {
+			di := e.d[i]
+			v0 -= di * (b[0]*g00 + b[1]*g10 + b[2]*g20)
+			v1 -= di * (b[0]*g01 + b[1]*g11 + b[2]*g21)
+			v2 -= di * (b[0]*g02 + b[1]*g12 + b[2]*g22)
+			v3 -= di * (b[3]*g00 + b[4]*g10 + b[5]*g20)
+			v4 -= di * (b[3]*g01 + b[4]*g11 + b[5]*g21)
+			v5 -= di * (b[3]*g02 + b[4]*g12 + b[5]*g22)
+			v6 -= di * (b[6]*g00 + b[7]*g10 + b[8]*g20)
+			v7 -= di * (b[6]*g01 + b[7]*g11 + b[8]*g21)
+			v8 -= di * (b[6]*g02 + b[7]*g12 + b[8]*g22)
+			v9 -= di * (b[9]*g00 + b[10]*g10 + b[11]*g20)
+			v10 -= di * (b[9]*g01 + b[10]*g11 + b[11]*g21)
+			v11 -= di * (b[9]*g02 + b[10]*g12 + b[11]*g22)
+		}
+		if e.track {
+			delta = delta1(delta, v0, b[0])
+			delta = delta1(delta, v1, b[1])
+			delta = delta1(delta, v2, b[2])
+			delta = delta1(delta, v3, b[3])
+			delta = delta1(delta, v4, b[4])
+			delta = delta1(delta, v5, b[5])
+			delta = delta1(delta, v6, b[6])
+			delta = delta1(delta, v7, b[7])
+			delta = delta1(delta, v8, b[8])
+			delta = delta1(delta, v9, b[9])
+			delta = delta1(delta, v10, b[10])
+			delta = delta1(delta, v11, b[11])
+		}
+		nx[0], nx[1], nx[2], nx[3], nx[4], nx[5] = v0, v1, v2, v3, v4, v5
+		nx[6], nx[7], nx[8], nx[9], nx[10], nx[11] = v6, v7, v8, v9, v10, v11
+	}
+	return delta
+}
+
+// rows2x6 fuses six k=2 solves (width 12), the k=2 analogue of rows3x4
+// with the summation order of rows2.
+func (e *Engine) rows2x6(lo, hi int) float64 {
+	cur, next := e.ws.cur, e.ws.next
+	h00, h01, h10, h11 := e.h[0], e.h[1], e.h[2], e.h[3]
+	g00, g01, g10, g11 := e.h2[0], e.h2[1], e.h2[2], e.h2[3]
+	act := e.act
+	var delta float64
+	for i := lo; i < hi; i++ {
+		cols, vals := e.a.RowView(i)
+		vals = vals[:len(cols)]
+		var a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11 float64
+		for p, j := range cols {
+			if act != nil && act[j] == 0 {
+				continue // neighbor's belief row is exactly zero
+			}
+			v := vals[p]
+			x := cur[j*12 : j*12+12]
+			a0 += v * x[0]
+			a1 += v * x[1]
+			a2 += v * x[2]
+			a3 += v * x[3]
+			a4 += v * x[4]
+			a5 += v * x[5]
+			a6 += v * x[6]
+			a7 += v * x[7]
+			a8 += v * x[8]
+			a9 += v * x[9]
+			a10 += v * x[10]
+			a11 += v * x[11]
+		}
+		b := cur[i*12 : i*12+12]
+		nx := next[i*12 : i*12+12]
+		var e0, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11 float64
+		if e.e != nil {
+			er := e.e[i*12 : i*12+12]
+			e0, e1, e2, e3, e4, e5 = er[0], er[1], er[2], er[3], er[4], er[5]
+			e6, e7, e8, e9, e10, e11 = er[6], er[7], er[8], er[9], er[10], er[11]
+		}
+		v0 := e0 + (a0*h00 + a1*h10)
+		v1 := e1 + (a0*h01 + a1*h11)
+		v2 := e2 + (a2*h00 + a3*h10)
+		v3 := e3 + (a2*h01 + a3*h11)
+		v4 := e4 + (a4*h00 + a5*h10)
+		v5 := e5 + (a4*h01 + a5*h11)
+		v6 := e6 + (a6*h00 + a7*h10)
+		v7 := e7 + (a6*h01 + a7*h11)
+		v8 := e8 + (a8*h00 + a9*h10)
+		v9 := e9 + (a8*h01 + a9*h11)
+		v10 := e10 + (a10*h00 + a11*h10)
+		v11 := e11 + (a10*h01 + a11*h11)
+		if e.echo {
+			di := e.d[i]
+			v0 -= di * (b[0]*g00 + b[1]*g10)
+			v1 -= di * (b[0]*g01 + b[1]*g11)
+			v2 -= di * (b[2]*g00 + b[3]*g10)
+			v3 -= di * (b[2]*g01 + b[3]*g11)
+			v4 -= di * (b[4]*g00 + b[5]*g10)
+			v5 -= di * (b[4]*g01 + b[5]*g11)
+			v6 -= di * (b[6]*g00 + b[7]*g10)
+			v7 -= di * (b[6]*g01 + b[7]*g11)
+			v8 -= di * (b[8]*g00 + b[9]*g10)
+			v9 -= di * (b[8]*g01 + b[9]*g11)
+			v10 -= di * (b[10]*g00 + b[11]*g10)
+			v11 -= di * (b[10]*g01 + b[11]*g11)
+		}
+		if e.track {
+			delta = delta1(delta, v0, b[0])
+			delta = delta1(delta, v1, b[1])
+			delta = delta1(delta, v2, b[2])
+			delta = delta1(delta, v3, b[3])
+			delta = delta1(delta, v4, b[4])
+			delta = delta1(delta, v5, b[5])
+			delta = delta1(delta, v6, b[6])
+			delta = delta1(delta, v7, b[7])
+			delta = delta1(delta, v8, b[8])
+			delta = delta1(delta, v9, b[9])
+			delta = delta1(delta, v10, b[10])
+			delta = delta1(delta, v11, b[11])
+		}
+		nx[0], nx[1], nx[2], nx[3], nx[4], nx[5] = v0, v1, v2, v3, v4, v5
+		nx[6], nx[7], nx[8], nx[9], nx[10], nx[11] = v6, v7, v8, v9, v10, v11
+	}
+	return delta
 }
 
 // delta1 folds one element change into the running max, mapping the NaN
@@ -386,7 +722,9 @@ func (e *Engine) rows1(lo, hi int) float64 {
 		if e.echo {
 			v -= e.d[i] * cur[i] * h2
 		}
-		delta = delta1(delta, v, cur[i])
+		if e.track {
+			delta = delta1(delta, v, cur[i])
+		}
 		next[i] = v
 	}
 	return delta
@@ -420,8 +758,10 @@ func (e *Engine) rows2(lo, hi int) float64 {
 			v0 -= di * (b[0]*g00 + b[1]*g10)
 			v1 -= di * (b[0]*g01 + b[1]*g11)
 		}
-		delta = delta1(delta, v0, b[0])
-		delta = delta1(delta, v1, b[1])
+		if e.track {
+			delta = delta1(delta, v0, b[0])
+			delta = delta1(delta, v1, b[1])
+		}
 		nx := next[i*2 : i*2+2]
 		nx[0], nx[1] = v0, v1
 	}
@@ -463,9 +803,11 @@ func (e *Engine) rows3(lo, hi int) float64 {
 			v1 -= di * (b[0]*g01 + b[1]*g11 + b[2]*g21)
 			v2 -= di * (b[0]*g02 + b[1]*g12 + b[2]*g22)
 		}
-		delta = delta1(delta, v0, b[0])
-		delta = delta1(delta, v1, b[1])
-		delta = delta1(delta, v2, b[2])
+		if e.track {
+			delta = delta1(delta, v0, b[0])
+			delta = delta1(delta, v1, b[1])
+			delta = delta1(delta, v2, b[2])
+		}
 		nx := next[i*3 : i*3+3]
 		nx[0], nx[1], nx[2] = v0, v1, v2
 	}
@@ -508,24 +850,31 @@ func (e *Engine) rows5(lo, hi int) float64 {
 			v3 -= di * (b[0]*g[3] + b[1]*g[8] + b[2]*g[13] + b[3]*g[18] + b[4]*g[23])
 			v4 -= di * (b[0]*g[4] + b[1]*g[9] + b[2]*g[14] + b[3]*g[19] + b[4]*g[24])
 		}
-		delta = delta1(delta, v0, b[0])
-		delta = delta1(delta, v1, b[1])
-		delta = delta1(delta, v2, b[2])
-		delta = delta1(delta, v3, b[3])
-		delta = delta1(delta, v4, b[4])
+		if e.track {
+			delta = delta1(delta, v0, b[0])
+			delta = delta1(delta, v1, b[1])
+			delta = delta1(delta, v2, b[2])
+			delta = delta1(delta, v3, b[3])
+			delta = delta1(delta, v4, b[4])
+		}
 		nx := next[i*5 : i*5+5]
 		nx[0], nx[1], nx[2], nx[3], nx[4] = v0, v1, v2, v3, v4
 	}
 	return delta
 }
 
-// rowsGeneric handles arbitrary k with a per-worker scratch row, still
-// fused into a single pass per row.
-func (e *Engine) rowsGeneric(lo, hi int, scratch []float64) float64 {
+// rowsBlocked handles arbitrary k and any block count with a per-worker
+// scratch row, still fused into a single pass per row. The sparse
+// product accumulates the full width (all blocks of a neighbor row are
+// contiguous, so a batched engine reads each neighbor once for every
+// request in the batch), then the coupling and echo terms are applied
+// per k-block so each block evolves exactly as in a blocks=1 engine.
+func (e *Engine) rowsBlocked(lo, hi int, scratch []float64) float64 {
 	cur, next := e.ws.cur, e.ws.next
-	k := e.k
+	k, wd := e.k, e.wd
 	h, h2 := e.h, e.h2
-	ab := scratch[:k]
+	ab := scratch[:wd]
+	act := e.act
 	var delta float64
 	for i := lo; i < hi; i++ {
 		for c := range ab {
@@ -534,31 +883,40 @@ func (e *Engine) rowsGeneric(lo, hi int, scratch []float64) float64 {
 		cols, vals := e.a.RowView(i)
 		vals = vals[:len(cols)]
 		for p, j := range cols {
+			if act != nil && act[j] == 0 {
+				continue // neighbor's belief row is exactly zero
+			}
 			v := vals[p]
-			x := cur[j*k : j*k+k]
+			x := cur[j*wd : j*wd+wd]
 			for c, xv := range x {
 				ab[c] += v * xv
 			}
 		}
-		bRow := cur[i*k : i*k+k]
-		nxRow := next[i*k : i*k+k]
-		for c := 0; c < k; c++ {
-			var v float64
-			if e.e != nil {
-				v = e.e[i*k+c]
-			}
-			for j, abv := range ab {
-				v += abv * h[j*k+c]
-			}
-			if e.echo {
-				var s float64
-				for j, bv := range bRow {
-					s += bv * h2[j*k+c]
+		bRow := cur[i*wd : i*wd+wd]
+		nxRow := next[i*wd : i*wd+wd]
+		for b := 0; b < wd; b += k {
+			abb := ab[b : b+k]
+			bb := bRow[b : b+k]
+			for c := 0; c < k; c++ {
+				var v float64
+				if e.e != nil {
+					v = e.e[i*wd+b+c]
 				}
-				v -= e.d[i] * s
+				for j, abv := range abb {
+					v += abv * h[j*k+c]
+				}
+				if e.echo {
+					var s float64
+					for j, bv := range bb {
+						s += bv * h2[j*k+c]
+					}
+					v -= e.d[i] * s
+				}
+				if e.track {
+					delta = delta1(delta, v, bb[c])
+				}
+				nxRow[b+c] = v
 			}
-			delta = delta1(delta, v, bRow[c])
-			nxRow[c] = v
 		}
 	}
 	return delta

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -326,5 +328,165 @@ func TestEngineUseAfterClosePanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestEngineBlockedMatchesSingle checks the multi-block batch path:
+// every block of a Blocks=B engine must evolve exactly as the same
+// problem does in its own single engine. For k outside the unrolled
+// fast paths both sides run the blocked kernel and match bitwise; for
+// unrolled k the summation order of the coupling multiply differs by
+// ~1 ulp per round.
+func TestEngineBlockedMatchesSingle(t *testing.T) {
+	const blocks, iters = 5, 6
+	for _, tc := range []struct {
+		k   int
+		tol float64
+	}{
+		{4, 0},     // generic path on both sides: bitwise
+		{3, 1e-13}, // unrolled single vs blocked: rounding only
+	} {
+		n := 97
+		a := randomCSR(n, 6, 7)
+		h := randomCoupling(tc.k, 9)
+		d := degrees(a)
+		for _, echo := range []bool{false, true} {
+			var dd []float64
+			if echo {
+				dd = d
+			}
+			// Per-block explicit beliefs and reference engines.
+			rng := xrand.New(31)
+			es := make([][]float64, blocks)
+			refs := make([][]float64, blocks)
+			for b := range es {
+				es[b] = make([]float64, n*tc.k)
+				for i := range es[b] {
+					if rng.Float64() < 0.3 {
+						es[b][i] = rng.Float64() - 0.5
+					}
+				}
+				single, err := New(Config{A: a, D: dd, H: h}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				single.SetExplicit(es[b])
+				for it := 0; it < iters; it++ {
+					single.Step()
+				}
+				refs[b] = append([]float64(nil), single.Beliefs()...)
+				single.Close()
+			}
+			// One blocked engine with the interleaved explicit beliefs.
+			batched, err := New(Config{A: a, D: dd, H: h, Blocks: blocks}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batched.Width() != blocks*tc.k {
+				t.Fatalf("width = %d", batched.Width())
+			}
+			ein := make([]float64, n*blocks*tc.k)
+			for b := range es {
+				for i := 0; i < n; i++ {
+					copy(ein[(i*blocks+b)*tc.k:(i*blocks+b)*tc.k+tc.k], es[b][i*tc.k:i*tc.k+tc.k])
+				}
+			}
+			batched.SetExplicit(ein)
+			for it := 0; it < iters; it++ {
+				batched.Step()
+			}
+			state := batched.Beliefs()
+			for b := range es {
+				for i := 0; i < n; i++ {
+					for c := 0; c < tc.k; c++ {
+						got := state[(i*blocks+b)*tc.k+c]
+						want := refs[b][i*tc.k+c]
+						if math.Abs(got-want) > tc.tol {
+							t.Fatalf("k=%d echo=%v block %d node %d class %d: %g, want %g",
+								tc.k, echo, b, i, c, got, want)
+						}
+					}
+				}
+			}
+			batched.Close()
+		}
+	}
+}
+
+// TestEngineBlockedParallelMatchesSerial checks that the worker pool
+// produces identical results on a blocked engine (spans are row-based,
+// independent of width).
+func TestEngineBlockedParallelMatchesSerial(t *testing.T) {
+	n, k, blocks := 257, 3, 4
+	a := randomCSR(n, 5, 3)
+	h := randomCoupling(k, 5)
+	e := make([]float64, n*blocks*k)
+	rng := xrand.New(8)
+	for i := range e {
+		e[i] = rng.Float64() - 0.5
+	}
+	var want []float64
+	for _, workers := range []int{1, 4} {
+		eng, err := New(Config{A: a, D: degrees(a), H: h, Blocks: blocks, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetExplicit(e)
+		for it := 0; it < 5; it++ {
+			eng.Step()
+		}
+		if workers == 1 {
+			want = append([]float64(nil), eng.Beliefs()...)
+		} else {
+			for i, v := range eng.Beliefs() {
+				if v != want[i] {
+					t.Fatalf("workers=%d: state[%d] = %g, want %g", workers, i, v, want[i])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestRunContext covers the cancellation hooks: a pre-cancelled
+// context runs zero rounds, a context cancelled mid-run aborts within
+// one round, and a background context matches Run.
+func TestRunContext(t *testing.T) {
+	a := randomCSR(64, 4, 13)
+	h := randomCoupling(2, 2)
+	e := make([]float64, 64*2)
+	e[0] = 0.1
+	eng, err := New(Config{A: a, D: degrees(a), H: h}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.SetExplicit(e)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	iters, _, converged, err := eng.RunContext(ctx, 100, -1, nil)
+	if iters != 0 || converged || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: iters=%d converged=%v err=%v", iters, converged, err)
+	}
+
+	// Cancel from the iteration callback: the run must stop on the
+	// next round boundary.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	eng.Reset()
+	stopAt := 3
+	iters, _, _, err = eng.RunContext(ctx2, 100, -1, func(it int, _ float64) {
+		if it == stopAt {
+			cancel2()
+		}
+	})
+	if iters != stopAt || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: iters=%d err=%v", iters, err)
+	}
+
+	eng.Reset()
+	iters, _, _, err = eng.RunContext(context.Background(), 7, -1, nil)
+	if iters != 7 || err != nil {
+		t.Fatalf("background ctx: iters=%d err=%v", iters, err)
 	}
 }

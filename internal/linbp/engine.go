@@ -1,10 +1,12 @@
 package linbp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/kernel"
 )
@@ -18,10 +20,11 @@ import (
 // An Engine is not safe for concurrent use; run one per goroutine or
 // serialize access. Call Close when done.
 type Engine struct {
-	eng  *kernel.Engine
-	ws   *kernel.Workspace
-	n, k int
-	opts Options
+	eng    *kernel.Engine
+	ws     *kernel.Workspace
+	n, k   int
+	opts   Options
+	closed bool
 }
 
 // NewEngine prepares a reusable solver for graph g and residual
@@ -31,7 +34,7 @@ func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	n, k := g.N(), h.Rows()
 	if h.Cols() != k {
-		return nil, fmt.Errorf("linbp: coupling matrix %dx%d is not square", h.Rows(), h.Cols())
+		return nil, fmt.Errorf("linbp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
 	}
 	var d []float64
 	if opts.EchoCancellation {
@@ -61,22 +64,48 @@ func (s *Engine) Solve(e *beliefs.Residual) (*Result, error) {
 // residual beliefs into dst (n×k, overwritten). In steady state it
 // performs no allocations.
 func (s *Engine) SolveInto(dst *beliefs.Residual, e *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
+	return s.SolveIntoContext(context.Background(), dst, e)
+}
+
+// SolveIntoContext is SolveInto with cooperative cancellation: ctx is
+// checked at every kernel round boundary, and on cancellation the
+// solve aborts with ctx.Err() after at most one more round. dst then
+// holds the last completed iterate.
+func (s *Engine) SolveIntoContext(ctx context.Context, dst *beliefs.Residual, e *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
+	if s.closed {
+		return 0, 0, false, fmt.Errorf("linbp: %w", errs.ErrClosed)
+	}
 	if e.N() != s.n || e.K() != s.k {
-		return 0, 0, false, fmt.Errorf("linbp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), s.n, s.k)
+		return 0, 0, false, fmt.Errorf("linbp: belief matrix %dx%d does not match n=%d k=%d: %w", e.N(), e.K(), s.n, s.k, errs.ErrDimensionMismatch)
 	}
 	if dst.N() != s.n || dst.K() != s.k {
-		return 0, 0, false, fmt.Errorf("linbp: destination matrix %dx%d does not match n=%d k=%d", dst.N(), dst.K(), s.n, s.k)
+		return 0, 0, false, fmt.Errorf("linbp: destination matrix %dx%d does not match n=%d k=%d: %w", dst.N(), dst.K(), s.n, s.k, errs.ErrDimensionMismatch)
 	}
-	s.eng.Reset()
+	s.eng.ResetFast()
 	s.eng.SetExplicit(e.Matrix().Data())
-	iters, delta, converged = s.eng.Run(s.opts.MaxIter, s.opts.Tol, s.opts.OnIteration)
-	copy(dst.Matrix().Data(), s.eng.Beliefs())
-	return iters, delta, converged, nil
+	iters, delta, converged, err = s.eng.RunContext(ctx, s.opts.MaxIter, s.opts.Tol, s.opts.OnIteration)
+	dd := dst.Matrix().Data()
+	if iters == 0 {
+		// Nothing ran (pre-cancelled context or a zero iteration cap):
+		// the last completed iterate is the zero start, and with
+		// ResetFast the engine buffer may hold a previous solve.
+		for i := range dd {
+			dd[i] = 0
+		}
+		return iters, delta, converged, err
+	}
+	copy(dd, s.eng.Beliefs())
+	return iters, delta, converged, err
 }
 
 // Close releases the worker pool and returns the workspace to the
-// package pool. The engine must not be used afterwards.
+// package pool. The engine must not be used afterwards; Close is
+// idempotent.
 func (s *Engine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	s.eng.Close()
 	s.ws.Release()
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/spectral"
 )
@@ -45,12 +46,20 @@ type Options struct {
 	Workers int
 }
 
+// DefaultMaxIter and DefaultTol are the zero-value defaults of Options,
+// exported so the prepared-solver batch path iterates under exactly the
+// same cap and tolerance as a one-shot run.
+const (
+	DefaultMaxIter = 100
+	DefaultTol     = 1e-12
+)
+
 func (o Options) withDefaults() Options {
 	if o.MaxIter == 0 {
-		o.MaxIter = 100
+		o.MaxIter = DefaultMaxIter
 	}
 	if o.Tol == 0 {
-		o.Tol = 1e-12
+		o.Tol = DefaultTol
 	}
 	return o
 }
@@ -70,10 +79,10 @@ type Result struct {
 func validate(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) (n, k int, err error) {
 	n, k = g.N(), h.Rows()
 	if h.Cols() != k {
-		return 0, 0, errors.New("linbp: coupling matrix must be square")
+		return 0, 0, fmt.Errorf("linbp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
 	}
 	if e.N() != n || e.K() != k {
-		return 0, 0, fmt.Errorf("linbp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), n, k)
+		return 0, 0, fmt.Errorf("linbp: belief matrix %dx%d does not match n=%d k=%d: %w", e.N(), e.K(), n, k, errs.ErrDimensionMismatch)
 	}
 	return n, k, nil
 }

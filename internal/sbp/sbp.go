@@ -13,11 +13,12 @@
 package sbp
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 )
 
@@ -41,7 +42,14 @@ type State struct {
 // Because SBP's standardized output is scale-invariant in εH
 // (Section 6.2), h is typically the unscaled Hˆo.
 func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) (*State, error) {
-	return RunInstrumented(g, e, h, nil)
+	return runInstrumented(context.Background(), g, e, h, nil)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked after
+// every geodesic level (SBP's analogue of an iteration round), and on
+// cancellation the partial state is discarded and ctx.Err() returned.
+func RunContext(ctx context.Context, g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) (*State, error) {
+	return runInstrumented(ctx, g, e, h, nil)
 }
 
 // RunInstrumented is Run with a per-level callback: after each geodesic
@@ -50,12 +58,17 @@ func Run(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix) (*State, error) {
 // per-"iteration" work against LinBP's.
 func RunInstrumented(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix,
 	onLevel func(level, nodes int)) (*State, error) {
+	return runInstrumented(context.Background(), g, e, h, onLevel)
+}
+
+func runInstrumented(ctx context.Context, g *graph.Graph, e *beliefs.Residual, h *dense.Matrix,
+	onLevel func(level, nodes int)) (*State, error) {
 	n, k := g.N(), h.Rows()
 	if h.Cols() != k {
-		return nil, errors.New("sbp: coupling matrix must be square")
+		return nil, fmt.Errorf("sbp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
 	}
 	if e.N() != n || e.K() != k {
-		return nil, fmt.Errorf("sbp: belief matrix %dx%d does not match n=%d k=%d", e.N(), e.K(), n, k)
+		return nil, fmt.Errorf("sbp: belief matrix %dx%d does not match n=%d k=%d: %w", e.N(), e.K(), n, k, errs.ErrDimensionMismatch)
 	}
 	st := &State{g: g, h: h, e: e.Clone(), b: beliefs.New(n, k)}
 	st.geo = g.GeodesicNumbers(e.ExplicitNodes())
@@ -74,7 +87,18 @@ func RunInstrumented(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix,
 			maxGeo = gv
 		}
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for level := 1; level <= maxGeo; level++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		nodes := 0
 		for t := 0; t < n; t++ {
 			if st.geo[t] != level {

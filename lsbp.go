@@ -3,9 +3,9 @@
 // Faloutsos; PVLDB 8(5), 2015): node classification on networks with
 // homophily, heterophily, and arbitrary class couplings.
 //
-// The package offers four inference methods over the same problem
-// description (graph + a few explicitly labeled nodes + a k×k coupling
-// matrix):
+// The package offers the paper's inference methods over the same
+// problem description (graph + a few explicitly labeled nodes + a k×k
+// coupling matrix):
 //
 //   - BP        — standard loopy belief propagation (the baseline),
 //   - LinBP     — the paper's linearization with echo cancellation,
@@ -13,9 +13,13 @@
 //   - LinBP*    — LinBP without echo cancellation,
 //   - SBP       — the single-pass semantics where labels depend only on
 //     the nearest labeled neighbors; supports incremental
-//     updates when beliefs or edges are added.
+//     updates when beliefs or edges are added,
+//   - FABP      — the binary (k = 2) scalar collapse of Appendix E.
 //
 // # Quick start
+//
+// Build the problem, prepare a solver once, then solve — repeatedly,
+// if the same network answers many queries:
 //
 //	g := lsbp.NewGraph(4)
 //	g.AddUnitEdge(0, 1)
@@ -27,9 +31,32 @@
 //
 //	p := &lsbp.Problem{Graph: g, Explicit: e,
 //		Ho: lsbp.Homophily(2, 0.8), EpsilonH: 0.1}
-//	res, err := lsbp.Solve(p, lsbp.LinBP, lsbp.Options{})
+//	s, err := lsbp.PrepareLinBP(p)
 //	if err != nil { ... }
+//	defer s.Close()
+//
+//	res, err := s.Solve(ctx, e)
+//	if err != nil { ... }                            // errors.Is(err, lsbp.ErrNotConverged) etc.
 //	for node, classes := range res.Top { ... }
+//
+// The same Solver serves the other methods through Prepare(p, m) or
+// the PrepareBP/PrepareSBP/PrepareFABP constructors, batches
+// independent requests with SolveBatch, keeps steady-state serving
+// allocation-free with SolveInto, and honors context deadlines at
+// iteration-round granularity. Failures carry a typed taxonomy
+// (ErrNotConverged, ErrDimensionMismatch, ErrInvalidCoupling,
+// ErrClosed) for errors.Is/As.
+//
+// # Migration from the legacy one-shot Solve
+//
+// lsbp.Solve(p, m, opts) remains supported as a thin wrapper that
+// prepares a solver, runs one solve, and closes it. Its historical
+// contract is unchanged — non-convergence is reported through
+// Result.Converged rather than as an error, and Options{} zero values
+// select per-method defaults. New code, and any caller that solves the
+// same graph more than once, should use Prepare with functional
+// options (WithWorkers, WithMaxIter, WithTol, WithEchoCancellation,
+// WithAutoEpsilonH) instead.
 //
 // Everything is implemented with the standard library only; the heavy
 // lifting lives in internal packages (sparse CSR kernels, dense linear

@@ -1,0 +1,110 @@
+package lsbp
+
+import (
+	"repro/internal/core"
+)
+
+// Solver is the prepared serving surface shared by all methods: build
+// it once per (graph, coupling, εH) with Prepare or a per-method
+// constructor, then issue many solves for changing explicit beliefs.
+// Preprocessed state — the CSR adjacency, weighted degrees, coupling
+// flats, kernel workspaces, BP's directed-edge layout, SBP's geodesic
+// ordering — is reused across solves, and every iterative loop honors
+// context cancellation at round boundaries.
+//
+//	s, err := lsbp.PrepareLinBP(p, lsbp.WithWorkers(4))
+//	if err != nil { ... }
+//	defer s.Close()
+//	res, err := s.Solve(ctx, e)             // fresh result + top assignment
+//	info, err := s.SolveInto(ctx, dst, e)   // zero-allocation serving path
+//	resps := s.SolveBatch(ctx, reqs)        // fused multi-request rounds
+type Solver = core.Solver
+
+// Option configures Prepare and the per-method constructors.
+type Option = core.Option
+
+// Request is one unit of work for Solver.SolveBatch; set Dst to reuse
+// an output matrix and keep steady-state batches allocation-free.
+type Request = core.Request
+
+// Response is the outcome of one batch request.
+type Response = core.Response
+
+// SolveInfo carries per-solve diagnostics on the serving path.
+type SolveInfo = core.SolveInfo
+
+// SolverStats is a snapshot of a Solver's configuration and serving
+// counters (solves, batches, iterations, non-convergences, cancels,
+// and the effective εH).
+type SolverStats = core.SolverStats
+
+// FABP selects the binary (k = 2) scalar linearization of Appendix E
+// as a fifth Method usable with Prepare and Solve.
+const FABP = core.MethodFABP
+
+// Sentinel errors of the solver API; match with errors.Is.
+var (
+	// ErrNotConverged wraps iterative solves that exhaust their
+	// iteration budget. Prepared solvers return it alongside the last
+	// iterate; the legacy Solve wrapper reports Result.Converged=false
+	// instead.
+	ErrNotConverged = core.ErrNotConverged
+	// ErrDimensionMismatch wraps every shape inconsistency between the
+	// graph, beliefs, couplings, and destination buffers.
+	ErrDimensionMismatch = core.ErrDimensionMismatch
+	// ErrInvalidCoupling wraps every coupling-matrix defect.
+	ErrInvalidCoupling = core.ErrInvalidCoupling
+	// ErrClosed wraps any use of a Solver after Close.
+	ErrClosed = core.ErrClosed
+)
+
+// Prepare validates the problem once and builds a prepared Solver for
+// the method; see Solver for the serving contract.
+func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
+	return core.Prepare(p, m, opts...)
+}
+
+// PrepareBP prepares a standard loopy BP solver (Section 2).
+func PrepareBP(p *Problem, opts ...Option) (Solver, error) {
+	return core.Prepare(p, core.MethodBP, opts...)
+}
+
+// PrepareLinBP prepares a LinBP solver (Eq. 4, echo cancellation on);
+// combine with WithEchoCancellation(false) for LinBP*.
+func PrepareLinBP(p *Problem, opts ...Option) (Solver, error) {
+	return core.Prepare(p, core.MethodLinBP, opts...)
+}
+
+// PrepareSBP prepares a single-pass BP solver (Section 6). Its
+// SolveInto/SolveBatch path caches the geodesic ordering across solves
+// with an unchanged explicit node set; Solve materializes the full
+// incremental state in Result.SBP.
+func PrepareSBP(p *Problem, opts ...Option) (Solver, error) {
+	return core.Prepare(p, core.MethodSBP, opts...)
+}
+
+// PrepareFABP prepares the binary (k = 2) scalar solver of Appendix E
+// on the same Problem surface: explicit beliefs are n×2 residual rows
+// and results come back as (b, −b) rows.
+func PrepareFABP(p *Problem, opts ...Option) (Solver, error) {
+	return core.Prepare(p, core.MethodFABP, opts...)
+}
+
+// WithWorkers sets the kernel worker count for the row-partitioned
+// parallel pass (LinBP/LinBP*/FABP and their batches).
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithMaxIter bounds the update rounds of iterative methods.
+func WithMaxIter(n int) Option { return core.WithMaxIter(n) }
+
+// WithTol sets the convergence tolerance (0 = method default; negative
+// forces exactly MaxIter rounds, the paper's timing setup).
+func WithTol(tol float64) Option { return core.WithTol(tol) }
+
+// WithEchoCancellation selects LinBP (true) or LinBP* (false).
+func WithEchoCancellation(on bool) Option { return core.WithEchoCancellation(on) }
+
+// WithAutoEpsilonH derives εH from the exact convergence criterion
+// (half the Lemma 8 threshold) at preparation time, overriding
+// Problem.EpsilonH; read the chosen value from Stats().EpsilonH.
+func WithAutoEpsilonH() Option { return core.WithAutoEpsilonH() }
