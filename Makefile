@@ -7,15 +7,21 @@
 #   make bench-batch - the prepared-Solver serving benchmark: SolveBatch
 #                   vs sequential one-shot Solve throughput rows into
 #                   BENCH_results.json
+#   make bench-reorder - the graph-layout comparison on a >=100k-node
+#                   Kronecker graph (PR 2 wide/natural layout vs the
+#                   compact-index + auto-reordered one), archived into
+#                   BENCH_results.json
 #   make race     - race-detector pass over the concurrent packages
 #
 # Tuning knobs (see EXPERIMENTS.md):
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
+#   LSBP_BENCH_REORDER_POWER=P  Kronecker power of the layout benchmarks
+#                   (default 11 = 177,147 nodes)
 
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: verify test fmt vet build bench bench-quick bench-batch race
+.PHONY: verify test fmt vet build bench bench-quick bench-batch bench-reorder race
 
 verify: build fmt vet test
 
@@ -47,4 +53,8 @@ bench-quick:
 
 bench-batch:
 	$(GO) test -bench 'SolveBatch' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-reorder:
+	$(GO) test -bench 'BenchmarkReorder' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json

@@ -466,3 +466,113 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// reorderBenchPower returns the Kronecker power of the layout
+// benchmarks: default 11 (177,147 nodes / ~4.2M directed entries — the
+// ≥100k-node scalability regime of Fig. 7 where layout matters),
+// overridable with LSBP_BENCH_REORDER_POWER for quick runs.
+func reorderBenchPower() int {
+	if s := os.Getenv("LSBP_BENCH_REORDER_POWER"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 && v <= 13 {
+			return v
+		}
+	}
+	return 11
+}
+
+// BenchmarkReorderLinBP compares the prepared graph layouts on a large
+// Kronecker workload (5 fixed LinBP rounds per solve, the paper's
+// timing convention; same tol/iters across variants):
+//
+//   - pr2_wide_natural — the PR 2 data plane: natural node order, wide
+//     (int) CSR indices, the original row kernels;
+//   - compact_natural — the compact-index layout (int32 stream +
+//     hoisted kernels), natural order;
+//   - compact_auto — compact indices plus the auto-chosen prepare-time
+//     reordering (what Prepare does by default on graphs this size).
+//
+// The acceptance bar of the layout PR is compact_auto ≥ 1.3× faster
+// than pr2_wide_natural. The few B/op shown are the ErrNotConverged
+// wrap of the fixed-round convention; the converged serving path stays
+// at 0 allocs/op under every layout (TestReorderingZeroAlloc).
+func BenchmarkReorderLinBP(b *testing.B) {
+	power := reorderBenchPower()
+	g := gen.Kronecker(power)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 1})
+	p := &core.Problem{Graph: g, Explicit: beliefs.New(g.N(), 3), Ho: coupling.Fig6bResidual(), EpsilonH: 0.001}
+	g.Adjacency()
+	g.WeightedDegrees()
+	for _, tc := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"pr2_wide_natural", []core.Option{core.WithReordering(core.ReorderNone), core.WithCompactIndices(false)}},
+		{"compact_natural", []core.Option{core.WithReordering(core.ReorderNone)}},
+		{"compact_auto", []core.Option{core.WithReordering(core.ReorderAuto)}},
+	} {
+		opts := append([]core.Option{core.WithMaxIter(timingIters), core.WithTol(-1)}, tc.opts...)
+		b.Run(fmt.Sprintf("%s/power%d_nodes%d", tc.name, power, g.N()), func(b *testing.B) {
+			s, err := core.Prepare(p, core.MethodLinBP, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			dst := beliefs.New(g.N(), 3)
+			ctx := context.Background()
+			if _, err := s.SolveInto(ctx, dst, e); err != nil && !errors.Is(err, core.ErrNotConverged) {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveInto(ctx, dst, e); err != nil && !errors.Is(err, core.ErrNotConverged) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReorderSolveBatch extends the layout comparison to the fused
+// multi-request path: one 4-request SolveBatch per op over the same
+// large Kronecker graph, PR 2 layout vs the auto-reordered compact one.
+func BenchmarkReorderSolveBatch(b *testing.B) {
+	power := reorderBenchPower()
+	g := gen.Kronecker(power)
+	p := &core.Problem{Graph: g, Explicit: beliefs.New(g.N(), 3), Ho: coupling.Fig6bResidual(), EpsilonH: 0.001}
+	g.Adjacency()
+	g.WeightedDegrees()
+	const nreq = 4 // one register-blocked rows3x4 chunk
+	reqs := make([]core.Request, nreq)
+	for i := range reqs {
+		e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: uint64(i + 1)})
+		reqs[i] = core.Request{E: e, Dst: beliefs.New(g.N(), 3)}
+	}
+	for _, tc := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"pr2_wide_natural", []core.Option{core.WithReordering(core.ReorderNone), core.WithCompactIndices(false)}},
+		{"compact_auto", []core.Option{core.WithReordering(core.ReorderAuto)}},
+	} {
+		opts := append([]core.Option{core.WithMaxIter(timingIters), core.WithTol(-1)}, tc.opts...)
+		b.Run(fmt.Sprintf("%s/power%d_%dreq", tc.name, power, nreq), func(b *testing.B) {
+			s, err := core.Prepare(p, core.MethodLinBP, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			s.SolveBatch(ctx, reqs) // warm the fused engine
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range s.SolveBatch(ctx, reqs) {
+					if r.Err != nil && !errors.Is(r.Err, core.ErrNotConverged) {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 		tol       = flag.Float64("tol", 0, "convergence tolerance (0 = method default; negative forces maxiter rounds)")
 		workers   = flag.Int("workers", 0, "kernel worker goroutines (0 = serial)")
 		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		orderFlag = flag.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
+		verbose   = flag.Bool("v", false, "print the solver stats line (ordering, bandwidth, iterations) to stderr")
 	)
 	flag.Parse()
 	if *edgesPath == "" || *labelPath == "" {
@@ -65,7 +67,13 @@ func main() {
 	m, err := parseMethod(*method)
 	check(err)
 
-	opts := []lsbp.Option{lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol), lsbp.WithWorkers(*workers)}
+	reorder, err := lsbp.ParseReordering(*orderFlag)
+	check(err)
+
+	opts := []lsbp.Option{
+		lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol),
+		lsbp.WithWorkers(*workers), lsbp.WithReordering(reorder),
+	}
 	if *eps == 0 && m != lsbp.SBP {
 		opts = append(opts, lsbp.WithAutoEpsilonH())
 	}
@@ -93,6 +101,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %v did not converge (delta %g)\n", m, res.Delta)
 	default:
 		check(err)
+	}
+
+	if *verbose {
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "stats: method=%v n=%d k=%d ordering=%v bandwidth=%d→%d iters=%d converged=%v\n",
+			st.Method, st.N, st.K, st.Ordering, st.BandwidthBefore, st.BandwidthAfter, res.Iterations, res.Converged)
 	}
 
 	w := bufio.NewWriter(os.Stdout)

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	lsbp "repro"
 )
 
 func write(t *testing.T, name, content string) string {
@@ -96,5 +98,17 @@ func TestParseMethod(t *testing.T) {
 	}
 	if _, err := parseMethod("nope"); err == nil {
 		t.Fatal("unknown method must error")
+	}
+}
+
+func TestOrderFlagValues(t *testing.T) {
+	// The -order flag accepts exactly the four optimizer spellings.
+	for _, v := range []string{"auto", "rcm", "degree", "none"} {
+		if _, err := lsbp.ParseReordering(v); err != nil {
+			t.Fatalf("-order %s must parse: %v", v, err)
+		}
+	}
+	if _, err := lsbp.ParseReordering("fastest"); err == nil {
+		t.Fatal("unknown -order value must be rejected")
 	}
 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// reorderProblem builds one instance per topology for the round-trip
+// suite: a random graph and a Kronecker power, both big enough that the
+// forced orderings actually shuffle, both small enough to stay fast.
+func reorderProblems(t *testing.T, k int) map[string]*Problem {
+	t.Helper()
+	out := map[string]*Problem{}
+	gr := gen.Random(400, 900, uint64(k))
+	er, _ := beliefs.Seed(400, k, beliefs.SeedConfig{Fraction: 0.08, Seed: uint64(k + 1)})
+	out["random"] = &Problem{Graph: gr, Explicit: er, Ho: coupling.Homophily(k, 0.8), EpsilonH: 0.01}
+	gk := gen.Kronecker(5) // 243 nodes
+	ek, _ := beliefs.Seed(gk.N(), k, beliefs.SeedConfig{Fraction: 0.08, Seed: uint64(k + 2)})
+	out["kronecker"] = &Problem{Graph: gk, Explicit: ek, Ho: coupling.Homophily(k, 0.8), EpsilonH: 0.01}
+	for name, p := range out {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	return out
+}
+
+// TestReorderingRoundTrip is the layout optimizer's contract: for every
+// method, class count, topology, and forced ordering, the reordered
+// solve must match the natural-order solve within 1e-12, with the
+// ordering recorded in Stats.
+func TestReorderingRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		for name, p := range reorderProblems(t, k) {
+			for _, m := range []Method{MethodBP, MethodLinBP, MethodLinBPStar, MethodSBP, MethodFABP} {
+				if m == MethodFABP && k != 2 {
+					continue
+				}
+				base, err := Prepare(p, m, WithReordering(ReorderNone), WithMaxIter(300))
+				if err != nil {
+					t.Fatalf("k=%d %s %v: %v", k, name, m, err)
+				}
+				want := beliefs.New(p.Graph.N(), k)
+				if _, err := base.SolveInto(context.Background(), want, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+					t.Fatalf("k=%d %s %v natural: %v", k, name, m, err)
+				}
+				base.Close()
+				for _, r := range []Reordering{ReorderRCM, ReorderDegree} {
+					s, err := Prepare(p, m, WithReordering(r), WithMaxIter(300))
+					if err != nil {
+						t.Fatalf("k=%d %s %v %v: %v", k, name, m, r, err)
+					}
+					st := s.Stats()
+					if st.Ordering != r {
+						t.Fatalf("k=%d %s %v: Stats.Ordering = %v, want %v", k, name, m, st.Ordering, r)
+					}
+					if st.BandwidthBefore <= 0 {
+						t.Fatalf("k=%d %s %v: BandwidthBefore = %d", k, name, m, st.BandwidthBefore)
+					}
+					got := beliefs.New(p.Graph.N(), k)
+					if _, err := s.SolveInto(context.Background(), got, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+						t.Fatalf("k=%d %s %v %v: %v", k, name, m, r, err)
+					}
+					if d := maxAbsDiff(got, want); d > 1e-12 {
+						t.Fatalf("k=%d %s %v %v: reordered vs natural max diff %g", k, name, m, r, d)
+					}
+					// The allocating Solve path must agree too (top
+					// assignment built on un-permuted beliefs).
+					res, err := s.Solve(context.Background(), p.Explicit)
+					if err != nil && !errors.Is(err, ErrNotConverged) {
+						t.Fatal(err)
+					}
+					if d := maxAbsDiff(res.Beliefs, want); d > 1e-12 {
+						t.Fatalf("k=%d %s %v %v: Solve path diff %g", k, name, m, r, d)
+					}
+					s.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestReorderingSolveBatch checks the fused batch path across chunk
+// boundaries under a forced reordering: 7 requests at k=3 run as one
+// 4-block chunk plus one 3-block chunk, and each response must match
+// the per-request natural-order solve.
+func TestReorderingSolveBatch(t *testing.T) {
+	ps := reorderProblems(t, 3)
+	for name, p := range ps {
+		natural, err := Prepare(p, MethodLinBP, WithReordering(ReorderNone), WithMaxIter(5), WithTol(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reordered, err := Prepare(p, MethodLinBP, WithReordering(ReorderRCM), WithMaxIter(5), WithTol(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nreq = 7 // 4 + 3: spans a chunk boundary
+		reqs := make([]Request, nreq)
+		for i := range reqs {
+			e, _ := beliefs.Seed(p.Graph.N(), 3, beliefs.SeedConfig{Fraction: 0.1, Seed: uint64(i + 40)})
+			reqs[i] = Request{E: e, Dst: beliefs.New(p.Graph.N(), 3)}
+		}
+		resps := reordered.SolveBatch(context.Background(), reqs)
+		dst := beliefs.New(p.Graph.N(), 3)
+		for i, r := range resps {
+			if r.Err != nil && !errors.Is(r.Err, ErrNotConverged) {
+				t.Fatalf("%s request %d: %v", name, i, r.Err)
+			}
+			if _, err := natural.SolveInto(context.Background(), dst, reqs[i].E); err != nil && !errors.Is(err, ErrNotConverged) {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(r.Beliefs, dst); d > 1e-12 {
+				t.Fatalf("%s request %d: reordered batch vs natural solve diff %g", name, i, d)
+			}
+		}
+		natural.Close()
+		reordered.Close()
+	}
+}
+
+// TestReorderingZeroAlloc extends the serving guarantee to reordered
+// layouts: the permutation shuffles ride along in preallocated
+// scratch, so SolveInto stays at zero steady-state allocations for the
+// kernel-backed methods and SolveBatch does not regress.
+func TestReorderingZeroAlloc(t *testing.T) {
+	p3 := reorderProblems(t, 3)["random"]
+	p2 := reorderProblems(t, 2)["random"]
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		p    *Problem
+		m    Method
+	}{
+		{"LinBP", p3, MethodLinBP},
+		{"LinBPStar", p3, MethodLinBPStar},
+		{"FABP", p2, MethodFABP},
+	} {
+		s, err := Prepare(tc.p, tc.m, WithReordering(ReorderRCM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := beliefs.New(tc.p.Graph.N(), tc.p.K())
+		if _, err := s.SolveInto(ctx, dst, tc.p.Explicit); err != nil {
+			t.Fatalf("%s warm: %v", tc.name, err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			s.SolveInto(ctx, dst, tc.p.Explicit)
+		})
+		if allocs > 0 {
+			t.Errorf("%s: %v allocs per reordered SolveInto, want 0", tc.name, allocs)
+		}
+		s.Close()
+	}
+
+	// Batch path: recurring size with caller destinations.
+	s, err := Prepare(p3, MethodLinBP, WithReordering(ReorderRCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		e, _ := beliefs.Seed(p3.Graph.N(), 3, beliefs.SeedConfig{Fraction: 0.1, Seed: uint64(i + 90)})
+		reqs[i] = Request{E: e, Dst: beliefs.New(p3.Graph.N(), 3)}
+	}
+	s.SolveBatch(ctx, reqs) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, r := range s.SolveBatch(ctx, reqs) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("%v allocs per reordered SolveBatch, want 0", allocs)
+	}
+}
+
+// TestReorderAutoSmallGraphIsNone pins the auto heuristic's size gate:
+// preparing a small graph under the default auto strategy must keep the
+// natural order (and therefore stay bitwise identical to PR 2 results).
+func TestReorderAutoSmallGraphIsNone(t *testing.T) {
+	p := reorderProblems(t, 3)["random"]
+	s, err := Prepare(p, MethodLinBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().Ordering; got != ReorderNone {
+		t.Fatalf("auto ordering on a small graph = %v, want none", got)
+	}
+	if p.Graph.N() >= order.AutoMinNodes {
+		t.Fatal("test graph unexpectedly at or above the auto gate")
+	}
+}
+
+// TestReorderingWideLayout checks WithCompactIndices(false) — the PR 2
+// wide-index baseline — against the default compact layout: results
+// must be bitwise identical (the index width never changes arithmetic).
+func TestReorderingWideLayout(t *testing.T) {
+	p := reorderProblems(t, 3)["kronecker"]
+	wide, err := Prepare(p, MethodLinBP, WithCompactIndices(false), WithMaxIter(20), WithTol(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wide.Close()
+	compact, err := Prepare(p, MethodLinBP, WithCompactIndices(true), WithMaxIter(20), WithTol(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer compact.Close()
+	a := beliefs.New(p.Graph.N(), 3)
+	b := beliefs.New(p.Graph.N(), 3)
+	if _, err := wide.SolveInto(context.Background(), a, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+		t.Fatal(err)
+	}
+	if _, err := compact.SolveInto(context.Background(), b, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(a, b); d != 0 {
+		t.Fatalf("wide vs compact layouts differ by %g, want bitwise identity", d)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/linbp"
+	"repro/internal/order"
 	"repro/internal/sbp"
 	"repro/internal/sparse"
 )
@@ -39,7 +40,32 @@ type config struct {
 	echo    bool
 	echoSet bool
 	autoEps bool
+	reorder Reordering
+	layout  kernel.Layout
 }
+
+// Reordering selects the prepare-time graph layout strategy; see
+// WithReordering. The zero value is ReorderAuto.
+type Reordering = order.Strategy
+
+// The selectable reorderings (re-exported from internal/order).
+const (
+	// ReorderAuto evaluates RCM and the degree sort with a cheap
+	// edge-span heuristic and keeps the natural order unless one of
+	// them wins; small graphs (below order.AutoMinNodes) always keep
+	// the natural order. The default.
+	ReorderAuto = order.StrategyAuto
+	// ReorderRCM forces reverse Cuthill–McKee.
+	ReorderRCM = order.StrategyRCM
+	// ReorderDegree forces the descending-degree hub-packing sort.
+	ReorderDegree = order.StrategyDegree
+	// ReorderNone keeps the caller's node order.
+	ReorderNone = order.StrategyNone
+)
+
+// ParseReordering maps the flag spellings auto|rcm|degree|none onto
+// Reordering values.
+func ParseReordering(name string) (Reordering, error) { return order.ParseStrategy(name) }
 
 // WithWorkers sets the goroutine count of the fused kernel's
 // row-partitioned parallel pass (LinBP, LinBP*, FABP, and their
@@ -69,6 +95,29 @@ func WithEchoCancellation(on bool) Option {
 // FABP borrow LinBP's criterion; SBP is εH-invariant and ignores it.
 // The chosen value is reported by Stats().EpsilonH.
 func WithAutoEpsilonH() Option { return func(c *config) { c.autoEps = true } }
+
+// WithReordering selects the prepare-time node reordering of the graph
+// layout optimizer (ReorderAuto when unset): the adjacency structure is
+// relabeled once for cache locality, every engine the solver prepares
+// runs over the relabeled layout, and explicit beliefs/results are
+// permuted on the way in/out so callers keep their node ids — with no
+// extra steady-state allocations on SolveInto or SolveBatch. Stats()
+// reports the ordering chosen and the bandwidth before/after.
+func WithReordering(r Reordering) Option { return func(c *config) { c.reorder = r } }
+
+// WithCompactIndices toggles the engines' compact (int32) CSR index
+// layout, on by default whenever the matrix fits it. Turning it off
+// restores the wide layout of PR 2; layout benchmarks and debugging are
+// the only reasons to do so.
+func WithCompactIndices(on bool) Option {
+	return func(c *config) {
+		if on {
+			c.layout = kernel.LayoutCompact
+		} else {
+			c.layout = kernel.LayoutWide
+		}
+	}
+}
 
 // SolveInfo describes one completed solve on the serving path.
 type SolveInfo struct {
@@ -119,6 +168,14 @@ type SolverStats struct {
 	Workers int
 	// EpsilonH is the effective coupling scale (after WithAutoEpsilonH).
 	EpsilonH float64
+	// Ordering is the node reordering the prepare-time layout
+	// optimizer chose — always a concrete strategy (rcm, degree, or
+	// none), never auto.
+	Ordering Reordering
+	// BandwidthBefore and BandwidthAfter are the adjacency bandwidths
+	// under the natural and the chosen ordering (equal when Ordering
+	// is none).
+	BandwidthBefore, BandwidthAfter int
 	// Solves counts completed Solve/SolveInto calls; BatchRequests
 	// counts requests served through SolveBatch (Batches calls) for
 	// every method — batch-internal solves are not double-counted
@@ -205,16 +262,46 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 		}
 	}
 	base := solverBase{method: m, n: p.Graph.N(), k: p.K(), workers: cfg.workers, eps: eps}
+
+	// The layout optimizer runs once per prepared solver: resolve the
+	// reordering strategy on the adjacency structure and record the
+	// locality diagnostics. perm is nil for the natural order.
+	a := p.Graph.Adjacency()
+	perm, chosen := order.Compute(cfg.reorder, a)
+	base.ordering = chosen
+	base.bandBefore = order.Bandwidth(a, nil)
+	base.bandAfter = base.bandBefore
+	if perm != nil {
+		base.bandAfter = order.Bandwidth(a, perm)
+	}
+
 	switch m {
 	case MethodBP:
-		return newBPSolver(p, base, cfg)
+		return newBPSolver(p, base, cfg, perm)
 	case MethodLinBP, MethodLinBPStar:
-		return newLinBPSolver(p, base, cfg)
+		return newLinBPSolver(p, base, cfg, perm)
 	case MethodSBP:
-		return newSBPSolver(p, base)
+		return newSBPSolver(p, base, perm)
 	default:
-		return newFABPSolver(p, base, cfg)
+		return newFABPSolver(p, base, cfg, perm)
 	}
+}
+
+// permutedLayout applies perm to the adjacency and (optionally) the
+// degree vector, returning the relabeled pair. d may be nil.
+func permutedLayout(a *sparse.CSR, d []float64, perm order.Permutation) (*sparse.CSR, []float64) {
+	if perm == nil {
+		return a, d
+	}
+	ap := a.Permute(perm)
+	if d == nil {
+		return ap, nil
+	}
+	dp := make([]float64, len(d))
+	for i, v := range d {
+		dp[perm[i]] = v
+	}
+	return ap, dp
 }
 
 // autoEpsilon is AutoEpsilonH without the method restriction: half the
@@ -240,6 +327,9 @@ type solverBase struct {
 	eps     float64
 	closed  bool
 
+	ordering              Reordering
+	bandBefore, bandAfter int
+
 	solves, batches, batchReqs int64
 	iterations                 int64
 	notConverged, cancelled    int64
@@ -249,6 +339,7 @@ type solverBase struct {
 func (b *solverBase) Stats() SolverStats {
 	return SolverStats{
 		Method: b.method, N: b.n, K: b.k, Workers: b.workers, EpsilonH: b.eps,
+		Ordering: b.ordering, BandwidthBefore: b.bandBefore, BandwidthAfter: b.bandAfter,
 		Solves: b.solves, Batches: b.batches, BatchRequests: b.batchReqs,
 		Iterations: b.iterations, NotConverged: b.notConverged, Cancelled: b.cancelled,
 	}
@@ -354,9 +445,11 @@ type linbpBatchEngine struct {
 // share the graph's CSR, the degree vector, and the coupling.
 type linbpSolver struct {
 	solverBase
-	a       *sparse.CSR
-	d       []float64
+	a       *sparse.CSR // layout-ordered adjacency shared by all engines
+	d       []float64   // matching degrees (nil for LinBP*)
 	h       *dense.Matrix
+	perm    order.Permutation // nil = natural order
+	layout  kernel.Layout
 	maxIter int
 	tol     float64
 
@@ -365,21 +458,30 @@ type linbpSolver struct {
 	chunk []int // scratch: indices of the requests in the current chunk
 }
 
-func newLinBPSolver(p *Problem, base solverBase, cfg config) (*linbpSolver, error) {
+func newLinBPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*linbpSolver, error) {
 	h := coupling.Scale(p.Ho, base.eps)
-	eng, err := linbp.NewEngine(p.Graph, h, linbp.Options{
+	var d []float64
+	if base.method == MethodLinBP {
+		d = p.Graph.WeightedDegrees()
+	}
+	a, d := permutedLayout(p.Graph.Adjacency(), d, perm)
+	eng, err := linbp.NewEngineLayout(a, d, h, perm, linbp.Options{
 		EchoCancellation: base.method == MethodLinBP,
 		MaxIter:          cfg.maxIter,
 		Tol:              cfg.tol,
 		Workers:          cfg.workers,
+		Layout:           cfg.layout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s := &linbpSolver{
 		solverBase: base,
-		a:          p.Graph.Adjacency(),
+		a:          a,
+		d:          d,
 		h:          h,
+		perm:       perm,
+		layout:     cfg.layout,
 		maxIter:    cfg.maxIter,
 		tol:        cfg.tol,
 		eng:        eng,
@@ -390,9 +492,6 @@ func newLinBPSolver(p *Problem, base solverBase, cfg config) (*linbpSolver, erro
 	}
 	if s.tol == 0 {
 		s.tol = linbp.DefaultTol
-	}
-	if base.method == MethodLinBP {
-		s.d = p.Graph.WeightedDegrees()
 	}
 	return s, nil
 }
@@ -433,7 +532,7 @@ func (s *linbpSolver) batchEngine(c int) (*linbpBatchEngine, error) {
 		return be, nil
 	}
 	ws := kernel.GetWorkspace()
-	eng, err := kernel.New(kernel.Config{A: s.a, D: s.d, H: s.h, Workers: s.workers, Blocks: c}, ws)
+	eng, err := kernel.New(kernel.Config{A: s.a, D: s.d, H: s.h, Workers: s.workers, Blocks: c, Layout: s.layout, SymmetricA: true}, ws)
 	if err != nil {
 		ws.Release()
 		return nil, fmt.Errorf("core: batch engine: %w", err)
@@ -512,14 +611,27 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 	// Interleave the chunk's explicit beliefs: node i's blocks·k row
 	// holds request 0..c-1's k-wide rows back to back. Element loops
 	// instead of per-row copy() — at k ∈ {2,3} the memmove call would
-	// cost more than the moved bytes.
+	// cost more than the moved bytes. Under a reordered layout the
+	// permutation rides along in the same pass: node i lands at its
+	// layout position, so the shuffle costs nothing extra.
 	for bi, ri := range chunk {
 		ed := reqs[ri].E.Matrix().Data()
-		for i := 0; i < n; i++ {
-			dst := be.ein[(i*c+bi)*k : (i*c+bi)*k+k]
-			src := ed[i*k : i*k+k]
-			for j := range dst {
-				dst[j] = src[j]
+		if s.perm == nil {
+			for i := 0; i < n; i++ {
+				dst := be.ein[(i*c+bi)*k : (i*c+bi)*k+k]
+				src := ed[i*k : i*k+k]
+				for j := range dst {
+					dst[j] = src[j]
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				pi := s.perm[i]
+				dst := be.ein[(pi*c+bi)*k : (pi*c+bi)*k+k]
+				src := ed[i*k : i*k+k]
+				for j := range dst {
+					dst[j] = src[j]
+				}
 			}
 		}
 	}
@@ -564,11 +676,22 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 			dst = beliefs.New(n, k)
 		}
 		dd := dst.Matrix().Data()
-		for i := 0; i < n; i++ {
-			out := dd[i*k : i*k+k]
-			src := state[(i*c+bi)*k : (i*c+bi)*k+k]
-			for j := range out {
-				out[j] = src[j]
+		if s.perm == nil {
+			for i := 0; i < n; i++ {
+				out := dd[i*k : i*k+k]
+				src := state[(i*c+bi)*k : (i*c+bi)*k+k]
+				for j := range out {
+					out[j] = src[j]
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				pi := s.perm[i]
+				out := dd[i*k : i*k+k]
+				src := state[(pi*c+bi)*k : (pi*c+bi)*k+k]
+				for j := range out {
+					out[j] = src[j]
+				}
 			}
 		}
 		resp[ri].Beliefs = dst
@@ -598,19 +721,32 @@ func (s *linbpSolver) Close() error {
 // bpSolver serves standard loopy BP through a prepared bp.Engine,
 // reusing the directed-edge layout and message buffers across solves.
 // Explicit residuals too large to be valid priors are rescaled per
-// solve exactly as the one-shot Solve always did (Lemma 12).
+// solve exactly as the one-shot Solve always did (Lemma 12). Under a
+// reordered layout the engine runs on the relabeled graph with scratch
+// belief matrices carrying the permutation in and out.
 type bpSolver struct {
 	solverBase
-	eng *bp.Engine
+	eng          *bp.Engine
+	perm         order.Permutation
+	eperm, dperm *beliefs.Residual // layout-order scratch (nil without perm)
 }
 
-func newBPSolver(p *Problem, base solverBase, cfg config) (*bpSolver, error) {
+func newBPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*bpSolver, error) {
 	h := coupling.Uncenter(coupling.Scale(p.Ho, base.eps))
-	eng, err := bp.NewEngine(p.Graph, h, bp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	g := p.Graph
+	if perm != nil {
+		g = g.Permute(perm)
+	}
+	eng, err := bp.NewEngine(g, h, bp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
 	if err != nil {
 		return nil, err
 	}
-	return &bpSolver{solverBase: base, eng: eng}, nil
+	s := &bpSolver{solverBase: base, eng: eng, perm: perm}
+	if perm != nil {
+		s.eperm = beliefs.New(base.n, base.k)
+		s.dperm = beliefs.New(base.n, base.k)
+	}
+	return s, nil
 }
 
 func (s *bpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
@@ -627,7 +763,18 @@ func (s *bpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (Sol
 		return SolveInfo{}, err
 	}
 	s.solves++
-	iters, delta, converged, err := s.eng.SolveInto(ctx, dst, e, bpSafeScale(e))
+	scale := bpSafeScale(e) // row shuffles keep MaxAbs, so original e is fine
+	var iters int
+	var delta float64
+	var converged bool
+	var err error
+	if s.perm == nil {
+		iters, delta, converged, err = s.eng.SolveInto(ctx, dst, e, scale)
+	} else {
+		s.perm.ApplyRows(s.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
+		iters, delta, converged, err = s.eng.SolveInto(ctx, s.dperm, s.eperm, scale)
+		s.perm.InvertRows(dst.Matrix().Data(), s.dperm.Matrix().Data(), s.k)
+	}
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
 }
 
@@ -645,20 +792,33 @@ func (s *bpSolver) Close() error { s.closed = true; return nil }
 // AddExplicitBeliefs/AddEdges); SolveInto and SolveBatch use the
 // prepared Runner, which reuses the geodesic ordering across solves
 // with an unchanged explicit node set. SBP is εH-invariant, so the
-// unscaled Hˆo is used throughout.
+// unscaled Hˆo is used throughout. Under a reordered layout the Runner
+// works on the relabeled graph (the incremental Solve path keeps the
+// caller's graph — its State exposes node ids).
 type sbpSolver struct {
 	solverBase
-	g      *graph.Graph
-	ho     *dense.Matrix
-	runner *sbp.Runner
+	g            *graph.Graph
+	ho           *dense.Matrix
+	runner       *sbp.Runner
+	perm         order.Permutation
+	eperm, dperm *beliefs.Residual // layout-order scratch (nil without perm)
 }
 
-func newSBPSolver(p *Problem, base solverBase) (*sbpSolver, error) {
-	runner, err := sbp.NewRunner(p.Graph, p.Ho)
+func newSBPSolver(p *Problem, base solverBase, perm order.Permutation) (*sbpSolver, error) {
+	g := p.Graph
+	if perm != nil {
+		g = g.Permute(perm)
+	}
+	runner, err := sbp.NewRunner(g, p.Ho)
 	if err != nil {
 		return nil, err
 	}
-	return &sbpSolver{solverBase: base, g: p.Graph, ho: p.Ho, runner: runner}, nil
+	s := &sbpSolver{solverBase: base, g: p.Graph, ho: p.Ho, runner: runner, perm: perm}
+	if perm != nil {
+		s.eperm = beliefs.New(base.n, base.k)
+		s.dperm = beliefs.New(base.n, base.k)
+	}
+	return s, nil
 }
 
 func (s *sbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
@@ -693,7 +853,15 @@ func (s *sbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (So
 		return SolveInfo{}, err
 	}
 	s.solves++
-	levels, err := s.runner.SolveInto(ctx, dst, e)
+	var levels int
+	var err error
+	if s.perm == nil {
+		levels, err = s.runner.SolveInto(ctx, dst, e)
+	} else {
+		s.perm.ApplyRows(s.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
+		levels, err = s.runner.SolveInto(ctx, s.dperm, s.eperm)
+		s.perm.InvertRows(dst.Matrix().Data(), s.dperm.Matrix().Data(), s.k)
+	}
 	info := SolveInfo{Iterations: levels, Converged: err == nil}
 	return s.record(info, err)
 }
@@ -718,23 +886,26 @@ func (s *sbpSolver) Close() error { s.closed = true; return nil }
 type fabpSolver struct {
 	solverBase
 	eng    *fabp.Engine
-	es, bs []float64 // scalar explicit/result scratch
+	perm   order.Permutation
+	es, bs []float64 // scalar explicit/result scratch (layout order)
 }
 
-func newFABPSolver(p *Problem, base solverBase, cfg config) (*fabpSolver, error) {
+func newFABPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*fabpSolver, error) {
 	if p.K() != 2 {
 		return nil, fmt.Errorf("core: FABP needs k=2 classes, got k=%d: %w", p.K(), errs.ErrDimensionMismatch)
 	}
 	// Any valid k=2 residual coupling has the form [[ĥ,−ĥ],[−ĥ,ĥ]];
 	// the scaled ĥ is its (0,0) entry.
 	hhat := base.eps * p.Ho.At(0, 0)
-	eng, err := fabp.NewEngine(p.Graph, hhat, fabp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	a, d := permutedLayout(p.Graph.Adjacency(), p.Graph.WeightedDegrees(), perm)
+	eng, err := fabp.NewEngineCSR(a, d, hhat, fabp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
 	if err != nil {
 		return nil, err
 	}
 	return &fabpSolver{
 		solverBase: base,
 		eng:        eng,
+		perm:       perm,
 		es:         make([]float64, base.n),
 		bs:         make([]float64, base.n),
 	}, nil
@@ -754,14 +925,29 @@ func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (S
 		return SolveInfo{}, err
 	}
 	s.solves++
+	// The scalar collapse/expand copies double as the layout shuffle:
+	// indexing through perm costs nothing extra per element.
 	ed := e.Matrix().Data()
-	for i := 0; i < s.n; i++ {
-		s.es[i] = ed[i*2]
+	if s.perm == nil {
+		for i := 0; i < s.n; i++ {
+			s.es[i] = ed[i*2]
+		}
+	} else {
+		for i := 0; i < s.n; i++ {
+			s.es[s.perm[i]] = ed[i*2]
+		}
 	}
 	iters, delta, converged, err := s.eng.SolveInto(ctx, s.bs, s.es)
 	dd := dst.Matrix().Data()
-	for i, b := range s.bs {
-		dd[i*2], dd[i*2+1] = b, -b
+	if s.perm == nil {
+		for i, b := range s.bs {
+			dd[i*2], dd[i*2+1] = b, -b
+		}
+	} else {
+		for i := 0; i < s.n; i++ {
+			b := s.bs[s.perm[i]]
+			dd[i*2], dd[i*2+1] = b, -b
+		}
 	}
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
 }

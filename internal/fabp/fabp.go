@@ -22,6 +22,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/sparse"
 )
 
 // Options tunes the iterative Jacobi solver. The zero value selects
@@ -85,6 +86,16 @@ type Engine struct {
 // coupling strength hhat (|ĥ| must be < 1/2, else the linearization's
 // implicit (I−Hˆ²)⁻¹ does not exist and ErrInvalidCoupling is wrapped).
 func NewEngine(g *graph.Graph, hhat float64, opts Options) (*Engine, error) {
+	return NewEngineCSR(g.Adjacency(), g.WeightedDegrees(), hhat, opts)
+}
+
+// NewEngineCSR is NewEngine over an explicit adjacency layout: a
+// (possibly reordered) CSR and its matching squared-weight degree
+// vector. The prepared-solver path uses it to run the scalar collapse
+// over a locality-ordered graph; beliefs in the caller's node order are
+// the caller's concern (core permutes them during its scalar
+// expand/collapse copies, for free).
+func NewEngineCSR(a *sparse.CSR, d []float64, hhat float64, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if math.Abs(hhat) >= 0.5 {
 		return nil, fmt.Errorf("fabp: |ĥ| = %v must be < 1/2: %w", hhat, errs.ErrInvalidCoupling)
@@ -92,16 +103,17 @@ func NewEngine(g *graph.Graph, hhat float64, opts Options) (*Engine, error) {
 	c1, c2 := Coefficients(hhat)
 	ws := kernel.GetWorkspace()
 	eng, err := kernel.New(kernel.Config{
-		A:     g.Adjacency(),
-		D:     g.WeightedDegrees(),
-		H:     dense.NewFromRows([][]float64{{c1}}),
-		EchoH: dense.NewFromRows([][]float64{{c2}}),
+		A:          a,
+		D:          d,
+		SymmetricA: true,
+		H:          dense.NewFromRows([][]float64{{c1}}),
+		EchoH:      dense.NewFromRows([][]float64{{c2}}),
 	}, ws)
 	if err != nil {
 		ws.Release()
 		return nil, fmt.Errorf("fabp: %w", err)
 	}
-	return &Engine{eng: eng, ws: ws, n: g.N(), opts: opts}, nil
+	return &Engine{eng: eng, ws: ws, n: a.Rows(), opts: opts}, nil
 }
 
 // SolveInto runs the Jacobi iteration for the class-0 explicit

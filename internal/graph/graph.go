@@ -282,6 +282,29 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Permute returns a copy of the graph with every node relabeled to
+// perm[old] = new — the graph-level counterpart of sparse.CSR.Permute,
+// used by the prepared solvers to hand BP and SBP a locality-ordered
+// network. perm must be a bijection on [0, N).
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: permutation length %d, want %d", len(perm), g.n))
+	}
+	seen := make([]bool, g.n)
+	for old, nw := range perm {
+		if nw < 0 || nw >= g.n || seen[nw] {
+			panic(fmt.Sprintf("graph: invalid permutation entry perm[%d] = %d", old, nw))
+		}
+		seen[nw] = true
+	}
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		c.edges[i] = Edge{S: perm[e.S], T: perm[e.T], W: e.W}
+	}
+	return c
+}
+
 // WriteEdgeList writes the graph as "s t w" lines, one per undirected edge.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -345,6 +368,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	g := New(maxID + 1)
+	g.ReserveEdges(len(lines))
 	for _, l := range lines {
 		g.AddEdge(l.s, l.t, l.w)
 	}

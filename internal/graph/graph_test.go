@@ -294,3 +294,40 @@ func TestSortedEdgesCanonical(t *testing.T) {
 		t.Fatalf("SortedEdges = %v", es)
 	}
 }
+
+func TestPermute(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 4)
+	perm := []int{3, 1, 0, 2} // old -> new
+	p := g.Permute(perm)
+	if p.N() != 4 || p.NumEdges() != 3 {
+		t.Fatalf("shape lost: n=%d m=%d", p.N(), p.NumEdges())
+	}
+	a, pa := g.Adjacency(), p.Adjacency()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if pa.At(perm[i], perm[j]) != a.At(i, j) {
+				t.Fatalf("adjacency entry (%d,%d) lost by Permute", i, j)
+			}
+		}
+	}
+	// Degrees travel with the relabeling.
+	d, pd := g.WeightedDegrees(), p.WeightedDegrees()
+	for i := range d {
+		if pd[perm[i]] != d[i] {
+			t.Fatalf("degree of node %d lost by Permute", i)
+		}
+	}
+	for _, bad := range [][]int{{0, 1}, {0, 0, 2, 3}, {0, 1, 2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("perm %v must panic", bad)
+				}
+			}()
+			g.Permute(bad)
+		}()
+	}
+}

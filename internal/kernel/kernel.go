@@ -66,7 +66,49 @@ type Config struct {
 	// summation order of the blocked vs unrolled coupling multiply,
 	// ~1 ulp per round). Values <= 1 select the plain engine.
 	Blocks int
+	// Layout selects the CSR index representation; see Layout. The
+	// zero value (LayoutAuto) is right for every caller except layout
+	// benchmarks and debugging.
+	Layout Layout
+	// SymmetricA declares that A equals its transpose bitwise (true
+	// for every adjacency built from an undirected graph, including
+	// permuted ones). It licenses the push-based sparse round: the
+	// second round of a solve-from-scratch starts from Bˆ = Eˆ, whose
+	// rows are mostly zero, so instead of pulling over every stored
+	// entry the engine pushes each active row's contribution through
+	// its own adjacency row (= its column, by symmetry) and touches
+	// only the active-incident entries. The summation order matches
+	// the pull kernels term for term, so results stay bitwise
+	// identical.
+	SymmetricA bool
 }
+
+// Layout selects the CSR index representation of an engine.
+type Layout int
+
+const (
+	// LayoutAuto adopts the compact layout whenever the matrix fits
+	// int32 indices — in practice always; the wide form remains for
+	// beyond-int32 matrices and for A/B layout benchmarking.
+	LayoutAuto Layout = iota
+	// LayoutWide pins the engine to the original int-indexed kernels —
+	// the PR 2 data plane, kept verbatim as the comparison baseline
+	// and as the fallback for matrices whose dimensions or nonzero
+	// count exceed int32.
+	LayoutWide
+	// LayoutCompact forces the int32 form (falling back to wide when
+	// the matrix does not fit it).
+	LayoutCompact
+)
+
+// The compact kernels are separate, hand-hoisted implementations: the
+// int32 index stream halves the index bytes per traversal, and every
+// engine field the row loop touches (explicit beliefs, degrees, flags)
+// is copied to locals up front — stores through the output slice keep
+// the compiler from proving the Engine struct unchanged, so the
+// original methods reload those fields on every row. Both paths are
+// bitwise identical in arithmetic order (asserted by the equivalence
+// tests); only the bytes moved and the surrounding scaffolding differ.
 
 // span is one contiguous, nnz-balanced row range of a parallel pass.
 type span struct{ lo, hi int }
@@ -83,6 +125,7 @@ type Workspace struct {
 	scratch   []float64 // per-worker A·B row scratch, cache-line padded
 	hbuf      []float64 // flat H and H₂/EchoH, 2·k² values
 	act       []byte    // per-node activity map for the sparse round 2
+	dirty     []byte    // rows reached by the push-based sparse round
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
@@ -107,6 +150,10 @@ func (w *Workspace) grow(n, wd, k, workers int) {
 		w.act = make([]byte, n)
 	}
 	w.act = w.act[:n]
+	if cap(w.dirty) < n {
+		w.dirty = make([]byte, n)
+	}
+	w.dirty = w.dirty[:n]
 }
 
 func growSlice(s []float64, n int) []float64 {
@@ -120,7 +167,12 @@ func growSlice(s []float64, n int) []float64 {
 // configuration. It is built once per graph and reused across solves;
 // see New for the construction contract and Close for teardown.
 type Engine struct {
-	a       *sparse.CSR
+	a *sparse.CSR
+	// Compact index form; nil on the wide (legacy) layout, which reads
+	// the CSR through RowView instead. vals aliases the CSR values.
+	rp32    []int32
+	ci32    []int32
+	vals    []float64
 	d       []float64
 	e       []float64 // explicit residuals Eˆ, flat n×wd; nil reads as 0
 	h, h2   []float64 // flat k×k coupling and echo coupling
@@ -128,6 +180,7 @@ type Engine struct {
 	blocks  int // independent solves batched into this engine
 	wd      int // row width: blocks·k
 	echo    bool
+	symA    bool // A is bitwise symmetric (Config.SymmetricA)
 	workers int
 	ws      *Workspace
 
@@ -200,9 +253,18 @@ func New(cfg Config, ws *Workspace) (*Engine, error) {
 		blocks:  blocks,
 		wd:      blocks * k,
 		echo:    cfg.D != nil,
+		symA:    cfg.SymmetricA,
 		workers: workers,
 		ws:      ws,
 		track:   true,
+	}
+	// Pick the index layout once; the compact form is built lazily on
+	// the CSR and shared by every engine over the same graph.
+	if cfg.Layout != LayoutWide {
+		if rp32, ci32, ok := cfg.A.CompactIndex(); ok {
+			e.rp32, e.ci32 = rp32, ci32
+			_, _, e.vals = cfg.A.Index()
+		}
 	}
 	// Hoist H (and the echo coupling) into flat row-major slices once.
 	e.h = ws.hbuf[:k*k]
@@ -339,6 +401,13 @@ func (e *Engine) Step() float64 {
 	}
 	if e.sparseNext {
 		e.sparseNext = false
+		if e.sparseRoundEligible() {
+			// Push-based sparse round: touch only the entries incident
+			// to active rows instead of scanning the whole structure.
+			delta := e.sparseRoundCompact()
+			e.ws.cur, e.ws.next = e.ws.next, e.ws.cur
+			return delta
+		}
 		e.act = e.ws.act[:e.n]
 	} else {
 		e.act = nil
@@ -480,8 +549,39 @@ func (e *Engine) Close() {
 // rows processes rows [lo, hi) of one update round, fused: sparse
 // product, coupling multiply, echo term, and local max delta in a
 // single pass per row. scratch provides width floats of per-worker
-// storage for the generic/blocked path.
+// storage for the generic/blocked path. The compact layout dispatches
+// to the hoisted int32 kernels; the wide layout runs the original
+// (PR 2) methods unchanged.
 func (e *Engine) rows(lo, hi int, scratch []float64) float64 {
+	if e.ci32 != nil {
+		// The compact kernels cover the unrolled shapes (the class
+		// counts and batch widths of the paper's workloads); generic
+		// shapes fall through to the wide blocked kernel, whose
+		// scratch-row inner loop gains nothing from the narrower index.
+		// The width-12 batch blocks additionally gate on graph size:
+		// their belief traffic already dominates the index stream, so
+		// the narrower index only pays once the working set leaves
+		// cache — below that the wide register blocks are faster.
+		if e.blocks == 1 {
+			switch e.k {
+			case 1:
+				return e.rows1Compact(lo, hi)
+			case 2:
+				return e.rows2Compact(lo, hi)
+			case 3:
+				return e.rows3Compact(lo, hi)
+			case 5:
+				return e.rows5Compact(lo, hi)
+			}
+		} else if e.n >= compactBatchMinNodes {
+			switch {
+			case e.k == 3 && e.blocks == 4:
+				return e.rows3x4Compact(lo, hi)
+			case e.k == 2 && e.blocks == 6:
+				return e.rows2x6Compact(lo, hi)
+			}
+		}
+	}
 	if e.blocks == 1 {
 		switch e.k {
 		case 1:
@@ -920,4 +1020,34 @@ func (e *Engine) rowsBlocked(lo, hi int, scratch []float64) float64 {
 		}
 	}
 	return delta
+}
+
+// maxSparseRoundWidth bounds the flat row width eligible for the
+// push-based sparse round: its generic epilogue lifts each A·Bˆ block
+// into a fixed-size stack array, so wider engines (which no serving
+// path builds) take the pull round instead.
+const maxSparseRoundWidth = 12
+
+// compactBatchMinNodes is the graph size above which the width-12
+// batch blocks switch to the compact index stream; see rows.
+const compactBatchMinNodes = 1 << 15
+
+// sparseRoundEligible reports whether this engine's round 2 may run as
+// the push-based sparse round: serial, compact layout, bitwise-
+// symmetric A, and a shape whose pull kernel the push epilogue mirrors
+// term for term — the unrolled single-problem class counts everywhere,
+// and the width-12 batch blocks above the size gate (below it the
+// epilogue costs more than the act-skip pull). Generic shapes keep the
+// pull round, whose blocked epilogue accumulates in a different order.
+func (e *Engine) sparseRoundEligible() bool {
+	if !e.symA || e.workers > 1 || e.ci32 == nil {
+		return false
+	}
+	if e.blocks == 1 {
+		return e.k == 1 || e.k == 2 || e.k == 3 || e.k == 5
+	}
+	if e.n < compactBatchMinNodes {
+		return false
+	}
+	return (e.k == 3 && e.blocks == 4) || (e.k == 2 && e.blocks == 6)
 }

@@ -490,3 +490,203 @@ func TestRunContext(t *testing.T) {
 		t.Fatalf("background ctx: iters=%d err=%v", iters, err)
 	}
 }
+
+// TestCompactLayoutBitwiseIdentical pins the compact-index (int32)
+// layout to the wide (int) layout: the index width changes only which
+// bytes the traversal loads, never the arithmetic, so every fast path
+// must produce bitwise-identical iterates — across class counts,
+// echo settings, batch blocks, and the sparse round-2 activity map.
+func TestCompactLayoutBitwiseIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		k, blocks int
+		echo      bool
+	}{
+		{1, 1, true}, {2, 1, true}, {3, 1, true}, {5, 1, true},
+		{4, 1, true},               // generic blocked path
+		{3, 1, false},              // no echo
+		{3, 4, true},               // rows3x4 batch fast path
+		{2, 6, true},               // rows2x6 batch fast path
+		{3, 2, true}, {4, 3, true}, // generic batch widths
+	} {
+		a := randomCSR(300, 6, 11)
+		var d []float64
+		if tc.echo {
+			d = degrees(a)
+		}
+		h := randomCoupling(tc.k, 5)
+		wd := tc.blocks * tc.k
+		e := make([]float64, a.Rows()*wd)
+		for i := 0; i < len(e); i += 17 {
+			e[i] = 0.07
+		}
+
+		wide, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutWide}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutCompact}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if compact.ci32 == nil {
+			t.Fatal("compact engine did not adopt the int32 layout")
+		}
+		if wide.ci32 != nil {
+			t.Fatal("LayoutWide engine must stay on the wide layout")
+		}
+		wide.SetExplicit(e)
+		compact.SetExplicit(e)
+		for round := 0; round < 5; round++ {
+			dw := wide.Step()
+			dc := compact.Step()
+			if dw != dc {
+				t.Fatalf("k=%d blocks=%d echo=%v round %d: delta %g vs %g",
+					tc.k, tc.blocks, tc.echo, round, dw, dc)
+			}
+			bw, bc := wide.Beliefs(), compact.Beliefs()
+			for i := range bw {
+				if bw[i] != bc[i] {
+					t.Fatalf("k=%d blocks=%d echo=%v round %d: beliefs differ at %d: %g vs %g",
+						tc.k, tc.blocks, tc.echo, round, i, bw[i], bc[i])
+				}
+			}
+		}
+		wide.Close()
+		compact.Close()
+	}
+}
+
+// TestCompactLayoutParallel checks the worker-pool pass on the compact
+// layout against the serial wide reference.
+func TestCompactLayoutParallel(t *testing.T) {
+	a := randomCSR(500, 8, 13)
+	d := degrees(a)
+	h := randomCoupling(3, 9)
+	e := make([]float64, a.Rows()*3)
+	for i := 0; i < len(e); i += 7 {
+		e[i] = 0.04
+	}
+	serial, err := New(Config{A: a, D: d, H: h, Layout: LayoutWide}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Config{A: a, D: d, H: h, Workers: 4, Layout: LayoutCompact}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	defer par.Close()
+	serial.SetExplicit(e)
+	par.SetExplicit(e)
+	for round := 0; round < 6; round++ {
+		ds := serial.Step()
+		dp := par.Step()
+		if ds != dp {
+			t.Fatalf("round %d: delta %g vs %g", round, ds, dp)
+		}
+		bs, bp := serial.Beliefs(), par.Beliefs()
+		for i := range bs {
+			if bs[i] != bp[i] {
+				t.Fatalf("round %d: beliefs differ at %d", round, i)
+			}
+		}
+	}
+}
+
+// TestSparseRoundBitwiseIdentical pins the push-based sparse round
+// (SymmetricA, serial, compact layout) against the plain pull round:
+// starting from sparse explicit beliefs, every iterate across several
+// rounds must be bitwise identical, for the k=3 fast epilogue, the k=1
+// scalar path, generic k, and a batched width.
+func TestSparseRoundBitwiseIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		k, blocks int
+		echo      bool
+	}{
+		{3, 1, true}, {3, 1, false}, {1, 1, true}, {2, 1, true},
+		{4, 1, true}, {5, 1, true}, {3, 4, true}, {2, 6, true},
+	} {
+		a := randomCSR(400, 7, 21)
+		var d []float64
+		if tc.echo {
+			d = degrees(a)
+		}
+		h := randomCoupling(tc.k, 3)
+		wd := tc.blocks * tc.k
+		e := make([]float64, a.Rows()*wd)
+		for i := 0; i < len(e); i += 23 * wd { // sparse explicit rows
+			e[i] = 0.07
+		}
+		pull, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutCompact}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutCompact, SymmetricA: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pull.SetExplicit(e)
+		push.SetExplicit(e)
+		for round := 0; round < 4; round++ {
+			dl := pull.Step()
+			dp := push.Step()
+			if dl != dp {
+				t.Fatalf("k=%d blocks=%d echo=%v round %d: delta %g vs %g", tc.k, tc.blocks, tc.echo, round, dl, dp)
+			}
+			bl, bp := pull.Beliefs(), push.Beliefs()
+			for i := range bl {
+				if bl[i] != bp[i] {
+					t.Fatalf("k=%d blocks=%d echo=%v round %d: beliefs differ at %d: %g vs %g",
+						tc.k, tc.blocks, tc.echo, round, i, bl[i], bp[i])
+				}
+			}
+		}
+		pull.Close()
+		push.Close()
+	}
+}
+
+// TestCompactBatchKernelsLargeGraph exercises the width-12 compact
+// batch blocks, which only dispatch above compactBatchMinNodes: results
+// must stay bitwise identical to the wide register blocks.
+func TestCompactBatchKernelsLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a graph above compactBatchMinNodes")
+	}
+	for _, tc := range []struct{ k, blocks int }{{3, 4}, {2, 6}} {
+		a := randomCSR(compactBatchMinNodes+10, 4, 31)
+		d := degrees(a)
+		h := randomCoupling(tc.k, 5)
+		wd := tc.k * tc.blocks
+		e := make([]float64, a.Rows()*wd)
+		for i := 0; i < len(e); i += 37 {
+			e[i] = 0.03
+		}
+		wide, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutWide}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// SymmetricA additionally exercises the batched push-based
+		// sparse round, which only dispatches above the size gate.
+		compact, err := New(Config{A: a, D: d, H: h, Blocks: tc.blocks, Layout: LayoutCompact, SymmetricA: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide.SetExplicit(e)
+		compact.SetExplicit(e)
+		for round := 0; round < 3; round++ {
+			dw, dc := wide.Step(), compact.Step()
+			if dw != dc {
+				t.Fatalf("k=%d blocks=%d round %d: delta %g vs %g", tc.k, tc.blocks, round, dw, dc)
+			}
+			bw, bc := wide.Beliefs(), compact.Beliefs()
+			for i := range bw {
+				if bw[i] != bc[i] {
+					t.Fatalf("k=%d blocks=%d round %d: beliefs differ at %d", tc.k, tc.blocks, round, i)
+				}
+			}
+		}
+		wide.Close()
+		compact.Close()
+	}
+}

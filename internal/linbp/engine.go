@@ -9,6 +9,8 @@ import (
 	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/order"
+	"repro/internal/sparse"
 )
 
 // Engine is a LinBP solver prepared once for a fixed graph and coupling
@@ -25,28 +27,55 @@ type Engine struct {
 	n, k   int
 	opts   Options
 	closed bool
+
+	// perm, when non-nil, is the node relabeling (perm[old] = new) the
+	// engine's adjacency layout was prepared under. Explicit beliefs
+	// are permuted into eperm on the way in and results are permuted
+	// back on the way out, so callers never see the internal order.
+	perm  order.Permutation
+	eperm []float64
 }
 
 // NewEngine prepares a reusable solver for graph g and residual
 // coupling h (already scaled by εH). opts.OnIteration is honored on
 // every solve.
 func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
-	opts = opts.withDefaults()
-	n, k := g.N(), h.Rows()
-	if h.Cols() != k {
-		return nil, fmt.Errorf("linbp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
-	}
 	var d []float64
 	if opts.EchoCancellation {
 		d = g.WeightedDegrees()
 	}
+	return NewEngineLayout(g.Adjacency(), d, h, nil, opts)
+}
+
+// NewEngineLayout prepares an engine over an explicit adjacency layout:
+// a (possibly reordered) CSR a, the matching degree vector d (nil
+// disables echo cancellation regardless of opts.EchoCancellation), and
+// the relabeling perm (perm[old] = new; nil for the natural order)
+// under which a and d were produced. The layout optimizer in the
+// prepared-solver path uses this to serve solves over a
+// locality-ordered graph while callers keep their node ids: explicit
+// beliefs are permuted in, results are permuted back out, with no
+// steady-state allocations beyond NewEngine's.
+func NewEngineLayout(a *sparse.CSR, d []float64, h *dense.Matrix, perm []int, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	n, k := a.Rows(), h.Rows()
+	if h.Cols() != k {
+		return nil, fmt.Errorf("linbp: coupling matrix %dx%d is not square: %w", h.Rows(), h.Cols(), errs.ErrDimensionMismatch)
+	}
+	if perm != nil && len(perm) != n {
+		return nil, fmt.Errorf("linbp: permutation length %d does not match n=%d: %w", len(perm), n, errs.ErrDimensionMismatch)
+	}
 	ws := kernel.GetWorkspace()
-	eng, err := kernel.New(kernel.Config{A: g.Adjacency(), D: d, H: h, Workers: opts.Workers}, ws)
+	eng, err := kernel.New(kernel.Config{A: a, D: d, H: h, Workers: opts.Workers, Layout: opts.Layout, SymmetricA: true}, ws)
 	if err != nil {
 		ws.Release()
 		return nil, fmt.Errorf("linbp: %w", err)
 	}
-	return &Engine{eng: eng, ws: ws, n: n, k: k, opts: opts}, nil
+	e := &Engine{eng: eng, ws: ws, n: n, k: k, opts: opts, perm: perm}
+	if perm != nil {
+		e.eperm = make([]float64, n*k)
+	}
+	return e, nil
 }
 
 // Solve runs LinBP for the explicit beliefs e, allocating a fresh
@@ -82,7 +111,14 @@ func (s *Engine) SolveIntoContext(ctx context.Context, dst *beliefs.Residual, e 
 		return 0, 0, false, fmt.Errorf("linbp: destination matrix %dx%d does not match n=%d k=%d: %w", dst.N(), dst.K(), s.n, s.k, errs.ErrDimensionMismatch)
 	}
 	s.eng.ResetFast()
-	s.eng.SetExplicit(e.Matrix().Data())
+	ed := e.Matrix().Data()
+	if s.perm == nil {
+		s.eng.SetExplicit(ed)
+	} else {
+		// Shuffle the explicit beliefs into the engine's node order.
+		s.perm.ApplyRows(s.eperm, ed, s.k)
+		s.eng.SetExplicit(s.eperm)
+	}
 	iters, delta, converged, err = s.eng.RunContext(ctx, s.opts.MaxIter, s.opts.Tol, s.opts.OnIteration)
 	dd := dst.Matrix().Data()
 	if iters == 0 {
@@ -94,7 +130,13 @@ func (s *Engine) SolveIntoContext(ctx context.Context, dst *beliefs.Residual, e 
 		}
 		return iters, delta, converged, err
 	}
-	copy(dd, s.eng.Beliefs())
+	if s.perm == nil {
+		copy(dd, s.eng.Beliefs())
+	} else {
+		// Un-shuffle straight from the engine state: one pass, no
+		// intermediate buffer.
+		s.perm.InvertRows(dd, s.eng.Beliefs(), s.k)
+	}
 	return iters, delta, converged, err
 }
 

@@ -96,3 +96,56 @@ func TestSolveIntoZeroAllocs(t *testing.T) {
 		t.Errorf("SolveInto allocates %v objects per call, want 0", allocs)
 	}
 }
+
+// TestEngineLayoutRoundTrip pins the reordered serving path: an engine
+// over a permuted adjacency must return beliefs in the caller's node
+// order, matching the natural-order engine to float tolerance, with the
+// permutation shuffles adding no steady-state allocations.
+func TestEngineLayoutRoundTrip(t *testing.T) {
+	g := gen.Kronecker(5) // 243 nodes
+	h := ho(t).Scaled(0.01)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 3})
+	n := g.N()
+	// An arbitrary bijection: stride coprime with n.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i*64 + 7) % n // gcd(64, 243) = 1
+	}
+	a := g.Adjacency()
+	ap := a.Permute(perm)
+	d := g.WeightedDegrees()
+	dp := make([]float64, n)
+	for i, v := range d {
+		dp[perm[i]] = v
+	}
+	plain, err := NewEngine(g, h, Options{EchoCancellation: true, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	reordered, err := NewEngineLayout(ap, dp, h, perm, Options{EchoCancellation: true, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reordered.Close()
+	want := beliefs.New(n, 3)
+	got := beliefs.New(n, 3)
+	if _, _, _, err := plain.SolveInto(want, e); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := reordered.SolveInto(got, e); err != nil {
+		t.Fatal(err)
+	}
+	wd, gd := want.Matrix().Data(), got.Matrix().Data()
+	for i := range wd {
+		if d := math.Abs(wd[i] - gd[i]); d > 1e-12 {
+			t.Fatalf("reordered result drifts at %d: %g", i, d)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		reordered.SolveInto(got, e)
+	})
+	if allocs > 0 {
+		t.Errorf("%v allocs per reordered SolveInto, want 0", allocs)
+	}
+}

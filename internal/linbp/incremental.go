@@ -100,7 +100,7 @@ func runFrom(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options,
 	}
 	ws := kernel.GetWorkspace()
 	defer ws.Release()
-	eng, err := kernel.New(kernel.Config{A: g.Adjacency(), D: d, H: h, Workers: opts.Workers}, ws)
+	eng, err := kernel.New(kernel.Config{A: g.Adjacency(), D: d, H: h, Workers: opts.Workers, SymmetricA: true}, ws)
 	if err != nil {
 		return nil, fmt.Errorf("linbp: %w", err)
 	}

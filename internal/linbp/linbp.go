@@ -22,6 +22,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/errs"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/spectral"
 )
 
@@ -44,6 +45,10 @@ type Options struct {
 	// implementation). 0 or 1 keeps the single-threaded kernel the
 	// paper's evaluation uses.
 	Workers int
+	// Layout selects the kernel's CSR index representation (the zero
+	// value auto-adopts the compact int32 form whenever the graph fits
+	// it); layout benchmarks pin it to kernel.LayoutWide.
+	Layout kernel.Layout
 }
 
 // DefaultMaxIter and DefaultTol are the zero-value defaults of Options,

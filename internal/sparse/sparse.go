@@ -146,6 +146,11 @@ type CSR struct {
 	rowPtr     []int
 	colIdx     []int
 	val        []float64
+
+	// Lazily built compact (int32) index form; see CompactIndex. The
+	// value array is shared — only the index metadata is duplicated.
+	rowPtr32 []int32
+	colIdx32 []int32
 }
 
 // NewCSRFromDense builds a CSR from a dense row-major value grid, keeping
@@ -212,6 +217,117 @@ func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
 func (m *CSR) RowView(i int) (cols []int, vals []float64) {
 	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
+// Index exposes the raw CSR arrays (row pointers, column indices,
+// values) for kernels that iterate the structure directly. The slices
+// alias the CSR storage and must not be modified.
+func (m *CSR) Index() (rowPtr, colIdx []int, vals []float64) {
+	return m.rowPtr, m.colIdx, m.val
+}
+
+// CompactIndex returns the int32 form of the row pointers and column
+// indices, building and caching it on first use; values are shared with
+// the wide form. Halving the index width halves the index bytes the
+// memory system moves per SpMM traversal, which is what dominates the
+// solve cost on large graphs. ok is false when the dimensions or the
+// nonzero count do not fit in int32 (callers then stay on Index).
+//
+// The build is not synchronized: trigger it from a single goroutine
+// (the prepare path does) before any concurrent readers start.
+func (m *CSR) CompactIndex() (rowPtr, colIdx []int32, ok bool) {
+	const maxInt32 = 1<<31 - 1
+	if m.rows >= maxInt32 || m.cols >= maxInt32 || len(m.val) >= maxInt32 {
+		return nil, nil, false
+	}
+	if m.rowPtr32 == nil {
+		rp := make([]int32, len(m.rowPtr))
+		for i, p := range m.rowPtr {
+			rp[i] = int32(p)
+		}
+		ci := make([]int32, len(m.colIdx))
+		for i, j := range m.colIdx {
+			ci[i] = int32(j)
+		}
+		m.rowPtr32, m.colIdx32 = rp, ci
+	}
+	return m.rowPtr32, m.colIdx32, true
+}
+
+// Permute returns P·m·Pᵀ for the node relabeling perm, where
+// perm[old] = new: entry (i, j) of m lands at (perm[i], perm[j]). The
+// matrix must be square (the operation is the symmetric relabeling the
+// layout optimizer applies to adjacency matrices). Rows of the result
+// keep ascending column order. perm must be a bijection on [0, n).
+func (m *CSR) Permute(perm []int) *CSR {
+	n := m.rows
+	if m.cols != n {
+		panic(fmt.Sprintf("sparse: Permute needs a square matrix, got %dx%d", m.rows, m.cols))
+	}
+	if len(perm) != n {
+		panic(fmt.Sprintf("sparse: permutation length %d, want %d", len(perm), n))
+	}
+	inv := make([]int, n) // new -> old, doubling as the bijection check
+	for i := range inv {
+		inv[i] = -1
+	}
+	for old, nw := range perm {
+		if nw < 0 || nw >= n || inv[nw] != -1 {
+			panic(fmt.Sprintf("sparse: invalid permutation entry perm[%d] = %d", old, nw))
+		}
+		inv[nw] = old
+	}
+	out := &CSR{
+		rows:   n,
+		cols:   n,
+		rowPtr: make([]int, n+1),
+		colIdx: make([]int, len(m.colIdx)),
+		val:    make([]float64, len(m.val)),
+	}
+	pos := 0
+	for r := 0; r < n; r++ {
+		cols, vals := m.RowView(inv[r])
+		start := pos
+		for p, j := range cols {
+			out.colIdx[pos] = perm[j]
+			out.val[pos] = vals[p]
+			pos++
+		}
+		sortRowByCol(out.colIdx[start:pos], out.val[start:pos])
+		out.rowPtr[r+1] = pos
+	}
+	return out
+}
+
+// sortRowByCol sorts one row segment by column index, moving the values
+// along. Short rows use insertion sort; long rows fall back to
+// sort.Sort to avoid quadratic blowup on hub rows.
+func sortRowByCol(cols []int, vals []float64) {
+	if len(cols) <= 24 {
+		for i := 1; i < len(cols); i++ {
+			c, v := cols[i], vals[i]
+			j := i - 1
+			for j >= 0 && cols[j] > c {
+				cols[j+1], vals[j+1] = cols[j], vals[j]
+				j--
+			}
+			cols[j+1], vals[j+1] = c, v
+		}
+		return
+	}
+	sort.Sort(&rowSorter{cols: cols, vals: vals})
+}
+
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.cols) }
+func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
 }
 
 // MulVec returns y = m·x.
@@ -285,15 +401,73 @@ func (m *CSR) MulDenseAddInto(y, x []float64, k int) {
 	}
 }
 
-// T returns the transpose as a new CSR.
-func (m *CSR) T() *CSR {
-	b := NewBuilder(m.cols, m.rows)
+// T returns the transpose as a new CSR. It is Transpose; the short name
+// is kept for symmetry with dense.Matrix.T.
+func (m *CSR) T() *CSR { return m.Transpose() }
+
+// Transpose returns mᵀ as a new CSR, built by a direct counting pass —
+// no COO builder detour, so it allocates exactly the output arrays.
+func (m *CSR) Transpose() *CSR {
+	dst := new(CSR)
+	m.TransposeInto(dst)
+	return dst
+}
+
+// TransposeInto computes mᵀ into dst, reusing dst's existing storage
+// whenever the capacities suffice — the reuse path for callers that
+// transpose repeatedly (prepare-time pipelines transposing per solve
+// configuration pay one allocation set total, not one per transpose).
+// dst must not be m itself. Output rows keep ascending column order.
+func (m *CSR) TransposeInto(dst *CSR) {
+	if dst == m {
+		panic("sparse: TransposeInto aliases its receiver")
+	}
+	dst.rows, dst.cols = m.cols, m.rows
+	dst.rowPtr = growInts(dst.rowPtr, m.cols+1)
+	dst.colIdx = growInts(dst.colIdx, len(m.colIdx))
+	dst.val = growFloats(dst.val, len(m.val))
+	dst.rowPtr32, dst.colIdx32 = nil, nil // stale for the new content
+	for i := range dst.rowPtr {
+		dst.rowPtr[i] = 0
+	}
+	// Count entries per output row (input column), prefix-sum into
+	// running cursors, then scatter; walking input rows in ascending
+	// order makes each output row's columns ascend automatically.
+	for _, j := range m.colIdx {
+		dst.rowPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		dst.rowPtr[j+1] += dst.rowPtr[j]
+	}
 	for i := 0; i < m.rows; i++ {
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			b.Add(m.colIdx[p], i, m.val[p])
+			j := m.colIdx[p]
+			q := dst.rowPtr[j]
+			dst.colIdx[q] = i
+			dst.val[q] = m.val[p]
+			dst.rowPtr[j] = q + 1
 		}
 	}
-	return b.ToCSR()
+	// The cursors have advanced each rowPtr[j] to the start of row j+1;
+	// shift right to restore the pointer array.
+	for j := m.cols; j > 0; j-- {
+		dst.rowPtr[j] = dst.rowPtr[j-1]
+	}
+	dst.rowPtr[0] = 0
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Scaled returns s·m as a new CSR sharing no storage with m.
@@ -377,16 +551,22 @@ func (m *CSR) MaxAbsColSum() float64 {
 	return max
 }
 
-// IsSymmetric reports whether m equals its transpose exactly.
+// IsSymmetric reports whether m equals its transpose exactly. It runs
+// one O(nnz) TransposeInto pass instead of a per-entry binary search.
 func (m *CSR) IsSymmetric() bool {
 	if m.rows != m.cols {
 		return false
 	}
-	for i := 0; i < m.rows; i++ {
-		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			if m.At(m.colIdx[p], i) != m.val[p] {
-				return false
-			}
+	var t CSR
+	m.TransposeInto(&t)
+	for i, p := range m.rowPtr {
+		if t.rowPtr[i] != p {
+			return false
+		}
+	}
+	for i, j := range m.colIdx {
+		if t.colIdx[i] != j || t.val[i] != m.val[i] {
+			return false
 		}
 	}
 	return true

@@ -400,3 +400,221 @@ func TestMulDenseAddIntoPanics(t *testing.T) {
 	}()
 	NewCSRFromDense([][]float64{{1}}).MulDenseAddInto(make([]float64, 2), make([]float64, 1), 1)
 }
+
+// TestAddSymDiagonalNotDoubled is the regression test for the AddSym
+// diagonal contract: an (i, i) entry must be recorded exactly once per
+// call, so accumulated self-loop weight equals the sum of the inputs,
+// not twice the sum.
+func TestAddSymDiagonalNotDoubled(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.AddSym(2, 2, 1.5)
+	b.AddSym(2, 2, 2.5)
+	b.AddSym(0, 3, 1)
+	if b.NNZ() != 4 { // 2 diagonal triplets + 2 mirrored off-diagonal
+		t.Fatalf("NNZ = %d, want 4 (diagonal triplets must not be mirrored)", b.NNZ())
+	}
+	m := b.ToCSR()
+	if got := m.At(2, 2); got != 4 {
+		t.Fatalf("At(2,2) = %v, want 4 (8 would mean the diagonal was double-added)", got)
+	}
+	if m.At(0, 3) != 1 || m.At(3, 0) != 1 {
+		t.Fatal("off-diagonal AddSym must still mirror")
+	}
+}
+
+// randomSquareCSR builds a deterministic pseudo-random n×n matrix with
+// roughly fill·n² nonzeros (plus a symmetric copy of each entry when
+// sym is set).
+func randomSquareCSR(n int, fill float64, sym bool, seed uint64) *CSR {
+	b := NewBuilder(n, n)
+	state := seed*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	target := int(fill * float64(n) * float64(n))
+	for t := 0; t < target; t++ {
+		i := int(next() % uint64(n))
+		j := int(next() % uint64(n))
+		v := float64(next()%1000)/1000 + 0.25
+		if sym {
+			b.AddSym(i, j, v)
+		} else {
+			b.Add(i, j, v)
+		}
+	}
+	return b.ToCSR()
+}
+
+func TestPermuteMatchesNaive(t *testing.T) {
+	m := randomSquareCSR(37, 0.08, true, 7)
+	n := m.Rows()
+	// A deterministic shuffle-ish bijection.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i*17 + 5) % n // gcd(17, 37) = 1 → bijection
+	}
+	p := m.Permute(perm)
+	if p.NNZ() != m.NNZ() {
+		t.Fatalf("Permute changed nnz: %d vs %d", p.NNZ(), m.NNZ())
+	}
+	for i := 0; i < n; i++ {
+		prev := -1
+		cols, vals := p.RowView(i)
+		for pi, j := range cols {
+			if j <= prev {
+				t.Fatalf("row %d columns not ascending: %v", i, cols)
+			}
+			prev = j
+			_ = vals[pi]
+		}
+		for j := 0; j < n; j++ {
+			if p.At(perm[i], perm[j]) != m.At(i, j) {
+				t.Fatalf("entry (%d,%d) lost by Permute", i, j)
+			}
+		}
+	}
+	if !p.IsSymmetric() {
+		t.Fatal("symmetric relabeling must stay symmetric")
+	}
+}
+
+func TestPermuteIdentityAndInvalid(t *testing.T) {
+	m := randomSquareCSR(12, 0.2, true, 9)
+	id := make([]int, 12)
+	for i := range id {
+		id[i] = i
+	}
+	p := m.Permute(id)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if p.At(i, j) != m.At(i, j) {
+				t.Fatal("identity permutation must reproduce the matrix")
+			}
+		}
+	}
+	for _, bad := range [][]int{
+		{0, 0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, // duplicate
+		{0, 1, 2},                              // wrong length
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12}, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("perm %v must panic", bad)
+				}
+			}()
+			m.Permute(bad)
+		}()
+	}
+}
+
+func TestPermuteHubRowSorted(t *testing.T) {
+	// A star with a 60-wide hub exercises the sort.Sort fallback of the
+	// row sorter (insertion sort covers only short rows).
+	n := 61
+	b := NewBuilder(n, n)
+	for i := 1; i < n; i++ {
+		b.AddSym(0, i, float64(i))
+	}
+	m := b.ToCSR()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i*23 + 11) % n // gcd(23, 61) = 1
+	}
+	p := m.Permute(perm)
+	hub := perm[0]
+	cols, vals := p.RowView(hub)
+	prev := -1
+	for pi, j := range cols {
+		if j <= prev {
+			t.Fatalf("hub row columns not ascending: %v", cols)
+		}
+		prev = j
+		_ = vals[pi]
+	}
+	for i := 1; i < n; i++ {
+		if p.At(hub, perm[i]) != float64(i) {
+			t.Fatalf("hub value to node %d wrong after permute", i)
+		}
+	}
+}
+
+func TestTransposeIntoReuse(t *testing.T) {
+	m := randomSquareCSR(25, 0.15, false, 3)
+	want := denseOf(m)
+	var dst CSR
+	m.TransposeInto(&dst)
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			if dst.At(j, i) != want[i][j] {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Second transpose into the same destination must reuse its storage:
+	// zero allocations once the capacities fit.
+	m2 := randomSquareCSR(25, 0.1, false, 5)
+	allocs := testing.AllocsPerRun(10, func() { m2.TransposeInto(&dst) })
+	if allocs > 0 {
+		t.Errorf("TransposeInto reuse allocated %v times, want 0", allocs)
+	}
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			if dst.At(j, i) != m2.At(i, j) {
+				t.Fatalf("reused transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Ascending column order within every output row.
+	for i := 0; i < dst.Rows(); i++ {
+		cols, _ := dst.RowView(i)
+		for p := 1; p < len(cols); p++ {
+			if cols[p] <= cols[p-1] {
+				t.Fatalf("row %d not sorted: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestTransposeIntoSelfPanics(t *testing.T) {
+	m := randomSquareCSR(5, 0.3, false, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransposeInto(self) must panic")
+		}
+	}()
+	m.TransposeInto(m)
+}
+
+func TestCompactIndex(t *testing.T) {
+	m := randomSquareCSR(50, 0.1, true, 11)
+	rp32, ci32, ok := m.CompactIndex()
+	if !ok {
+		t.Fatal("50×50 must fit int32")
+	}
+	rp, ci, vals := m.Index()
+	if len(rp32) != len(rp) || len(ci32) != len(ci) {
+		t.Fatal("compact index length mismatch")
+	}
+	for i, p := range rp {
+		if int(rp32[i]) != p {
+			t.Fatalf("rowPtr32[%d] = %d, want %d", i, rp32[i], p)
+		}
+	}
+	for i, j := range ci {
+		if int(ci32[i]) != j {
+			t.Fatalf("colIdx32[%d] = %d, want %d", i, ci32[i], j)
+		}
+	}
+	if len(vals) != m.NNZ() {
+		t.Fatal("values accessor wrong length")
+	}
+	// Second call returns the cached arrays (no rebuild).
+	rp32b, ci32b, _ := m.CompactIndex()
+	if &rp32b[0] != &rp32[0] || &ci32b[0] != &ci32[0] {
+		t.Fatal("CompactIndex must cache")
+	}
+}

@@ -104,6 +104,41 @@ func WithTol(tol float64) Option { return core.WithTol(tol) }
 // WithEchoCancellation selects LinBP (true) or LinBP* (false).
 func WithEchoCancellation(on bool) Option { return core.WithEchoCancellation(on) }
 
+// Reordering selects the prepare-time graph layout strategy of the
+// locality optimizer; see WithReordering.
+type Reordering = core.Reordering
+
+// The selectable reorderings.
+const (
+	// ReorderAuto (the default) evaluates RCM and the degree sort with
+	// a cheap edge-span heuristic, keeping the natural order unless one
+	// of them wins; small cache-resident graphs always keep it.
+	ReorderAuto = core.ReorderAuto
+	// ReorderRCM forces reverse Cuthill–McKee.
+	ReorderRCM = core.ReorderRCM
+	// ReorderDegree forces the descending-degree hub-packing sort.
+	ReorderDegree = core.ReorderDegree
+	// ReorderNone keeps the caller's node order.
+	ReorderNone = core.ReorderNone
+)
+
+// ParseReordering maps the spellings auto|rcm|degree|none onto
+// Reordering values (for flags and config files).
+func ParseReordering(name string) (Reordering, error) { return core.ParseReordering(name) }
+
+// WithReordering selects the prepare-time node reordering: the graph
+// layout is relabeled once for cache locality, every engine the solver
+// prepares runs over the relabeled structure, and beliefs are permuted
+// in/out transparently (callers keep their node ids, SolveInto stays
+// allocation-free). Stats() reports the ordering chosen and the
+// bandwidth before/after.
+func WithReordering(r Reordering) Option { return core.WithReordering(r) }
+
+// WithCompactIndices toggles the engines' compact (int32) CSR index
+// layout, on by default whenever the graph fits it; false restores the
+// wide index layout (for layout benchmarks and debugging).
+func WithCompactIndices(on bool) Option { return core.WithCompactIndices(on) }
+
 // WithAutoEpsilonH derives εH from the exact convergence criterion
 // (half the Lemma 8 threshold) at preparation time, overriding
 // Problem.EpsilonH; read the chosen value from Stats().EpsilonH.
