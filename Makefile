@@ -1,6 +1,12 @@
 # Build, verify, and benchmark targets for the LinBP reproduction.
 #
-#   make verify   - tier-1 gate: build + gofmt + vet + full test suite
+#   make verify   - tier-1 gate: build + gofmt + vet + full test suite +
+#                   the race-detector pass over the concurrent packages
+#   make test-race - race-detector pass (the 32-goroutine shared-Solver
+#                   stress, the partitioned kernel, the pools)
+#   make cover    - per-package coverage with a floor: fails when any of
+#                   internal/{kernel,order,sparse,core} drops below
+#                   $(COVER_FLOOR)% statement coverage
 #   make bench    - run every benchmark with -benchmem and archive the
 #                   results as BENCH_results.json via cmd/benchjson
 #   make bench-quick - the headline kernel benchmarks only (fast)
@@ -11,19 +17,25 @@
 #                   Kronecker graph (PR 2 wide/natural layout vs the
 #                   compact-index + auto-reordered one), archived into
 #                   BENCH_results.json
-#   make race     - race-detector pass over the concurrent packages
+#   make bench-partition - the partition-parallel plane vs the PR 3
+#                   baseline on the same large Kronecker graph
+#                   (partitions 1..GOMAXPROCS + the span pool), archived
+#                   into BENCH_results.json
 #
 # Tuning knobs (see EXPERIMENTS.md):
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
-#   LSBP_BENCH_REORDER_POWER=P  Kronecker power of the layout benchmarks
-#                   (default 11 = 177,147 nodes)
+#   LSBP_BENCH_REORDER_POWER=P  Kronecker power of the layout/partition
+#                   benchmarks (default 11 = 177,147 nodes)
 
 GO ?= go
 BENCHTIME ?= 1s
+COVER_FLOOR ?= 70
+COVER_PKGS = internal/kernel internal/order internal/sparse internal/core
+RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/ ./internal/difftest/
 
-.PHONY: verify test fmt vet build bench bench-quick bench-batch bench-reorder race
+.PHONY: verify test fmt vet build cover bench bench-quick bench-batch bench-reorder bench-partition race test-race
 
-verify: build fmt vet test
+verify: build fmt vet test test-race
 
 build:
 	$(GO) build ./...
@@ -40,8 +52,20 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/
+test-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Kept as an alias for the pre-PR 4 target name.
+race: test-race
+
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage output"; exit 1; fi; \
+		echo "$$pkg: $$pct%"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p >= f) }' || \
+			{ echo "FAIL: $$pkg coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; }; \
+	done
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_results.json
@@ -57,4 +81,8 @@ bench-batch:
 
 bench-reorder:
 	$(GO) test -bench 'BenchmarkReorder' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-partition:
+	$(GO) test -bench 'BenchmarkPartition' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGolden pins the emitted edge lists end to end: the Kronecker
+// generator is deterministic, so the exact stdout (including an RCM
+// relabeling) is a stable artifact. Regenerate with
+//
+//	go test ./cmd/genkron -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"power3", []string{"-power", "3"}},
+		{"power3_rcm", []string{"-power", "3", "-order", "rcm"}},
+		{"num1", []string{"-num", "1"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden file)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("edge list differs from %s", path)
+			}
+		})
+	}
+}
+
+// TestUsageErrors pins the command's failure exits.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-power", "2", "-order", "fastest"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -order: exit %d, want 2", code)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gen"
@@ -21,43 +22,54 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable arguments and streams, so the golden-file
+// tests can execute the command end to end in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genkron", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		num       = flag.Int("num", 0, "paper graph number 1-9 (Fig. 6a)")
-		power     = flag.Int("power", 0, "explicit Kronecker power (overrides -num)")
-		orderFlag = flag.String("order", "none", "relabel node ids before writing: auto | rcm | degree | none")
+		num       = fs.Int("num", 0, "paper graph number 1-9 (Fig. 6a)")
+		power     = fs.Int("power", 0, "explicit Kronecker power (overrides -num)")
+		orderFlag = fs.String("order", "none", "relabel node ids before writing: auto | rcm | degree | none")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	p := *power
 	if p == 0 {
 		if *num == 0 {
-			fmt.Fprintln(os.Stderr, "genkron: need -num or -power")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "genkron: need -num or -power")
+			return 2
 		}
 		p = gen.KroneckerGraphNumber(*num)
 	}
 	strat, err := order.ParseStrategy(*orderFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "genkron:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "genkron:", err)
+		return 2
 	}
 	g := gen.Kronecker(p)
 	if strat != order.StrategyNone {
 		a := g.Adjacency()
 		perm, chosen := order.Compute(strat, a)
 		if perm != nil {
-			fmt.Fprintf(os.Stderr, "ordering=%v bandwidth=%d→%d\n",
+			fmt.Fprintf(stderr, "ordering=%v bandwidth=%d→%d\n",
 				chosen, order.Bandwidth(a, nil), order.Bandwidth(a, perm))
 			g = g.Permute(perm)
 		} else {
-			fmt.Fprintf(os.Stderr, "ordering=none (heuristic kept the natural order)\n")
+			fmt.Fprintf(stderr, "ordering=none (heuristic kept the natural order)\n")
 		}
 	}
-	fmt.Fprintf(os.Stderr, "nodes=%d undirected-edges=%d directed-entries=%d\n",
+	fmt.Fprintf(stderr, "nodes=%d undirected-edges=%d directed-entries=%d\n",
 		g.N(), g.NumEdges(), g.DirectedEdgeCount())
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	if err := g.WriteEdgeList(w); err != nil {
-		fmt.Fprintln(os.Stderr, "genkron:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "genkron:", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGolden pins the command's stdout end to end: every case runs the
+// real run() on the checked-in fixture graph and compares the printed
+// top-belief assignment against its golden file. Regenerate with
+//
+//	go test ./cmd/lsbp -run TestGolden -update
+func TestGolden(t *testing.T) {
+	base := []string{"-edges", "testdata/graph.txt"}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"linbp_k2", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "linbp", "-eps", "0.05", "-order", "none"}},
+		{"linbpstar_k3_rcm", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "linbpstar", "-eps", "0.05", "-order", "rcm"}},
+		{"bp_k2", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "bp", "-eps", "0.05"}},
+		{"sbp_k3", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "sbp", "-eps", "0.05"}},
+		{"fabp_partitioned", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "fabp", "-eps", "0.05", "-partitions", "2", "-v"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(append(append([]string{}, base...), tc.args...), &stdout, &stderr); code != 0 {
+				t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+			}
+			checkGolden(t, filepath.Join("testdata", tc.name+".golden"), stdout.Bytes())
+		})
+	}
+}
+
+// TestGoldenUsageErrors pins the failure modes (no fixtures involved).
+func TestGoldenUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing flags: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt", "-partitions", "-3"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad -partitions: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+}
+
+// checkGolden compares got against the golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

@@ -14,6 +14,8 @@
 // εH is derived from the exact convergence criterion (Lemma 8). The
 // coupling defaults to k-class homophily; -coupling FILE loads a k×k
 // stochastic coupling matrix (whitespace-separated rows) instead.
+// -partitions engages the kernel's partition-parallel data plane
+// (0 = off, auto, or an explicit block count).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,49 +33,81 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable arguments and streams, so the golden-file
+// tests can execute the command end to end in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lsbp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		edgesPath = flag.String("edges", "", "edge list file: 's t [w]' per line (required)")
-		labelPath = flag.String("labels", "", "label file: 'node class' per line (required)")
-		k         = flag.Int("k", 2, "number of classes")
-		method    = flag.String("method", "linbp", "bp | linbp | linbpstar | sbp | fabp")
-		eps       = flag.Float64("eps", 0, "εH coupling scale; 0 = auto from Lemma 8")
-		strength  = flag.Float64("homophily", 0.8, "homophily strength for the default coupling")
-		coupPath  = flag.String("coupling", "", "optional k×k stochastic coupling matrix file")
-		maxIter   = flag.Int("maxiter", 200, "iteration cap for iterative methods")
-		tol       = flag.Float64("tol", 0, "convergence tolerance (0 = method default; negative forces maxiter rounds)")
-		workers   = flag.Int("workers", 0, "kernel worker goroutines (0 = serial)")
-		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
-		orderFlag = flag.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
-		verbose   = flag.Bool("v", false, "print the solver stats line (ordering, bandwidth, iterations) to stderr")
+		edgesPath = fs.String("edges", "", "edge list file: 's t [w]' per line (required)")
+		labelPath = fs.String("labels", "", "label file: 'node class' per line (required)")
+		k         = fs.Int("k", 2, "number of classes")
+		method    = fs.String("method", "linbp", "bp | linbp | linbpstar | sbp | fabp")
+		eps       = fs.Float64("eps", 0, "εH coupling scale; 0 = auto from Lemma 8")
+		strength  = fs.Float64("homophily", 0.8, "homophily strength for the default coupling")
+		coupPath  = fs.String("coupling", "", "optional k×k stochastic coupling matrix file")
+		maxIter   = fs.Int("maxiter", 200, "iteration cap for iterative methods")
+		tol       = fs.Float64("tol", 0, "convergence tolerance (0 = method default; negative forces maxiter rounds)")
+		workers   = fs.Int("workers", 0, "kernel worker goroutines (0 = serial)")
+		timeout   = fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		orderFlag = fs.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
+		partsFlag = fs.String("partitions", "0", "partition-parallel data plane: 0 = off, auto, or a block count")
+		verbose   = fs.Bool("v", false, "print the solver stats line (ordering, bandwidth, partitions, iterations) to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *edgesPath == "" || *labelPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lsbp:", err)
+		return 1
 	}
 
 	g, err := loadGraph(*edgesPath)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 	e, err := loadLabels(*labelPath, g.N(), *k)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	ho := lsbp.Homophily(*k, *strength)
 	if *coupPath != "" {
 		m, err := loadMatrix(*coupPath, *k)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		ho, err = lsbp.NewCouplingFromStochastic(m)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	m, err := parseMethod(*method)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	reorder, err := lsbp.ParseReordering(*orderFlag)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
+	partitions, err := parsePartitions(*partsFlag)
+	if err != nil {
+		return fail(err)
+	}
 
 	opts := []lsbp.Option{
 		lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol),
 		lsbp.WithWorkers(*workers), lsbp.WithReordering(reorder),
+		lsbp.WithPartitions(partitions),
 	}
 	if *eps == 0 && m != lsbp.SBP {
 		opts = append(opts, lsbp.WithAutoEpsilonH())
@@ -80,10 +115,12 @@ func main() {
 
 	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: *eps}
 	s, err := lsbp.Prepare(p, m, opts...)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 	defer s.Close()
 	if *eps == 0 && m != lsbp.SBP {
-		fmt.Fprintf(os.Stderr, "auto eps_H = %g\n", s.Stats().EpsilonH)
+		fmt.Fprintf(stderr, "auto eps_H = %g\n", s.Stats().EpsilonH)
 	}
 
 	ctx := context.Background()
@@ -96,20 +133,21 @@ func main() {
 	res, err := s.Solve(ctx, e)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		check(fmt.Errorf("solve exceeded -timeout %v after %d iterations", *timeout, s.Stats().Iterations))
+		return fail(fmt.Errorf("solve exceeded -timeout %v after %d iterations", *timeout, s.Stats().Iterations))
 	case errors.Is(err, lsbp.ErrNotConverged):
-		fmt.Fprintf(os.Stderr, "warning: %v did not converge (delta %g)\n", m, res.Delta)
-	default:
-		check(err)
+		fmt.Fprintf(stderr, "warning: %v did not converge (delta %g)\n", m, res.Delta)
+	case err != nil:
+		return fail(err)
 	}
 
 	if *verbose {
 		st := s.Stats()
-		fmt.Fprintf(os.Stderr, "stats: method=%v n=%d k=%d ordering=%v bandwidth=%d→%d iters=%d converged=%v\n",
-			st.Method, st.N, st.K, st.Ordering, st.BandwidthBefore, st.BandwidthAfter, res.Iterations, res.Converged)
+		fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v bandwidth=%d→%d partitions=%d cut=%d imbalance=%.3f iters=%d converged=%v\n",
+			st.Method, st.N, st.K, st.Ordering, st.BandwidthBefore, st.BandwidthAfter,
+			st.Partitions, st.CutEdges, st.Imbalance, res.Iterations, res.Converged)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	for node, classes := range res.Top {
 		strs := make([]string, len(classes))
@@ -118,6 +156,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "%d %s\n", node, strings.Join(strs, ","))
 	}
+	return 0
 }
 
 // parseMethod maps the -method flag onto the Method enum.
@@ -138,11 +177,17 @@ func parseMethod(name string) (lsbp.Method, error) {
 	}
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lsbp:", err)
-		os.Exit(1)
+// parsePartitions maps the -partitions spellings (0 = off, "auto", or
+// an explicit positive block count) onto WithPartitions values.
+func parsePartitions(s string) (int, error) {
+	if strings.ToLower(s) == "auto" {
+		return lsbp.PartitionsAuto, nil
 	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -partitions %q (want 0, auto, or a positive count)", s)
+	}
+	return n, nil
 }
 
 func loadGraph(path string) (*lsbp.Graph, error) {

@@ -121,6 +121,24 @@ func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
 	return en, nil
 }
 
+// Clone returns an engine sharing the prepared, immutable directed-edge
+// layout (graph, coupling, edge endpoints, incoming-message index) with
+// fresh per-solve message and scratch buffers. It is the cheap way to
+// hand each concurrent goroutine its own solve workspace without paying
+// the layout construction again; the shared layout is read-only during
+// solves, so clones may run concurrently.
+func (en *Engine) Clone() *Engine {
+	return &Engine{
+		g: en.g, h: en.h, n: en.n, k: en.k, opts: en.opts,
+		src: en.src, dst: en.dst, incoming: en.incoming,
+		prior: make([]float64, len(en.prior)),
+		msg:   make([]float64, len(en.msg)),
+		next:  make([]float64, len(en.next)),
+		logP:  make([]float64, len(en.logP)),
+		qs:    make([]float64, len(en.qs)),
+	}
+}
+
 // SolveInto runs BP for the explicit residual beliefs e and writes the
 // final residual beliefs into out (n×k, overwritten). scale multiplies
 // the explicit residuals before they become priors (1 for the verbatim

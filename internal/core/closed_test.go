@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/beliefs"
+)
+
+// TestSolvesCounterSkipsRejected pins the SolverStats contract: Solves
+// counts completed solves, so a request rejected by shape validation
+// must not move it.
+func TestSolvesCounterSkipsRejected(t *testing.T) {
+	ctx := context.Background()
+	p := randomProblem(t, 40, 80, 3, 0.01, 73)
+	p2 := randomProblem(t, 40, 80, 2, 0.01, 73)
+	for _, tc := range []struct {
+		m Method
+		p *Problem
+	}{
+		{MethodBP, p}, {MethodLinBP, p}, {MethodLinBPStar, p}, {MethodSBP, p}, {MethodFABP, p2},
+	} {
+		s, err := Prepare(tc.p, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := beliefs.New(7, tc.p.K())
+		if _, err := s.SolveInto(ctx, beliefs.New(tc.p.Graph.N(), tc.p.K()), bad); !errors.Is(err, ErrDimensionMismatch) {
+			t.Fatalf("%v: want ErrDimensionMismatch, got %v", tc.m, err)
+		}
+		if _, err := s.Solve(ctx, bad); !errors.Is(err, ErrDimensionMismatch) {
+			t.Fatalf("%v: want ErrDimensionMismatch, got %v", tc.m, err)
+		}
+		if got := s.Stats().Solves; got != 0 {
+			t.Fatalf("%v: Solves = %d after only rejected requests, want 0", tc.m, got)
+		}
+		s.Close()
+	}
+}
+
+// TestCloseContractEveryMethod pins the lifecycle contract on all five
+// methods — the message-passing runners (BP, SBP) included, which
+// historically only the kernel-backed paths had tests for: Close is
+// idempotent, every solve entry point after Close fails with ErrClosed,
+// and Stats stays readable on a closed solver.
+func TestCloseContractEveryMethod(t *testing.T) {
+	ctx := context.Background()
+	p3 := randomProblem(t, 60, 130, 3, 0.01, 71)
+	p2 := randomProblem(t, 60, 130, 2, 0.01, 71)
+	for _, tc := range []struct {
+		m Method
+		p *Problem
+	}{
+		{MethodBP, p3},
+		{MethodLinBP, p3},
+		{MethodLinBPStar, p3},
+		{MethodSBP, p3},
+		{MethodFABP, p2},
+	} {
+		t.Run(tc.m.String(), func(t *testing.T) {
+			s, err := Prepare(tc.p, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := beliefs.New(tc.p.Graph.N(), tc.p.K())
+			if _, err := s.SolveInto(ctx, dst, tc.p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+				t.Fatalf("pre-close solve: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close must be idempotent: %v", err)
+			}
+			if _, err := s.Solve(ctx, tc.p.Explicit); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Solve after Close = %v, want ErrClosed", err)
+			}
+			if _, err := s.SolveInto(ctx, dst, tc.p.Explicit); !errors.Is(err, ErrClosed) {
+				t.Fatalf("SolveInto after Close = %v, want ErrClosed", err)
+			}
+			resps := s.SolveBatch(ctx, []Request{{E: tc.p.Explicit}, {E: tc.p.Explicit}})
+			if len(resps) != 2 {
+				t.Fatalf("closed SolveBatch returned %d responses, want 2", len(resps))
+			}
+			for i, r := range resps {
+				if !errors.Is(r.Err, ErrClosed) {
+					t.Fatalf("batch response %d after Close = %v, want ErrClosed", i, r.Err)
+				}
+			}
+			if st := s.Stats(); st.Method != tc.m || st.Solves != 1 {
+				t.Fatalf("Stats on closed solver: %+v", st)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/order"
+)
+
+// TestWithPartitionsEquivalence: the partition-parallel plane must
+// reproduce the unpartitioned solve within 1e-12 for every kernel-backed
+// method, partition count, and forced ordering (the partitioned and
+// span planes run identical row kernels, so this is really bitwise; the
+// 1e-12 bar matches the differential harness).
+func TestWithPartitionsEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		k    int
+		m    Method
+	}{
+		{"LinBP", 3, MethodLinBP},
+		{"LinBPStar", 5, MethodLinBPStar},
+		{"FABP", 2, MethodFABP},
+	} {
+		p := randomProblem(t, 350, 800, tc.k, 0.01, 41)
+		base, err := Prepare(p, tc.m, WithMaxIter(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := beliefs.New(p.Graph.N(), tc.k)
+		if _, err := base.SolveInto(ctx, want, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+			t.Fatal(err)
+		}
+		base.Close()
+		for _, parts := range []int{1, 2, 5} {
+			for _, r := range []Reordering{ReorderNone, ReorderRCM} {
+				s, err := Prepare(p, tc.m, WithMaxIter(30), WithPartitions(parts), WithReordering(r))
+				if err != nil {
+					t.Fatalf("%s parts=%d %v: %v", tc.name, parts, r, err)
+				}
+				st := s.Stats()
+				if st.Partitions != parts {
+					t.Fatalf("%s parts=%d: Stats.Partitions = %d", tc.name, parts, st.Partitions)
+				}
+				if parts > 1 && st.CutEdges == 0 {
+					t.Fatalf("%s parts=%d: CutEdges = 0 on a connected graph", tc.name, parts)
+				}
+				if st.Imbalance < 1 {
+					t.Fatalf("%s parts=%d: Imbalance = %v", tc.name, parts, st.Imbalance)
+				}
+				got := beliefs.New(p.Graph.N(), tc.k)
+				if _, err := s.SolveInto(ctx, got, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+					t.Fatalf("%s parts=%d %v: %v", tc.name, parts, r, err)
+				}
+				if d := maxAbsDiff(got, want); d > 1e-12 {
+					t.Fatalf("%s parts=%d %v: partitioned vs baseline diff %g", tc.name, parts, r, d)
+				}
+				s.Close()
+			}
+		}
+	}
+}
+
+// TestWithPartitionsSolveBatch runs the fused batch path on the
+// partitioned plane across a chunk boundary and compares each response
+// against the unpartitioned one-shot solve.
+func TestWithPartitionsSolveBatch(t *testing.T) {
+	ctx := context.Background()
+	p := randomProblem(t, 300, 700, 3, 0.01, 43)
+	base, err := Prepare(p, MethodLinBP, WithMaxIter(5), WithTol(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	s, err := Prepare(p, MethodLinBP, WithMaxIter(5), WithTol(-1), WithPartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const nreq = 6 // 4 + 2: spans a chunk boundary
+	reqs := make([]Request, nreq)
+	for i := range reqs {
+		e, _ := beliefs.Seed(300, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: uint64(i + 11)})
+		reqs[i] = Request{E: e, Dst: beliefs.New(300, 3)}
+	}
+	resps := s.SolveBatch(ctx, reqs)
+	dst := beliefs.New(300, 3)
+	for i, r := range resps {
+		if r.Err != nil && !errors.Is(r.Err, ErrNotConverged) {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if _, err := base.SolveInto(ctx, dst, reqs[i].E); err != nil && !errors.Is(err, ErrNotConverged) {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(r.Beliefs, dst); d > 1e-12 {
+			t.Fatalf("request %d: partitioned batch vs baseline diff %g", i, d)
+		}
+	}
+}
+
+// TestPartitionsAutoGate pins the auto heuristic: small cache-resident
+// graphs keep the unpartitioned plane, and the default (no
+// WithPartitions) stays off entirely.
+func TestPartitionsAutoGate(t *testing.T) {
+	p := randomProblem(t, 200, 400, 3, 0.01, 47)
+	if p.Graph.N() >= order.AutoMinNodes {
+		t.Fatal("test graph unexpectedly at or above the auto gate")
+	}
+	s, err := Prepare(p, MethodLinBP, WithPartitions(PartitionsAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Partitions; got != 0 {
+		t.Fatalf("auto partitions on a small graph = %d, want 0", got)
+	}
+	s.Close()
+	s, err = Prepare(p, MethodLinBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Partitions; got != 0 {
+		t.Fatalf("default partitions = %d, want 0", got)
+	}
+	s.Close()
+}
+
+// TestPartitionsIgnoredByBPAndSBP: the message-passing methods do not
+// use the fused kernel; WithPartitions must be a no-op for them, not an
+// error.
+func TestPartitionsIgnoredByBPAndSBP(t *testing.T) {
+	ctx := context.Background()
+	p := randomProblem(t, 80, 160, 3, 0.01, 53)
+	for _, m := range []Method{MethodBP, MethodSBP} {
+		s, err := Prepare(p, m, WithPartitions(4))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got := s.Stats().Partitions; got != 0 {
+			t.Fatalf("%v: Stats.Partitions = %d, want 0", m, got)
+		}
+		dst := beliefs.New(80, 3)
+		if _, err := s.SolveInto(ctx, dst, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+			t.Fatalf("%v: %v", m, err)
+		}
+		s.Close()
+	}
+}

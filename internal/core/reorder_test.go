@@ -31,57 +31,44 @@ func reorderProblems(t *testing.T, k int) map[string]*Problem {
 	return out
 }
 
-// TestReorderingRoundTrip is the layout optimizer's contract: for every
-// method, class count, topology, and forced ordering, the reordered
-// solve must match the natural-order solve within 1e-12, with the
-// ordering recorded in Stats.
-func TestReorderingRoundTrip(t *testing.T) {
-	for _, k := range []int{2, 3, 5} {
-		for name, p := range reorderProblems(t, k) {
-			for _, m := range []Method{MethodBP, MethodLinBP, MethodLinBPStar, MethodSBP, MethodFABP} {
-				if m == MethodFABP && k != 2 {
-					continue
-				}
-				base, err := Prepare(p, m, WithReordering(ReorderNone), WithMaxIter(300))
-				if err != nil {
-					t.Fatalf("k=%d %s %v: %v", k, name, m, err)
-				}
-				want := beliefs.New(p.Graph.N(), k)
-				if _, err := base.SolveInto(context.Background(), want, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
-					t.Fatalf("k=%d %s %v natural: %v", k, name, m, err)
-				}
-				base.Close()
-				for _, r := range []Reordering{ReorderRCM, ReorderDegree} {
-					s, err := Prepare(p, m, WithReordering(r), WithMaxIter(300))
-					if err != nil {
-						t.Fatalf("k=%d %s %v %v: %v", k, name, m, r, err)
-					}
-					st := s.Stats()
-					if st.Ordering != r {
-						t.Fatalf("k=%d %s %v: Stats.Ordering = %v, want %v", k, name, m, st.Ordering, r)
-					}
-					if st.BandwidthBefore <= 0 {
-						t.Fatalf("k=%d %s %v: BandwidthBefore = %d", k, name, m, st.BandwidthBefore)
-					}
-					got := beliefs.New(p.Graph.N(), k)
-					if _, err := s.SolveInto(context.Background(), got, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
-						t.Fatalf("k=%d %s %v %v: %v", k, name, m, r, err)
-					}
-					if d := maxAbsDiff(got, want); d > 1e-12 {
-						t.Fatalf("k=%d %s %v %v: reordered vs natural max diff %g", k, name, m, r, d)
-					}
-					// The allocating Solve path must agree too (top
-					// assignment built on un-permuted beliefs).
-					res, err := s.Solve(context.Background(), p.Explicit)
-					if err != nil && !errors.Is(err, ErrNotConverged) {
-						t.Fatal(err)
-					}
-					if d := maxAbsDiff(res.Beliefs, want); d > 1e-12 {
-						t.Fatalf("k=%d %s %v %v: Solve path diff %g", k, name, m, r, d)
-					}
-					s.Close()
-				}
+// TestReorderingStatsAndSolvePath keeps the layout optimizer's
+// contract pieces the differential harness does not cover: the chosen
+// ordering and bandwidths land in Stats, and the allocating Solve path
+// (top assignment built on un-permuted beliefs) agrees with the
+// natural-order SolveInto. The full method × k × ordering equivalence
+// matrix that used to live here moved to the reusable harness in
+// internal/difftest (TestDifferentialMatrix).
+func TestReorderingStatsAndSolvePath(t *testing.T) {
+	for name, p := range reorderProblems(t, 3) {
+		base, err := Prepare(p, MethodLinBP, WithReordering(ReorderNone), WithMaxIter(300))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := beliefs.New(p.Graph.N(), 3)
+		if _, err := base.SolveInto(context.Background(), want, p.Explicit); err != nil && !errors.Is(err, ErrNotConverged) {
+			t.Fatalf("%s natural: %v", name, err)
+		}
+		base.Close()
+		for _, r := range []Reordering{ReorderRCM, ReorderDegree} {
+			s, err := Prepare(p, MethodLinBP, WithReordering(r), WithMaxIter(300))
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, r, err)
 			}
+			st := s.Stats()
+			if st.Ordering != r {
+				t.Fatalf("%s: Stats.Ordering = %v, want %v", name, st.Ordering, r)
+			}
+			if st.BandwidthBefore <= 0 {
+				t.Fatalf("%s: BandwidthBefore = %d", name, st.BandwidthBefore)
+			}
+			res, err := s.Solve(context.Background(), p.Explicit)
+			if err != nil && !errors.Is(err, ErrNotConverged) {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(res.Beliefs, want); d > 1e-12 {
+				t.Fatalf("%s %v: Solve path diff %g", name, r, d)
+			}
+			s.Close()
 		}
 	}
 }
@@ -128,7 +115,8 @@ func TestReorderingSolveBatch(t *testing.T) {
 // TestReorderingZeroAlloc extends the serving guarantee to reordered
 // layouts: the permutation shuffles ride along in preallocated
 // scratch, so SolveInto stays at zero steady-state allocations for the
-// kernel-backed methods and SolveBatch does not regress.
+// kernel-backed methods and SolveBatch stays at its one-allocation
+// floor (the caller-owned response slice).
 func TestReorderingZeroAlloc(t *testing.T) {
 	p3 := reorderProblems(t, 3)["random"]
 	p2 := reorderProblems(t, 2)["random"]
@@ -178,8 +166,11 @@ func TestReorderingZeroAlloc(t *testing.T) {
 			}
 		}
 	})
-	if allocs > 0 {
-		t.Errorf("%v allocs per reordered SolveBatch, want 0", allocs)
+	// One allocation — the caller-owned response slice — is the floor
+	// of the concurrency-safe batch contract; everything else rides in
+	// pooled workspaces.
+	if allocs > 1 {
+		t.Errorf("%v allocs per reordered SolveBatch, want 1 (the response slice)", allocs)
 	}
 }
 

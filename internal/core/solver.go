@@ -6,6 +6,15 @@
 // This is the "prepare once, solve many" shape the paper's
 // data-management pitch implies: one network, heavy repeated
 // classification traffic.
+//
+// Solvers are safe for concurrent use: the prepared state (adjacency,
+// degrees, couplings, layouts) is immutable and shared, while the
+// mutable per-solve workspaces — kernel engines, BP message buffers,
+// SBP runners, permutation scratch — are handed out through a pooled
+// free list (statePool), so N goroutines can hammer one shared Solver
+// with zero steady-state allocations on the SolveInto path. Stats
+// reads atomic counters; Close is idempotent, waits for in-flight
+// solves, and every solve after it fails with ErrClosed.
 package core
 
 import (
@@ -13,6 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/beliefs"
 	"repro/internal/bp"
@@ -34,14 +46,15 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers int
-	maxIter int
-	tol     float64
-	echo    bool
-	echoSet bool
-	autoEps bool
-	reorder Reordering
-	layout  kernel.Layout
+	workers    int
+	maxIter    int
+	tol        float64
+	echo       bool
+	echoSet    bool
+	autoEps    bool
+	reorder    Reordering
+	layout     kernel.Layout
+	partitions int
 }
 
 // Reordering selects the prepare-time graph layout strategy; see
@@ -70,6 +83,8 @@ func ParseReordering(name string) (Reordering, error) { return order.ParseStrate
 // WithWorkers sets the goroutine count of the fused kernel's
 // row-partitioned parallel pass (LinBP, LinBP*, FABP, and their
 // batches). 0 or 1 selects the serial kernel. BP and SBP ignore it.
+// While WithPartitions is active the partitioned plane replaces the
+// span pool, and Workers only seeds the auto partition count.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithMaxIter bounds the update rounds of iterative methods
@@ -119,6 +134,32 @@ func WithCompactIndices(on bool) Option {
 	}
 }
 
+// PartitionsAuto asks WithPartitions to size the partition-parallel
+// plane automatically: serving-scale graphs get one partition per
+// kernel worker (or GOMAXPROCS when Workers is unset, capped at
+// maxAutoPartitions); small cache-resident graphs keep the
+// unpartitioned plane.
+const PartitionsAuto = -1
+
+// maxAutoPartitions caps the automatically chosen partition count: the
+// partitioned plane exists to pin blocks to sockets/cores, and past a
+// modest worker count the per-round merge step costs more than further
+// splitting buys.
+const maxAutoPartitions = 16
+
+// WithPartitions selects the kernel's partition-parallel data plane for
+// the kernel-backed methods (LinBP, LinBP*, FABP, and their batches):
+// the layout-ordered adjacency is split into n contiguous nnz-balanced
+// row blocks (order.PartitionRows), and each prepared engine binds one
+// persistent OS-thread-locked worker per block with first-touched
+// private block state and partition-local delta accumulators — one
+// merge/exchange step per round instead of span stealing. n = 1 runs a
+// single-block partitioned plane (the overhead baseline);
+// PartitionsAuto sizes the plane from the graph and worker count; 0
+// (the default) disables it. BP and SBP ignore partitions. Stats()
+// reports the partition count, cut edges, and nnz imbalance.
+func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
+
 // SolveInfo describes one completed solve on the serving path.
 type SolveInfo struct {
 	// Iterations is the number of update rounds executed (for SBP, the
@@ -136,8 +177,9 @@ type Request struct {
 	// E holds the explicit residual beliefs of this request (n×k).
 	E *beliefs.Residual
 	// Dst, when non-nil, receives the final residual beliefs (n×k,
-	// overwritten), so steady-state batches allocate nothing. When nil
-	// a fresh matrix is allocated for the response.
+	// overwritten), so steady-state batches avoid the belief-matrix
+	// allocations. When nil a fresh matrix is allocated for the
+	// response.
 	Dst *beliefs.Residual
 }
 
@@ -158,7 +200,8 @@ type Response struct {
 }
 
 // SolverStats is a snapshot of a Solver's configuration and lifetime
-// counters, for serving observability.
+// counters, for serving observability. It is safe to call concurrently
+// with solves; the counters are read atomically.
 type SolverStats struct {
 	// Method is the prepared inference method.
 	Method Method
@@ -176,6 +219,14 @@ type SolverStats struct {
 	// under the natural and the chosen ordering (equal when Ordering
 	// is none).
 	BandwidthBefore, BandwidthAfter int
+	// Partitions is the row-block count of the partition-parallel
+	// plane (0 when the plane is off — the default — or the method
+	// does not use the fused kernel). CutEdges counts the stored
+	// adjacency entries crossing block boundaries and Imbalance is the
+	// heaviest block's nnz relative to the ideal per-block share
+	// (1.0 = perfectly balanced); both are 0 when Partitions is 0.
+	Partitions, CutEdges int
+	Imbalance            float64
 	// Solves counts completed Solve/SolveInto calls; BatchRequests
 	// counts requests served through SolveBatch (Batches calls) for
 	// every method — batch-internal solves are not double-counted
@@ -194,11 +245,20 @@ type SolverStats struct {
 // configuration (graph + coupling + εH): construct it once with
 // Prepare (or the per-method PrepareBP/PrepareLinBP/PrepareSBP/
 // PrepareFABP wrappers in the facade), then issue many solves for
-// changing explicit beliefs. All four methods serve through this one
+// changing explicit beliefs. All methods serve through this one
 // interface with their preprocessed state reused across solves.
 //
-// Solvers are not safe for concurrent use; run one per goroutine or
-// serialize access. Close releases pooled resources.
+// Solvers are safe for concurrent use: any number of goroutines may
+// call Solve, SolveInto, SolveBatch, and Stats on one shared Solver.
+// Per-solve workspaces are recycled through an internal pool, so the
+// SolveInto serving path stays allocation-free in steady state no
+// matter how many goroutines share the solver. Close is idempotent,
+// waits for in-flight solves to drain, and fails later solves with
+// ErrClosed. One carve-out: the incremental SBP state a Solve on an
+// SBP solver returns (Result.SBP) shares the problem's graph, so its
+// mutators (AddEdges, AddExplicitBeliefs) are NOT covered by the
+// guarantee — serialize them against all other use of the solver and
+// the problem.
 type Solver interface {
 	// Solve runs the method for the explicit residual beliefs e and
 	// allocates a fresh result (including the top-belief assignment).
@@ -210,18 +270,23 @@ type Solver interface {
 	// beliefs into dst (n×k, overwritten) and skips the result and
 	// top-assignment allocations. For the kernel-backed methods
 	// (LinBP, LinBP*, FABP) steady-state calls allocate nothing.
+	// Concurrent callers must pass distinct dst matrices.
 	SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error)
 	// SolveBatch answers independent requests over the shared prepared
 	// state, amortizing workspace acquisition across the batch; the
 	// LinBP/LinBP* implementation additionally fuses requests into
-	// multi-block kernel rounds that traverse the adjacency structure
+	// multi-block kernel chunks that traverse the adjacency structure
 	// once per round for the whole batch. The returned slice is owned
-	// by the solver and overwritten by the next SolveBatch call.
+	// by the caller (it is freshly allocated per call, the one
+	// steady-state allocation of the batch path — a requirement of
+	// concurrent batch callers).
 	SolveBatch(ctx context.Context, reqs []Request) []Response
-	// Stats returns a snapshot of configuration and serving counters.
+	// Stats returns a snapshot of configuration and serving counters;
+	// safe to call concurrently with solves.
 	Stats() SolverStats
-	// Close releases pooled resources. It is idempotent; any solve
-	// after Close fails with ErrClosed.
+	// Close releases pooled resources after waiting for in-flight
+	// solves to complete. It is idempotent; any solve after Close
+	// fails with ErrClosed.
 	Close() error
 }
 
@@ -261,7 +326,7 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 			return nil, err
 		}
 	}
-	base := solverBase{method: m, n: p.Graph.N(), k: p.K(), workers: cfg.workers, eps: eps}
+	base := solverInfo{method: m, n: p.Graph.N(), k: p.K(), workers: cfg.workers, eps: eps}
 
 	// The layout optimizer runs once per prepared solver: resolve the
 	// reordering strategy on the adjacency structure and record the
@@ -304,6 +369,39 @@ func permutedLayout(a *sparse.CSR, d []float64, perm order.Permutation) (*sparse
 	return ap, dp
 }
 
+// resolvePartition turns the WithPartitions setting into concrete block
+// boundaries over the layout-ordered adjacency, recording the partition
+// diagnostics in base. It returns nil (no partitioned plane) when the
+// setting is 0 or the auto heuristic keeps the unpartitioned plane.
+func resolvePartition(requested, workers int, a *sparse.CSR, base *solverInfo) []int {
+	parts := requested
+	if parts == 0 {
+		return nil
+	}
+	if parts < 0 { // PartitionsAuto
+		if a.Rows() < order.AutoMinNodes {
+			// Cache-resident graphs: the merge step per round costs
+			// more than block locality buys.
+			return nil
+		}
+		parts = workers
+		if parts < 1 {
+			parts = runtime.GOMAXPROCS(0)
+		}
+		if parts > maxAutoPartitions {
+			parts = maxAutoPartitions
+		}
+		if parts < 2 {
+			return nil
+		}
+	}
+	p := order.PartitionRows(a, parts)
+	base.partitions = p.Blocks()
+	base.cutEdges = p.CutEdges
+	base.imbalance = p.Imbalance
+	return p.Starts
+}
+
 // autoEpsilon is AutoEpsilonH without the method restriction: half the
 // exact Lemma 8 threshold for the chosen echo setting.
 func autoEpsilon(g *graph.Graph, ho *dense.Matrix, echo bool) (float64, error) {
@@ -317,31 +415,141 @@ func autoEpsilon(g *graph.Graph, ho *dense.Matrix, echo bool) (float64, error) {
 	return eps / 2, nil
 }
 
-// solverBase carries the identity and counters every method solver
-// shares. Counters are plain ints because a Solver is single-goroutine
-// by contract; the kernel's internal worker pool never touches them.
-type solverBase struct {
+// statePool hands out per-solve workspaces from a strong-reference
+// free list — deliberately not a sync.Pool: the pooled states own real
+// resources (kernel worker goroutines, OS-thread-locked partition
+// workers, message buffers), and a GC-evicting pool would strand those
+// engines in the Close registry while cache misses build ever more —
+// an unbounded leak of memory and locked threads under sustained
+// traffic. The free list keeps every built state reusable until Close,
+// so the population is bounded by peak concurrent use, steady-state
+// get/put allocate nothing, and the mutex push/pop is noise against a
+// solve. (No idle shrink yet: a burst of N concurrent solves retains N
+// states — and on the partitioned plane their locked worker threads —
+// until Close. Add a soft cap if peak-vs-steady gaps start to matter.)
+type statePool[T any] struct {
+	mu    sync.Mutex
+	free  []T
+	all   []T
+	build func() (T, error)
+}
+
+func newStatePool[T any](build func() (T, error)) *statePool[T] {
+	return &statePool[T]{build: build}
+}
+
+// get returns a pooled state or builds a fresh one.
+func (p *statePool[T]) get() (T, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		var zero T
+		p.free[n-1] = zero
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.mu.Unlock()
+	v, err := p.build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	p.mu.Lock()
+	p.all = append(p.all, v)
+	p.mu.Unlock()
+	return v, nil
+}
+
+// put returns a state for reuse.
+func (p *statePool[T]) put(v T) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
+// closeAll invokes f over every state ever built and empties the
+// registry. Callers guarantee no state is in use (Close holds the
+// solver's write lock).
+func (p *statePool[T]) closeAll(f func(T)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range p.all {
+		f(v)
+	}
+	p.all = nil
+	p.free = nil
+}
+
+// solverInfo is the plain-data identity of a prepared solver — the
+// configuration echo Stats reports. It carries no locks, so Prepare
+// passes it around by value before the solver goes live.
+type solverInfo struct {
 	method  Method
 	n, k    int
 	workers int
 	eps     float64
-	closed  bool
 
 	ordering              Reordering
 	bandBefore, bandAfter int
+	partitions, cutEdges  int
+	imbalance             float64
+}
 
-	solves, batches, batchReqs int64
-	iterations                 int64
-	notConverged, cancelled    int64
-	resp                       []Response
+// solverBase carries the identity, lifecycle, and counters every method
+// solver shares. Solves hold the read side of mu for their whole
+// duration; Close takes the write side, so it waits for in-flight
+// solves and flips closed exactly once. Counters are atomics because
+// any number of solves may run concurrently.
+type solverBase struct {
+	solverInfo
+
+	mu     sync.RWMutex
+	closed bool
+
+	solves, batches, batchReqs atomic.Int64
+	iterations                 atomic.Int64
+	notConverged, cancelled    atomic.Int64
+}
+
+// begin enters one solve: it takes the read lock and rejects closed
+// solvers. Every public solve entry point pairs it with end; nested
+// begin calls are forbidden (recursive read locks can deadlock against
+// a pending Close).
+func (b *solverBase) begin() bool {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (b *solverBase) end() { b.mu.RUnlock() }
+
+// closeOnce runs release under the write lock the first time the solver
+// is closed — after every in-flight solve has drained — and is a no-op
+// afterwards.
+func (b *solverBase) closeOnce(release func()) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if release != nil {
+		release()
+	}
+	return nil
 }
 
 func (b *solverBase) Stats() SolverStats {
 	return SolverStats{
 		Method: b.method, N: b.n, K: b.k, Workers: b.workers, EpsilonH: b.eps,
 		Ordering: b.ordering, BandwidthBefore: b.bandBefore, BandwidthAfter: b.bandAfter,
-		Solves: b.solves, Batches: b.batches, BatchRequests: b.batchReqs,
-		Iterations: b.iterations, NotConverged: b.notConverged, Cancelled: b.cancelled,
+		Partitions: b.partitions, CutEdges: b.cutEdges, Imbalance: b.imbalance,
+		Solves: b.solves.Load(), Batches: b.batches.Load(), BatchRequests: b.batchReqs.Load(),
+		Iterations: b.iterations.Load(), NotConverged: b.notConverged.Load(), Cancelled: b.cancelled.Load(),
 	}
 }
 
@@ -349,13 +557,13 @@ func (b *solverBase) Stats() SolverStats {
 // error: non-convergence becomes an ErrNotConverged wrap, context
 // aborts pass through.
 func (b *solverBase) record(info SolveInfo, err error) (SolveInfo, error) {
-	b.iterations += int64(info.Iterations)
+	b.iterations.Add(int64(info.Iterations))
 	if err != nil {
-		b.cancelled++
+		b.cancelled.Add(1)
 		return info, fmt.Errorf("core: %v solve: %w", b.method, err)
 	}
 	if !info.Converged {
-		b.notConverged++
+		b.notConverged.Add(1)
 		return info, fmt.Errorf("core: %v after %d iterations (delta %g): %w",
 			b.method, info.Iterations, info.Delta, errs.ErrNotConverged)
 	}
@@ -395,32 +603,37 @@ func isNotConverged(err error) bool {
 	return err != nil && errors.Is(err, errs.ErrNotConverged)
 }
 
+// failAll builds a response slice carrying one shared error.
+func failAll(reqs []Request, err error) []Response {
+	resp := make([]Response, len(reqs))
+	for i := range resp {
+		resp[i].Err = err
+	}
+	return resp
+}
+
 // sequentialBatch is the shared SolveBatch shape for methods without a
 // fused multi-request kernel: requests run one after another over the
-// same prepared state, reusing the solver's cached response slice.
-func sequentialBatch(b *solverBase, s Solver, ctx context.Context, reqs []Request) []Response {
-	b.batches++
-	resp := b.resp[:0]
-	for _, req := range reqs {
-		b.batchReqs++
+// prepared state through the method's internal (uncounted, shape-trusting)
+// solve, so shapes are fully validated here. Callers hold the solver's
+// read lock.
+func (b *solverBase) sequentialBatch(ctx context.Context, reqs []Request,
+	solve func(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error)) []Response {
+	b.batches.Add(1)
+	b.batchReqs.Add(int64(len(reqs)))
+	resp := make([]Response, len(reqs))
+	for i, req := range reqs {
 		dst := req.Dst
 		if dst == nil {
 			dst = beliefs.New(b.n, b.k)
 		}
-		var r Response
-		if req.E == nil {
-			r.Err = fmt.Errorf("core: nil request beliefs: %w", errs.ErrDimensionMismatch)
-		} else {
-			// Re-classify the inner SolveInto as a batch request so
-			// Solves counts the same thing for every method.
-			before := b.solves
-			info, err := s.SolveInto(ctx, dst, req.E)
-			b.solves = before
-			r = Response{Beliefs: dst, Info: info, Err: err}
+		if err := b.checkShapes(dst, req.E); err != nil {
+			resp[i].Err = err
+			continue
 		}
-		resp = append(resp, r)
+		info, err := solve(ctx, dst, req.E)
+		resp[i] = Response{Beliefs: dst, Info: info, Err: err}
 	}
-	b.resp = resp
 	return resp
 }
 
@@ -439,78 +652,124 @@ type linbpBatchEngine struct {
 	ein []float64 // interleaved explicit beliefs, n × blocks·k
 }
 
-// linbpSolver serves LinBP and LinBP* through prepared kernel engines:
-// one single-problem engine for Solve/SolveInto and, lazily, one fused
-// multi-block engine per batch chunk size for SolveBatch. All engines
-// share the graph's CSR, the degree vector, and the coupling.
+// linbpSolver serves LinBP and LinBP* through pooled prepared kernel
+// engines: a statePool of single-problem engines for Solve/SolveInto
+// and one statePool of fused multi-block engines per batch chunk size
+// for SolveBatch. All engines share the immutable graph CSR, degree
+// vector, coupling, and partition layout; only the mutable workspaces
+// are per-pool-entry, so concurrent solves never contend on state.
 type linbpSolver struct {
 	solverBase
-	a       *sparse.CSR // layout-ordered adjacency shared by all engines
-	d       []float64   // matching degrees (nil for LinBP*)
-	h       *dense.Matrix
-	perm    order.Permutation // nil = natural order
-	layout  kernel.Layout
-	maxIter int
-	tol     float64
+	a          *sparse.CSR // layout-ordered adjacency shared by all engines
+	d          []float64   // matching degrees (nil for LinBP*)
+	h          *dense.Matrix
+	perm       order.Permutation // nil = natural order
+	layout     kernel.Layout
+	partStarts []int // nil = unpartitioned plane
+	maxIter    int
+	tol        float64
 
-	eng   *linbp.Engine
-	batch map[int]*linbpBatchEngine
-	chunk []int // scratch: indices of the requests in the current chunk
+	states *statePool[*linbp.Engine]
+	batch  []*statePool[*linbpBatchEngine] // index c-1 → chunks of c requests
 }
 
-func newLinBPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*linbpSolver, error) {
+func newLinBPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutation) (*linbpSolver, error) {
 	h := coupling.Scale(p.Ho, base.eps)
 	var d []float64
 	if base.method == MethodLinBP {
 		d = p.Graph.WeightedDegrees()
 	}
 	a, d := permutedLayout(p.Graph.Adjacency(), d, perm)
-	eng, err := linbp.NewEngineLayout(a, d, h, perm, linbp.Options{
-		EchoCancellation: base.method == MethodLinBP,
-		MaxIter:          cfg.maxIter,
-		Tol:              cfg.tol,
-		Workers:          cfg.workers,
-		Layout:           cfg.layout,
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &linbpSolver{
-		solverBase: base,
 		a:          a,
 		d:          d,
 		h:          h,
 		perm:       perm,
 		layout:     cfg.layout,
+		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base),
 		maxIter:    cfg.maxIter,
 		tol:        cfg.tol,
-		eng:        eng,
-		batch:      map[int]*linbpBatchEngine{},
 	}
+	s.solverInfo = base // after resolvePartition recorded the diagnostics
 	if s.maxIter == 0 {
 		s.maxIter = linbp.DefaultMaxIter
 	}
 	if s.tol == 0 {
 		s.tol = linbp.DefaultTol
 	}
+	s.states = newStatePool(func() (*linbp.Engine, error) {
+		return linbp.NewEngineLayout(s.a, s.d, s.h, s.perm, linbp.Options{
+			EchoCancellation: s.method == MethodLinBP,
+			MaxIter:          s.maxIter,
+			Tol:              s.tol,
+			Workers:          s.workers,
+			Layout:           s.layout,
+			PartitionStarts:  s.partStarts,
+		})
+	})
+	s.batch = make([]*statePool[*linbpBatchEngine], s.maxBlocks())
+	for i := range s.batch {
+		c := i + 1
+		s.batch[i] = newStatePool(func() (*linbpBatchEngine, error) {
+			ws := kernel.GetWorkspace()
+			eng, err := kernel.New(kernel.Config{
+				A: s.a, D: s.d, H: s.h,
+				Workers: s.workers, Blocks: c, Layout: s.layout,
+				SymmetricA: true, PartitionStarts: s.partStarts,
+			}, ws)
+			if err != nil {
+				ws.Release()
+				return nil, fmt.Errorf("core: batch engine: %w", err)
+			}
+			return &linbpBatchEngine{eng: eng, ws: ws, ein: make([]float64, s.n*c*s.k)}, nil
+		})
+	}
+	// Build (and pool) the first engine eagerly: it validates the
+	// configuration and triggers the shared CSR's compact-index build
+	// while preparation is still single-goroutine.
+	eng, err := s.states.get()
+	if err != nil {
+		return nil, err
+	}
+	s.states.put(eng)
 	return s, nil
 }
 
 func (s *linbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	if !s.begin() {
+		return nil, s.errClosed()
+	}
+	defer s.end()
 	dst := beliefs.New(s.n, s.k)
-	info, err := s.SolveInto(ctx, dst, e)
+	if err := s.checkShapes(dst, e); err != nil {
+		return nil, err
+	}
+	s.solves.Add(1) // counted only once the request is well-formed
+	info, err := s.solveInto(ctx, dst, e)
 	return s.finish(dst, info, err)
 }
 
 func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
-	if s.closed {
+	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
 	}
+	defer s.end()
 	if err := s.checkShapes(dst, e); err != nil {
 		return SolveInfo{}, err
 	}
-	s.solves++
-	iters, delta, converged, err := s.eng.SolveIntoContext(ctx, dst, e)
+	s.solves.Add(1)
+	return s.solveInto(ctx, dst, e)
+}
+
+// solveInto runs one counted-elsewhere solve on a pooled engine. The
+// caller holds the read lock and has validated the shapes.
+func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	eng, err := s.states.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.states.put(eng)
+	iters, delta, converged, err := eng.SolveIntoContext(ctx, dst, e)
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
 }
 
@@ -524,89 +783,78 @@ func (s *linbpSolver) maxBlocks() int {
 	return b
 }
 
-// batchEngine returns the cached fused engine for a chunk of c
-// requests, building it on first use. Steady-state batches of
-// recurring sizes therefore allocate nothing.
-func (s *linbpSolver) batchEngine(c int) (*linbpBatchEngine, error) {
-	if be, ok := s.batch[c]; ok {
-		return be, nil
-	}
-	ws := kernel.GetWorkspace()
-	eng, err := kernel.New(kernel.Config{A: s.a, D: s.d, H: s.h, Workers: s.workers, Blocks: c, Layout: s.layout, SymmetricA: true}, ws)
-	if err != nil {
-		ws.Release()
-		return nil, fmt.Errorf("core: batch engine: %w", err)
-	}
-	be := &linbpBatchEngine{eng: eng, ws: ws, ein: make([]float64, s.n*c*s.k)}
-	s.batch[c] = be
-	return be, nil
-}
-
 // SolveBatch fuses the requests into multi-block kernel chunks: each
 // update round traverses the CSR once for every request in a chunk, so
 // a batch of R requests costs far less than R one-shot solves even on
-// a single core (and the chunks still run on the nnz-balanced worker
-// pool when Workers > 1). Requests in a chunk share rounds: iteration
-// stops once every request's delta is within tolerance, and the shared
-// round count and maximum delta are reported for each. Results match
-// the request's one-shot solve up to summation-order rounding (~1 ulp
-// per round).
+// a single core (and the chunks still run on the partitioned or
+// span-parallel plane when one is configured). Requests in a chunk
+// share rounds: iteration stops once every request's delta is within
+// tolerance, and the shared round count and maximum delta are reported
+// for each. Results match the request's one-shot solve up to
+// summation-order rounding (~1 ulp per round).
 func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
-	if s.closed {
-		return s.failAllBase(reqs, s.errClosed())
+	if !s.begin() {
+		return failAll(reqs, s.errClosed())
 	}
-	s.batches++
-	s.batchReqs += int64(len(reqs))
-	resp := s.resp[:0]
-	for range reqs {
-		resp = append(resp, Response{})
-	}
-	s.resp = resp
+	defer s.end()
+	s.batches.Add(1)
+	s.batchReqs.Add(int64(len(reqs)))
+	resp := make([]Response, len(reqs))
 
-	// Partition the well-shaped requests into chunks of at most
-	// maxBlocks, failing ill-shaped ones up front.
-	pending := s.chunk[:0]
+	// Chunk the well-shaped requests on the fly (failing ill-shaped
+	// ones in place) with a fixed-size index buffer — together with the
+	// response slice above, the batch path's only steady-state
+	// allocation is that caller-owned slice.
+	var idx [batchWidth]int
+	mb := s.maxBlocks()
+	cn := 0
+	var batchErr error
+	flush := func() {
+		chunk := idx[:cn]
+		cn = 0
+		if batchErr != nil {
+			// A cancelled or failed chunk fails the rest of the batch
+			// without running it.
+			for _, ri := range chunk {
+				resp[ri].Err = batchErr
+				s.cancelled.Add(1)
+			}
+			return
+		}
+		batchErr = s.solveChunk(ctx, reqs, resp, chunk)
+	}
 	for i, req := range reqs {
 		if req.E == nil || req.E.N() != s.n || req.E.K() != s.k ||
 			(req.Dst != nil && (req.Dst.N() != s.n || req.Dst.K() != s.k)) {
 			resp[i].Err = fmt.Errorf("core: request %d does not match n=%d k=%d: %w", i, s.n, s.k, errs.ErrDimensionMismatch)
 			continue
 		}
-		pending = append(pending, i)
+		idx[cn] = i
+		cn++
+		if cn == mb {
+			flush()
+		}
 	}
-	s.chunk = pending
-
-	var batchErr error
-	for lo := 0; lo < len(pending); lo += s.maxBlocks() {
-		hi := lo + s.maxBlocks()
-		if hi > len(pending) {
-			hi = len(pending)
-		}
-		chunk := pending[lo:hi]
-		if batchErr != nil {
-			for _, ri := range chunk {
-				resp[ri].Err = batchErr
-				s.cancelled++
-			}
-			continue
-		}
-		batchErr = s.solveChunk(ctx, reqs, resp, chunk)
+	if cn > 0 {
+		flush()
 	}
 	return resp
 }
 
-// solveChunk runs one fused chunk and fills its responses. A returned
-// error (context cancellation or engine failure) tells SolveBatch to
-// fail the remaining chunks without running them.
+// solveChunk runs one fused chunk on a pooled batch engine and fills
+// its responses. A returned error (context cancellation or engine
+// failure) tells SolveBatch to fail the remaining chunks without
+// running them.
 func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Response, chunk []int) error {
 	c := len(chunk)
-	be, err := s.batchEngine(c)
+	be, err := s.batch[c-1].get()
 	if err != nil {
 		for _, ri := range chunk {
 			resp[ri].Err = err
 		}
 		return err
 	}
+	defer s.batch[c-1].put(be)
 	n, k := s.n, s.k
 	// Interleave the chunk's explicit beliefs: node i's blocks·k row
 	// holds request 0..c-1's k-wide rows back to back. Element loops
@@ -638,7 +886,7 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 	be.eng.ResetFast()
 	be.eng.SetExplicit(be.ein)
 	iters, delta, converged, runErr := be.eng.RunContext(ctx, s.maxIter, s.tol, nil)
-	s.iterations += int64(iters)
+	s.iterations.Add(int64(iters))
 
 	// One shared error value per chunk: its requests share rounds, so
 	// they share the outcome too.
@@ -661,9 +909,9 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 		resp[ri].Err = chunkErr
 		switch {
 		case runErr != nil:
-			s.cancelled++
+			s.cancelled.Add(1)
 		case !converged:
-			s.notConverged++
+			s.notConverged.Add(1)
 		}
 		if iters == 0 {
 			// No round completed (pre-cancelled context or a
@@ -703,135 +951,202 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 }
 
 func (s *linbpSolver) Close() error {
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	s.eng.Close()
-	for _, be := range s.batch {
-		be.eng.Close()
-		be.ws.Release()
-	}
-	return nil
+	return s.closeOnce(func() {
+		s.states.closeAll(func(e *linbp.Engine) { e.Close() })
+		for _, bp := range s.batch {
+			bp.closeAll(func(be *linbpBatchEngine) {
+				be.eng.Close()
+				be.ws.Release()
+			})
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
 // BP
 
-// bpSolver serves standard loopy BP through a prepared bp.Engine,
-// reusing the directed-edge layout and message buffers across solves.
-// Explicit residuals too large to be valid priors are rescaled per
-// solve exactly as the one-shot Solve always did (Lemma 12). Under a
-// reordered layout the engine runs on the relabeled graph with scratch
-// belief matrices carrying the permutation in and out.
-type bpSolver struct {
-	solverBase
+// bpState is one per-solve BP workspace: a clone of the shared
+// directed-edge layout with private message buffers, plus the
+// layout-order permutation scratch.
+type bpState struct {
 	eng          *bp.Engine
-	perm         order.Permutation
 	eperm, dperm *beliefs.Residual // layout-order scratch (nil without perm)
 }
 
-func newBPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*bpSolver, error) {
+// bpSolver serves standard loopy BP through pooled clones of one
+// prepared bp.Engine: the directed-edge layout is built once and
+// shared read-only; message buffers live in the pooled states.
+// Explicit residuals too large to be valid priors are rescaled per
+// solve exactly as the one-shot Solve always did (Lemma 12). Under a
+// reordered layout the engines run on the relabeled graph with scratch
+// belief matrices carrying the permutation in and out.
+type bpSolver struct {
+	solverBase
+	perm   order.Permutation
+	states *statePool[*bpState]
+}
+
+func newBPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutation) (*bpSolver, error) {
 	h := coupling.Uncenter(coupling.Scale(p.Ho, base.eps))
 	g := p.Graph
 	if perm != nil {
 		g = g.Permute(perm)
 	}
-	eng, err := bp.NewEngine(g, h, bp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	// proto carries the shared directed-edge layout; every pooled state
+	// clones it (sharing the layout, owning its message buffers), so
+	// concurrent pool misses never touch shared mutable state.
+	proto, err := bp.NewEngine(g, h, bp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
 	if err != nil {
 		return nil, err
 	}
-	s := &bpSolver{solverBase: base, eng: eng, perm: perm}
-	if perm != nil {
-		s.eperm = beliefs.New(base.n, base.k)
-		s.dperm = beliefs.New(base.n, base.k)
+	s := &bpSolver{perm: perm}
+	s.solverInfo = base
+	s.states = newStatePool(func() (*bpState, error) {
+		st := &bpState{eng: proto.Clone()}
+		if s.perm != nil {
+			st.eperm = beliefs.New(s.n, s.k)
+			st.dperm = beliefs.New(s.n, s.k)
+		}
+		return st, nil
+	})
+	st, err := s.states.get()
+	if err != nil {
+		return nil, err
 	}
+	s.states.put(st)
 	return s, nil
 }
 
 func (s *bpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	if !s.begin() {
+		return nil, s.errClosed()
+	}
+	defer s.end()
 	dst := beliefs.New(s.n, s.k)
-	info, err := s.SolveInto(ctx, dst, e)
+	if err := s.checkShapes(dst, e); err != nil {
+		return nil, err
+	}
+	s.solves.Add(1)
+	info, err := s.solveInto(ctx, dst, e)
 	return s.finish(dst, info, err)
 }
 
 func (s *bpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
-	if s.closed {
+	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
 	}
+	defer s.end()
 	if err := s.checkShapes(dst, e); err != nil {
 		return SolveInfo{}, err
 	}
-	s.solves++
+	s.solves.Add(1)
+	return s.solveInto(ctx, dst, e)
+}
+
+func (s *bpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	st, err := s.states.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.states.put(st)
 	scale := bpSafeScale(e) // row shuffles keep MaxAbs, so original e is fine
 	var iters int
 	var delta float64
 	var converged bool
-	var err error
 	if s.perm == nil {
-		iters, delta, converged, err = s.eng.SolveInto(ctx, dst, e, scale)
+		iters, delta, converged, err = st.eng.SolveInto(ctx, dst, e, scale)
 	} else {
-		s.perm.ApplyRows(s.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
-		iters, delta, converged, err = s.eng.SolveInto(ctx, s.dperm, s.eperm, scale)
-		s.perm.InvertRows(dst.Matrix().Data(), s.dperm.Matrix().Data(), s.k)
+		s.perm.ApplyRows(st.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
+		iters, delta, converged, err = st.eng.SolveInto(ctx, st.dperm, st.eperm, scale)
+		s.perm.InvertRows(dst.Matrix().Data(), st.dperm.Matrix().Data(), s.k)
 	}
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
 }
 
 func (s *bpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
-	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+	if !s.begin() {
+		return failAll(reqs, s.errClosed())
+	}
+	defer s.end()
+	return s.sequentialBatch(ctx, reqs, s.solveInto)
 }
 
-func (s *bpSolver) Close() error { s.closed = true; return nil }
+func (s *bpSolver) Close() error { return s.closeOnce(nil) }
 
 // ---------------------------------------------------------------------------
 // SBP
 
-// sbpSolver serves single-pass BP. Solve materializes a full
-// incremental State (the legacy contract — Result.SBP supports
-// AddExplicitBeliefs/AddEdges); SolveInto and SolveBatch use the
-// prepared Runner, which reuses the geodesic ordering across solves
-// with an unchanged explicit node set. SBP is εH-invariant, so the
-// unscaled Hˆo is used throughout. Under a reordered layout the Runner
-// works on the relabeled graph (the incremental Solve path keeps the
-// caller's graph — its State exposes node ids).
-type sbpSolver struct {
-	solverBase
-	g            *graph.Graph
-	ho           *dense.Matrix
+// sbpState is one per-solve SBP workspace: a private Runner (each
+// caches its own geodesic ordering) plus permutation scratch.
+type sbpState struct {
 	runner       *sbp.Runner
-	perm         order.Permutation
 	eperm, dperm *beliefs.Residual // layout-order scratch (nil without perm)
 }
 
-func newSBPSolver(p *Problem, base solverBase, perm order.Permutation) (*sbpSolver, error) {
+// sbpSolver serves single-pass BP. Solve materializes a full
+// incremental State (the legacy contract — Result.SBP supports
+// AddExplicitBeliefs/AddEdges); that State aliases the problem's
+// graph, so its mutators fall outside the solver's concurrency
+// guarantee (see the Solver doc). SolveInto and SolveBatch use pooled
+// prepared Runners, each reusing its geodesic ordering across solves
+// with an unchanged explicit node set. SBP is εH-invariant, so the
+// unscaled Hˆo is used throughout. Under a reordered layout the
+// Runners work on the relabeled graph (the incremental Solve path
+// keeps the caller's graph — its State exposes node ids).
+type sbpSolver struct {
+	solverBase
+	g      *graph.Graph // caller-order graph (legacy Solve path)
+	pg     *graph.Graph // layout-ordered graph the runners serve on
+	ho     *dense.Matrix
+	perm   order.Permutation
+	states *statePool[*sbpState]
+}
+
+func newSBPSolver(p *Problem, base solverInfo, perm order.Permutation) (*sbpSolver, error) {
 	g := p.Graph
 	if perm != nil {
 		g = g.Permute(perm)
 	}
-	runner, err := sbp.NewRunner(g, p.Ho)
+	s := &sbpSolver{g: p.Graph, pg: g, ho: p.Ho, perm: perm}
+	s.solverInfo = base
+	if p.Graph.N() > 0 {
+		// Warm the caller-order graph's lazy neighbor index while
+		// preparation is single-goroutine; concurrent legacy Solves
+		// then only read it. (NewRunner warms the layout-order graph.)
+		p.Graph.Degree(0)
+	}
+	s.states = newStatePool(func() (*sbpState, error) {
+		runner, err := sbp.NewRunner(s.pg, s.ho)
+		if err != nil {
+			return nil, err
+		}
+		st := &sbpState{runner: runner}
+		if s.perm != nil {
+			st.eperm = beliefs.New(s.n, s.k)
+			st.dperm = beliefs.New(s.n, s.k)
+		}
+		return st, nil
+	})
+	st, err := s.states.get()
 	if err != nil {
 		return nil, err
 	}
-	s := &sbpSolver{solverBase: base, g: p.Graph, ho: p.Ho, runner: runner, perm: perm}
-	if perm != nil {
-		s.eperm = beliefs.New(base.n, base.k)
-		s.dperm = beliefs.New(base.n, base.k)
-	}
+	s.states.put(st)
 	return s, nil
 }
 
 func (s *sbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
-	if s.closed {
+	if !s.begin() {
 		return nil, s.errClosed()
 	}
+	defer s.end()
 	if err := s.checkShapes(e, e); err != nil {
 		return nil, err
 	}
-	s.solves++
+	s.solves.Add(1)
 	st, err := sbp.RunContext(ctx, s.g, e, s.ho)
 	if err != nil {
-		s.cancelled++
+		s.cancelled.Add(1)
 		return nil, fmt.Errorf("core: %v solve: %w", s.method, err)
 	}
 	res := &Result{Method: s.method, Beliefs: st.Beliefs(), SBP: st, Converged: true}
@@ -840,112 +1155,170 @@ func (s *sbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, er
 			res.Iterations = g
 		}
 	}
-	s.iterations += int64(res.Iterations)
+	s.iterations.Add(int64(res.Iterations))
 	res.Top = res.Beliefs.TopAssignment()
 	return res, nil
 }
 
 func (s *sbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
-	if s.closed {
+	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
 	}
+	defer s.end()
 	if err := s.checkShapes(dst, e); err != nil {
 		return SolveInfo{}, err
 	}
-	s.solves++
+	s.solves.Add(1)
+	return s.solveInto(ctx, dst, e)
+}
+
+func (s *sbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	st, err := s.states.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.states.put(st)
 	var levels int
-	var err error
 	if s.perm == nil {
-		levels, err = s.runner.SolveInto(ctx, dst, e)
+		levels, err = st.runner.SolveInto(ctx, dst, e)
 	} else {
-		s.perm.ApplyRows(s.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
-		levels, err = s.runner.SolveInto(ctx, s.dperm, s.eperm)
-		s.perm.InvertRows(dst.Matrix().Data(), s.dperm.Matrix().Data(), s.k)
+		s.perm.ApplyRows(st.eperm.Matrix().Data(), e.Matrix().Data(), s.k)
+		levels, err = st.runner.SolveInto(ctx, st.dperm, st.eperm)
+		s.perm.InvertRows(dst.Matrix().Data(), st.dperm.Matrix().Data(), s.k)
 	}
 	info := SolveInfo{Iterations: levels, Converged: err == nil}
 	return s.record(info, err)
 }
 
 func (s *sbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
-	if s.closed {
-		return s.failAllBase(reqs, s.errClosed())
+	if !s.begin() {
+		return failAll(reqs, s.errClosed())
 	}
-	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+	defer s.end()
+	return s.sequentialBatch(ctx, reqs, s.solveInto)
 }
 
-func (s *sbpSolver) Close() error { s.closed = true; return nil }
+func (s *sbpSolver) Close() error { return s.closeOnce(nil) }
 
 // ---------------------------------------------------------------------------
 // FABP
 
-// fabpSolver serves the binary (k = 2) scalar linearization of
-// Appendix E through a prepared fabp.Engine. The k×k residual problem
-// surface is kept: explicit beliefs come in as n×2 residual rows whose
-// class-0 component is the scalar input, and results are expanded back
-// to (b, −b) rows, so FABP really is a drop-in fourth method.
-type fabpSolver struct {
-	solverBase
+// fabpState is one per-solve FABP workspace: a prepared scalar engine
+// plus the collapse/expand scratch vectors.
+type fabpState struct {
 	eng    *fabp.Engine
-	perm   order.Permutation
 	es, bs []float64 // scalar explicit/result scratch (layout order)
 }
 
-func newFABPSolver(p *Problem, base solverBase, cfg config, perm order.Permutation) (*fabpSolver, error) {
+// fabpSolver serves the binary (k = 2) scalar linearization of
+// Appendix E through pooled prepared fabp.Engines. The k×k residual
+// problem surface is kept: explicit beliefs come in as n×2 residual
+// rows whose class-0 component is the scalar input, and results are
+// expanded back to (b, −b) rows, so FABP really is a drop-in fifth
+// method.
+type fabpSolver struct {
+	solverBase
+	a          *sparse.CSR
+	d          []float64
+	hhat       float64
+	perm       order.Permutation
+	partStarts []int
+	maxIter    int
+	tol        float64
+	states     *statePool[*fabpState]
+}
+
+func newFABPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutation) (*fabpSolver, error) {
 	if p.K() != 2 {
 		return nil, fmt.Errorf("core: FABP needs k=2 classes, got k=%d: %w", p.K(), errs.ErrDimensionMismatch)
 	}
 	// Any valid k=2 residual coupling has the form [[ĥ,−ĥ],[−ĥ,ĥ]];
 	// the scaled ĥ is its (0,0) entry.
-	hhat := base.eps * p.Ho.At(0, 0)
 	a, d := permutedLayout(p.Graph.Adjacency(), p.Graph.WeightedDegrees(), perm)
-	eng, err := fabp.NewEngineCSR(a, d, hhat, fabp.Options{MaxIter: cfg.maxIter, Tol: cfg.tol})
+	s := &fabpSolver{
+		a:          a,
+		d:          d,
+		hhat:       base.eps * p.Ho.At(0, 0),
+		perm:       perm,
+		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base),
+		maxIter:    cfg.maxIter,
+		tol:        cfg.tol,
+	}
+	s.solverInfo = base // after resolvePartition recorded the diagnostics
+	s.states = newStatePool(func() (*fabpState, error) {
+		eng, err := fabp.NewEngineCSR(s.a, s.d, s.hhat, fabp.Options{
+			MaxIter: s.maxIter, Tol: s.tol, PartitionStarts: s.partStarts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &fabpState{
+			eng: eng,
+			es:  make([]float64, s.n),
+			bs:  make([]float64, s.n),
+		}, nil
+	})
+	st, err := s.states.get()
 	if err != nil {
 		return nil, err
 	}
-	return &fabpSolver{
-		solverBase: base,
-		eng:        eng,
-		perm:       perm,
-		es:         make([]float64, base.n),
-		bs:         make([]float64, base.n),
-	}, nil
+	s.states.put(st)
+	return s, nil
 }
 
 func (s *fabpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	if !s.begin() {
+		return nil, s.errClosed()
+	}
+	defer s.end()
 	dst := beliefs.New(s.n, s.k)
-	info, err := s.SolveInto(ctx, dst, e)
+	if err := s.checkShapes(dst, e); err != nil {
+		return nil, err
+	}
+	s.solves.Add(1)
+	info, err := s.solveInto(ctx, dst, e)
 	return s.finish(dst, info, err)
 }
 
 func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
-	if s.closed {
+	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
 	}
+	defer s.end()
 	if err := s.checkShapes(dst, e); err != nil {
 		return SolveInfo{}, err
 	}
-	s.solves++
+	s.solves.Add(1)
+	return s.solveInto(ctx, dst, e)
+}
+
+func (s *fabpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	st, err := s.states.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.states.put(st)
 	// The scalar collapse/expand copies double as the layout shuffle:
 	// indexing through perm costs nothing extra per element.
 	ed := e.Matrix().Data()
 	if s.perm == nil {
 		for i := 0; i < s.n; i++ {
-			s.es[i] = ed[i*2]
+			st.es[i] = ed[i*2]
 		}
 	} else {
 		for i := 0; i < s.n; i++ {
-			s.es[s.perm[i]] = ed[i*2]
+			st.es[s.perm[i]] = ed[i*2]
 		}
 	}
-	iters, delta, converged, err := s.eng.SolveInto(ctx, s.bs, s.es)
+	iters, delta, converged, err := st.eng.SolveInto(ctx, st.bs, st.es)
 	dd := dst.Matrix().Data()
 	if s.perm == nil {
-		for i, b := range s.bs {
+		for i, b := range st.bs {
 			dd[i*2], dd[i*2+1] = b, -b
 		}
 	} else {
 		for i := 0; i < s.n; i++ {
-			b := s.bs[s.perm[i]]
+			b := st.bs[s.perm[i]]
 			dd[i*2], dd[i*2+1] = b, -b
 		}
 	}
@@ -953,27 +1326,15 @@ func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (S
 }
 
 func (s *fabpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
-	if s.closed {
-		return s.failAllBase(reqs, s.errClosed())
+	if !s.begin() {
+		return failAll(reqs, s.errClosed())
 	}
-	return sequentialBatch(&s.solverBase, s, ctx, reqs)
+	defer s.end()
+	return s.sequentialBatch(ctx, reqs, s.solveInto)
 }
 
 func (s *fabpSolver) Close() error {
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	s.eng.Close()
-	return nil
-}
-
-// failAllBase fills the cached response slice with one shared error.
-func (b *solverBase) failAllBase(reqs []Request, err error) []Response {
-	resp := b.resp[:0]
-	for range reqs {
-		resp = append(resp, Response{Err: err})
-	}
-	b.resp = resp
-	return resp
+	return s.closeOnce(func() {
+		s.states.closeAll(func(st *fabpState) { st.eng.Close() })
+	})
 }

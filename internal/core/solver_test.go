@@ -446,7 +446,12 @@ func TestSolveIntoZeroAlloc(t *testing.T) {
 }
 
 // TestSolveBatchZeroAlloc asserts that steady-state batches of a
-// recurring size with caller-provided destinations allocate nothing.
+// recurring size with caller-provided destinations allocate nothing
+// beyond the caller-owned response slice: since the Solver became safe
+// for concurrent use, each SolveBatch hands its responses to the caller
+// in a freshly allocated slice (recycling it would race with another
+// goroutine still reading its previous batch), so exactly one
+// allocation per call is the floor.
 func TestSolveBatchZeroAlloc(t *testing.T) {
 	p := randomProblem(t, 300, 700, 3, 0.01, 23)
 	s, err := Prepare(p, MethodLinBP)
@@ -460,7 +465,7 @@ func TestSolveBatchZeroAlloc(t *testing.T) {
 		reqs[i] = Request{E: e, Dst: beliefs.New(300, 3)}
 	}
 	ctx := context.Background()
-	s.SolveBatch(ctx, reqs) // warm: builds the fused engine + response slice
+	s.SolveBatch(ctx, reqs) // warm: builds the fused engine
 	allocs := testing.AllocsPerRun(20, func() {
 		for _, r := range s.SolveBatch(ctx, reqs) {
 			if r.Err != nil {
@@ -468,8 +473,8 @@ func TestSolveBatchZeroAlloc(t *testing.T) {
 			}
 		}
 	})
-	if allocs > 0 {
-		t.Errorf("%v allocs per SolveBatch, want 0", allocs)
+	if allocs > 1 {
+		t.Errorf("%v allocs per SolveBatch, want 1 (the caller-owned response slice)", allocs)
 	}
 }
 

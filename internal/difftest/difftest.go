@@ -1,0 +1,262 @@
+// Package difftest is the reusable differential-correctness harness of
+// the repository: it solves one identical problem instance under every
+// serving configuration axis the prepared-Solver API exposes — method,
+// class count, wide/compact index layout, prepare-time reordering,
+// partition-parallel plane, and kernel worker count — and asserts that
+// every variant reproduces the reference configuration within a tight
+// divergence bound (1e-12 by default; the kernel planes are in fact
+// bitwise identical, the reordered ones differ only by summation
+// order).
+//
+// It replaces the per-PR ad-hoc equivalence tests: a PR that adds a new
+// execution plane or layout axis extends Variants once and every
+// method × k combination is covered, including the fuzzed edge-list
+// entry point (FuzzLinBPEquivalence in this package's tests).
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/core"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/errs"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/order"
+)
+
+// DefaultTol is the divergence bound variants must stay within.
+const DefaultTol = 1e-12
+
+// Ks is the class-count axis: the paper's experiment shapes (2, 3, 5)
+// plus k = 1, the scalar collapse of Appendix E. The Problem surface
+// requires k ≥ 2 (beliefs.New), so the k = 1 cell runs the kernel-level
+// differential check (RunKernelK1) over the same configuration axes
+// instead of the prepared-Solver one.
+var Ks = []int{1, 2, 3, 5}
+
+// Methods is the method axis: all five methods of the Problem surface.
+var Methods = []core.Method{
+	core.MethodBP, core.MethodLinBP, core.MethodLinBPStar, core.MethodSBP, core.MethodFABP,
+}
+
+// Variant is one point on the configuration axes.
+type Variant struct {
+	Name string
+	Opts []core.Option
+}
+
+// Reference is the baseline configuration every variant is compared
+// against: natural order, compact indices (the default), serial,
+// unpartitioned.
+func Reference() Variant {
+	return Variant{Name: "reference", Opts: []core.Option{core.WithReordering(core.ReorderNone)}}
+}
+
+// Variants enumerates the configuration axes for a method: the full
+// layout × ordering × partitions × workers cross product for the
+// kernel-backed methods, and the ordering axis alone for the
+// message-passing methods (BP, SBP), which consume no kernel options.
+func Variants(m core.Method) []Variant {
+	orderings := []struct {
+		name string
+		r    core.Reordering
+	}{
+		{"natural", core.ReorderNone},
+		{"rcm", core.ReorderRCM},
+		{"degree", core.ReorderDegree},
+	}
+	var out []Variant
+	if m == core.MethodBP || m == core.MethodSBP {
+		for _, o := range orderings {
+			out = append(out, Variant{
+				Name: fmt.Sprintf("order=%s", o.name),
+				Opts: []core.Option{core.WithReordering(o.r)},
+			})
+		}
+		return out
+	}
+	for _, layout := range []struct {
+		name    string
+		compact bool
+	}{{"compact", true}, {"wide", false}} {
+		for _, o := range orderings {
+			for _, parts := range []int{0, 1, 3} {
+				for _, workers := range []int{0, 4} {
+					out = append(out, Variant{
+						Name: fmt.Sprintf("layout=%s/order=%s/parts=%d/workers=%d",
+							layout.name, o.name, parts, workers),
+						Opts: []core.Option{
+							core.WithCompactIndices(layout.compact),
+							core.WithReordering(o.r),
+							core.WithPartitions(parts),
+							core.WithWorkers(workers),
+						},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Problem builds the deterministic random instance the matrix runs on:
+// a random graph with explicit beliefs on ~8% of the nodes and the
+// k-class homophily coupling. k must be ≥ 2 (the Problem surface's
+// floor); the k = 1 axis runs through RunKernelK1.
+func Problem(n, edges, k int, seed uint64) (*core.Problem, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("difftest: Problem needs k >= 2, got %d (use RunKernelK1)", k)
+	}
+	g := gen.Random(n, edges, seed)
+	ho := coupling.Homophily(k, 0.8)
+	e, _ := beliefs.Seed(n, k, beliefs.SeedConfig{Fraction: 0.08, Seed: seed + 1})
+	p := &core.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 0.01}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Skip reports whether a method × k combination is outside the Problem
+// surface (FABP is defined for k = 2 only).
+func Skip(m core.Method, k int) bool {
+	return m == core.MethodFABP && k != 2
+}
+
+// Run solves p with method m under the reference configuration and
+// every variant, asserting that all results agree within tol (≤ 0
+// selects DefaultTol). extra options (iteration caps, tolerances) are
+// appended to every configuration so the comparison runs under
+// identical stopping rules. Non-convergence within the iteration cap
+// is fine — the iterates are still compared.
+func Run(t testing.TB, p *core.Problem, m core.Method, tol float64, extra ...core.Option) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	want := solveOnce(t, p, m, Reference(), extra)
+	for _, v := range Variants(m) {
+		got := solveOnce(t, p, m, v, extra)
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Errorf("%v %s: diverges from reference by %g (tol %g)", m, v.Name, d, tol)
+		}
+	}
+}
+
+// RunMatrix runs the full method × k matrix on deterministic random
+// instances — the canonical differential suite. Each cell runs as a
+// subtest so failures name their exact configuration. The k = 1 cell
+// exercises the scalar kernel through RunKernelK1.
+func RunMatrix(t *testing.T, n, edges int, seed uint64, extra ...core.Option) {
+	for _, k := range Ks {
+		if k == 1 {
+			t.Run("kernel/k=1", func(t *testing.T) {
+				RunKernelK1(t, n, edges, seed, DefaultTol)
+			})
+			continue
+		}
+		p, err := Problem(n, edges, k, seed)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for _, m := range Methods {
+			if Skip(m, k) {
+				continue
+			}
+			t.Run(fmt.Sprintf("%v/k=%d", m, k), func(t *testing.T) {
+				Run(t, p, m, DefaultTol, extra...)
+			})
+		}
+	}
+}
+
+// RunKernelK1 is the k = 1 cell of the matrix: the scalar kernel (the
+// engine behind FABP's Appendix E collapse) run under every kernel
+// configuration axis — layout × partitions × workers — and compared to
+// the serial reference within tol after a fixed number of rounds.
+func RunKernelK1(t testing.TB, n, edges int, seed uint64, tol float64) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	a := gen.Random(n, edges, seed).Adjacency()
+	d := a.RowSumsSquared()
+	h := dense.NewFromRows([][]float64{{0.04}})
+	echoH := dense.NewFromRows([][]float64{{0.003}})
+	e := make([]float64, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range e {
+		x = x*2862933555777941757 + 3037000493
+		e[i] = float64(int64(x>>33)) / float64(1<<31) * 0.1
+	}
+	const rounds = 6
+	run := func(cfg kernel.Config) []float64 {
+		eng, err := kernel.New(cfg, nil)
+		if err != nil {
+			t.Fatalf("k=1 kernel: %v", err)
+		}
+		defer eng.Close()
+		eng.SetExplicit(e)
+		eng.Run(rounds, -1, nil)
+		return append([]float64(nil), eng.Beliefs()...)
+	}
+	want := run(kernel.Config{A: a, D: d, H: h, EchoH: echoH, SymmetricA: true})
+	for _, layout := range []kernel.Layout{kernel.LayoutCompact, kernel.LayoutWide} {
+		for _, parts := range []int{0, 1, 3} {
+			for _, workers := range []int{1, 4} {
+				cfg := kernel.Config{A: a, D: d, H: h, EchoH: echoH, SymmetricA: true, Layout: layout, Workers: workers}
+				if parts > 0 {
+					cfg.PartitionStarts = order.PartitionRows(a, parts).Starts
+				}
+				got := run(cfg)
+				for i := range got {
+					diff := got[i] - want[i]
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff > tol {
+						t.Errorf("k=1 layout=%v parts=%d workers=%d: belief[%d] diverges by %g",
+							layout, parts, workers, i, diff)
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// solveOnce prepares one configuration, runs one SolveInto, and returns
+// the final beliefs.
+func solveOnce(t testing.TB, p *core.Problem, m core.Method, v Variant, extra []core.Option) *beliefs.Residual {
+	opts := append(append([]core.Option{}, v.Opts...), extra...)
+	s, err := core.Prepare(p, m, opts...)
+	if err != nil {
+		t.Fatalf("%v %s: Prepare: %v", m, v.Name, err)
+	}
+	defer s.Close()
+	dst := beliefs.New(p.Graph.N(), p.K())
+	if _, err := s.SolveInto(context.Background(), dst, p.Explicit); err != nil && !errors.Is(err, errs.ErrNotConverged) {
+		t.Fatalf("%v %s: SolveInto: %v", m, v.Name, err)
+	}
+	return dst
+}
+
+// maxAbsDiff returns the largest element-wise divergence.
+func maxAbsDiff(a, b *beliefs.Residual) float64 {
+	ad, bd := a.Matrix().Data(), b.Matrix().Data()
+	var max float64
+	for i := range ad {
+		d := ad[i] - bd[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

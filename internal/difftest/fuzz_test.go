@@ -1,0 +1,78 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/core"
+	"repro/internal/coupling"
+	"repro/internal/graph"
+)
+
+// FuzzLinBPEquivalence fuzzes edge lists and explicit beliefs and
+// asserts that every serving configuration (layout × ordering ×
+// partitions × workers) of the prepared LinBP solver reproduces the
+// reference within 1e-12 after a fixed number of rounds. Run the seeds
+// with plain `go test`; explore with
+//
+//	go test -fuzz=FuzzLinBPEquivalence ./internal/difftest
+func FuzzLinBPEquivalence(f *testing.F) {
+	// Seed corpus: a triangle with one labeled node per class count, a
+	// star (hub stresses the nnz-balanced partitioner), a path, and a
+	// denser random-ish blob.
+	f.Add([]byte{0, 1, 0, 1, 1, 2, 2, 0, 200, 17, 64, 190, 12, 250})
+	f.Add([]byte{1, 6, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 9, 220, 31, 130, 77, 5, 255, 128})
+	f.Add([]byte{2, 8, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 42, 42, 42, 42, 42, 42, 42, 42, 42, 42})
+	f.Add([]byte{0, 30, 3, 11, 7, 23, 1, 29, 14, 2, 8, 8, 19, 4, 26, 13, 90, 180, 45, 210, 33, 156, 201, 78, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p := fuzzProblem(raw)
+		if p == nil {
+			t.Skip("bytes do not encode a valid instance")
+		}
+		// Fixed rounds: deterministic stopping across configurations
+		// and no dependence on convergence of the fuzzed coupling.
+		Run(t, p, core.MethodLinBP, DefaultTol, core.WithMaxIter(5), core.WithTol(-1))
+	})
+}
+
+// fuzzProblem decodes bytes into a small LinBP instance: byte 0 picks
+// k ∈ {2, 3, 5}, byte 1 the node count, then byte pairs form edges
+// until a zero pair or the belief section, whose bytes fill centered
+// explicit rows. Returns nil when the bytes do not produce a valid
+// problem.
+func fuzzProblem(raw []byte) *core.Problem {
+	if len(raw) < 6 {
+		return nil
+	}
+	k := []int{2, 3, 5}[int(raw[0])%3]
+	n := 2 + int(raw[1])%40
+	g := graph.New(n)
+	i := 2
+	for ; i+1 < len(raw) && g.NumEdges() < 3*n; i += 2 {
+		u, v := int(raw[i])%n, int(raw[i+1])%n
+		if u == v {
+			continue
+		}
+		g.AddUnitEdge(u, v)
+	}
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	e := beliefs.New(n, k)
+	row := make([]float64, k)
+	for node := 0; i+k-1 < len(raw) && node < n; node++ {
+		var sum float64
+		for c := 0; c < k-1; c++ {
+			row[c] = (float64(raw[i+c]) - 127.5) / 127.5 * 0.1
+			sum += row[c]
+		}
+		row[k-1] = -sum
+		e.Set(node, row)
+		i += k - 1
+	}
+	p := &core.Problem{Graph: g, Explicit: e, Ho: coupling.Homophily(k, 0.8), EpsilonH: 0.01}
+	if p.Validate() != nil {
+		return nil
+	}
+	return p
+}

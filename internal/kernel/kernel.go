@@ -81,6 +81,14 @@ type Config struct {
 	// the pull kernels term for term, so results stay bitwise
 	// identical.
 	SymmetricA bool
+	// PartitionStarts, when it holds at least two boundaries, selects
+	// the partition-parallel data plane (see partition.go): row block p
+	// covers [PartitionStarts[p], PartitionStarts[p+1]), one persistent
+	// OS-thread-locked worker per block with first-touched private CSR
+	// copies and partition-local delta accumulators. It must span
+	// [0, n) contiguously. Partitioned mode replaces the span pool, so
+	// Workers is ignored while it is set.
+	PartitionStarts []int
 }
 
 // Layout selects the CSR index representation of an engine.
@@ -209,6 +217,12 @@ type Engine struct {
 	results chan float64
 	started bool
 	closed  bool
+
+	// Partition-parallel plane (see partition.go), spawned lazily on
+	// the first partitioned pass. Non-nil partStarts selects the plane.
+	partStarts  []int
+	partWorkers []*partWorker
+	partStarted bool
 }
 
 // New validates cfg and builds an engine on ws. A nil ws allocates a
@@ -240,6 +254,11 @@ func New(cfg Config, ws *Workspace) (*Engine, error) {
 	if blocks < 1 {
 		blocks = 1
 	}
+	if cfg.PartitionStarts != nil {
+		if err := validPartitionStarts(cfg.PartitionStarts, n); err != nil {
+			return nil, err
+		}
+	}
 	if ws == nil {
 		ws = new(Workspace)
 	}
@@ -257,6 +276,9 @@ func New(cfg Config, ws *Workspace) (*Engine, error) {
 		workers: workers,
 		ws:      ws,
 		track:   true,
+	}
+	if len(cfg.PartitionStarts) >= 2 {
+		e.partStarts = cfg.PartitionStarts
 	}
 	// Pick the index layout once; the compact form is built lazily on
 	// the CSR and shared by every engine over the same graph.
@@ -483,6 +505,9 @@ func (e *Engine) ApplyInto(dst, src []float64) {
 // pass runs one full fused update ws.cur → ws.next and returns the max
 // delta (ignored by the spectral ApplyInto path).
 func (e *Engine) pass() float64 {
+	if e.partStarts != nil {
+		return e.partPass()
+	}
 	if e.workers > 1 && e.n >= 2*e.workers {
 		e.startWorkers()
 		for _, s := range e.spans {
@@ -542,6 +567,11 @@ func (e *Engine) worker(scratch []float64) {
 func (e *Engine) Close() {
 	if e.started && !e.closed {
 		close(e.work)
+	}
+	if e.partStarted && !e.closed {
+		for _, w := range e.partWorkers {
+			close(w.work)
+		}
 	}
 	e.closed = true
 }
@@ -1040,7 +1070,14 @@ const compactBatchMinNodes = 1 << 15
 // epilogue costs more than the act-skip pull). Generic shapes keep the
 // pull round, whose blocked epilogue accumulates in a different order.
 func (e *Engine) sparseRoundEligible() bool {
-	if !e.symA || e.workers > 1 || e.ci32 == nil {
+	// The partitioned plane does not disqualify: the push round runs
+	// serially on the parent engine (Step takes it before dispatching
+	// to pass), reading the parent's full compact index and never
+	// involving the partition workers — so partitioned solves keep the
+	// cheap round 2 and stay bitwise identical to the serial plane.
+	// Workers only matters on the span plane; it is ignored (here as
+	// everywhere) while PartitionStarts is set.
+	if !e.symA || (e.workers > 1 && e.partStarts == nil) || e.ci32 == nil {
 		return false
 	}
 	if e.blocks == 1 {

@@ -49,6 +49,11 @@ type Options struct {
 	// value auto-adopts the compact int32 form whenever the graph fits
 	// it); layout benchmarks pin it to kernel.LayoutWide.
 	Layout kernel.Layout
+	// PartitionStarts, when set, selects the kernel's partition-parallel
+	// data plane: one OS-thread-locked persistent worker per contiguous
+	// row block, with first-touched private block state (see
+	// kernel.Config.PartitionStarts). It replaces the Workers span pool.
+	PartitionStarts []int
 }
 
 // DefaultMaxIter and DefaultTol are the zero-value defaults of Options,

@@ -1,0 +1,128 @@
+// Row partitioning for the partition-parallel serving data plane: the
+// prepared CSR (already reordered by the layout optimizer) is split into
+// P contiguous row blocks of near-equal nonzero count, one per persistent
+// kernel worker. Contiguity keeps each block's belief rows and index
+// stream dense in memory — the property the NUMA follow-up to the
+// locality layout needs: a worker that allocates and first-touches its
+// block's arrays keeps them on its own socket, and the cut-edge/halo
+// statistics below quantify exactly how much belief traffic still has to
+// cross block (and therefore socket) boundaries each round.
+package order
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Partition is a contiguous nnz-balanced row partition of a square CSR.
+type Partition struct {
+	// Starts holds the P+1 ascending block boundaries: block p covers
+	// rows [Starts[p], Starts[p+1]). Starts[0] = 0, Starts[P] = n.
+	Starts []int
+	// BlockNNZ is the stored-entry count per block.
+	BlockNNZ []int
+	// Halo is, per block, the number of distinct rows outside the block
+	// whose belief rows the block's sparse product reads — the remote
+	// traffic a partition pulls across the boundary every round.
+	Halo []int
+	// CutEdges is the number of stored entries (i, j) whose endpoints
+	// fall in different blocks, counted once per stored entry (a
+	// symmetric matrix counts each undirected cut edge twice, matching
+	// the per-round loads actually issued).
+	CutEdges int
+	// Imbalance is max(BlockNNZ) divided by the ideal per-block share
+	// nnz/P; 1.0 is a perfect split. It is 1 for empty matrices.
+	Imbalance float64
+}
+
+// Blocks returns the number of row blocks P.
+func (p *Partition) Blocks() int { return len(p.Starts) - 1 }
+
+// Validate checks that p is a well-formed partition of n rows.
+func (p *Partition) Validate(n int) error {
+	if len(p.Starts) < 2 {
+		return fmt.Errorf("order: partition needs at least one block")
+	}
+	if p.Starts[0] != 0 || p.Starts[len(p.Starts)-1] != n {
+		return fmt.Errorf("order: partition spans [%d, %d), want [0, %d)", p.Starts[0], p.Starts[len(p.Starts)-1], n)
+	}
+	for i := 1; i < len(p.Starts); i++ {
+		if p.Starts[i] < p.Starts[i-1] {
+			return fmt.Errorf("order: partition boundaries not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// PartitionRows splits a's rows into parts contiguous blocks balanced by
+// stored-entry count. Each block receives at least one row whenever
+// enough rows exist (parts is clamped to the row count), so the greedy
+// walk is total: block boundaries are placed when the running block
+// reaches the remaining-nnz / remaining-blocks target, while always
+// leaving one row for every block still to come. The cut/halo statistics
+// are computed in one O(nnz) pass over the structure.
+func PartitionRows(a *sparse.CSR, parts int) *Partition {
+	n := a.Rows()
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n && n > 0 {
+		parts = n
+	}
+	if n == 0 {
+		parts = 1
+	}
+	rowPtr, colIdx, _ := a.Index()
+	total := a.NNZ()
+
+	p := &Partition{
+		Starts:   make([]int, parts+1),
+		BlockNNZ: make([]int, parts),
+		Halo:     make([]int, parts),
+	}
+	p.Starts[parts] = n
+	r := 0
+	for b := 0; b < parts-1; b++ {
+		lo := r
+		remBlocks := parts - b
+		// Upper row bound that still leaves one row per later block.
+		maxHi := n - (remBlocks - 1)
+		target := (total - rowPtr[lo] + remBlocks - 1) / remBlocks
+		for r < maxHi && (r == lo || rowPtr[r+1]-rowPtr[lo] <= target) {
+			r++
+		}
+		p.Starts[b+1] = r
+	}
+
+	// Statistics: block nnz, cut entries, and per-block halo (distinct
+	// external rows referenced), via a last-seen stamp per column.
+	stamp := make([]int, a.Cols())
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	maxNNZ := 0
+	for b := 0; b < parts; b++ {
+		lo, hi := p.Starts[b], p.Starts[b+1]
+		p.BlockNNZ[b] = rowPtr[hi] - rowPtr[lo]
+		if p.BlockNNZ[b] > maxNNZ {
+			maxNNZ = p.BlockNNZ[b]
+		}
+		for q := rowPtr[lo]; q < rowPtr[hi]; q++ {
+			j := colIdx[q]
+			if j >= lo && j < hi {
+				continue
+			}
+			p.CutEdges++
+			if stamp[j] != b {
+				stamp[j] = b
+				p.Halo[b]++
+			}
+		}
+	}
+	p.Imbalance = 1
+	if total > 0 {
+		p.Imbalance = float64(maxNNZ) * float64(parts) / float64(total)
+	}
+	return p
+}

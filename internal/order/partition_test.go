@@ -1,0 +1,117 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// pathCSR builds the adjacency of an n-node path graph (each interior
+// node has two unit entries), a structure whose cuts are easy to count
+// by hand.
+func pathCSR(n int) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i+1 < n; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	return b.ToCSR()
+}
+
+func TestPartitionRowsBasic(t *testing.T) {
+	a := pathCSR(12)
+	for parts := 1; parts <= 6; parts++ {
+		p := PartitionRows(a, parts)
+		if got := p.Blocks(); got != parts {
+			t.Fatalf("parts=%d: Blocks() = %d", parts, got)
+		}
+		if err := p.Validate(a.Rows()); err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		sum := 0
+		for b := 0; b < parts; b++ {
+			if p.Starts[b+1] <= p.Starts[b] {
+				t.Fatalf("parts=%d: empty block %d (starts %v)", parts, b, p.Starts)
+			}
+			sum += p.BlockNNZ[b]
+		}
+		if sum != a.NNZ() {
+			t.Fatalf("parts=%d: block nnz sums to %d, want %d", parts, sum, a.NNZ())
+		}
+		if p.Imbalance < 1 {
+			t.Fatalf("parts=%d: imbalance %v < 1", parts, p.Imbalance)
+		}
+	}
+}
+
+// TestPartitionRowsCutStats pins the cut/halo accounting on a path cut
+// in half: exactly one undirected edge crosses the boundary, stored as
+// two directed entries, and each block sees one remote row.
+func TestPartitionRowsCutStats(t *testing.T) {
+	a := pathCSR(8)
+	p := PartitionRows(a, 2)
+	if p.Starts[1] != 4 {
+		t.Fatalf("uniform path should split at 4, got %v", p.Starts)
+	}
+	if p.CutEdges != 2 {
+		t.Fatalf("CutEdges = %d, want 2 (one undirected edge, both directions)", p.CutEdges)
+	}
+	if p.Halo[0] != 1 || p.Halo[1] != 1 {
+		t.Fatalf("Halo = %v, want [1 1]", p.Halo)
+	}
+}
+
+// TestPartitionRowsHubImbalance checks that a hub row too heavy to
+// split is reported through Imbalance rather than silently balanced.
+func TestPartitionRowsHubImbalance(t *testing.T) {
+	n := 10
+	b := sparse.NewBuilder(n, n)
+	for j := 1; j < n; j++ {
+		b.AddSym(0, j, 1) // node 0 is a hub touching everyone
+	}
+	a := b.ToCSR()
+	p := PartitionRows(a, 3)
+	if err := p.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockNNZ[0] < n-1 {
+		t.Fatalf("hub block nnz = %d, want >= %d", p.BlockNNZ[0], n-1)
+	}
+	if p.Imbalance <= 1 {
+		t.Fatalf("imbalance = %v, want > 1 for a hub-dominated split", p.Imbalance)
+	}
+}
+
+func TestPartitionRowsClamps(t *testing.T) {
+	a := pathCSR(3)
+	p := PartitionRows(a, 10) // more blocks than rows
+	if p.Blocks() != 3 {
+		t.Fatalf("Blocks() = %d, want clamp to 3 rows", p.Blocks())
+	}
+	p = PartitionRows(a, 0) // non-positive → one block
+	if p.Blocks() != 1 || p.Starts[1] != 3 {
+		t.Fatalf("parts=0: %v", p.Starts)
+	}
+	empty := sparse.NewBuilder(0, 0).ToCSR()
+	p = PartitionRows(empty, 4)
+	if p.Blocks() != 1 || p.Imbalance != 1 {
+		t.Fatalf("empty matrix: blocks=%d imbalance=%v", p.Blocks(), p.Imbalance)
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	bad := []Partition{
+		{Starts: []int{0}},
+		{Starts: []int{1, 4}},
+		{Starts: []int{0, 3}},
+		{Starts: []int{0, 3, 2, 4}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Fatalf("case %d: invalid partition %v passed Validate", i, p.Starts)
+		}
+	}
+	good := Partition{Starts: []int{0, 2, 2, 4}}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("empty middle block must be allowed by Validate: %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+// Per-partition CSR views for the partition-parallel data plane. A row
+// block is a self-contained copy of one contiguous row range whose
+// arrays are allocated and written by the calling goroutine: under the
+// kernel's partitioned mode each persistent worker (locked to its OS
+// thread) builds its own block, so with the operating system's default
+// first-touch page placement the block's index stream and values land in
+// memory local to the worker that will traverse them every round.
+package sparse
+
+import "fmt"
+
+// RowBlockCSR returns a CSR holding exactly rows [lo, hi) of m at their
+// original global positions; every other row is empty. The returned
+// matrix shares no storage with m — row pointers, column indices, and
+// values are fresh copies written by the calling goroutine (the
+// first-touch contract above). Column indices keep their global
+// meaning, so kernels indexing a global belief state work unchanged on
+// the block.
+func (m *CSR) RowBlockCSR(lo, hi int) *CSR {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("sparse: row block [%d, %d) out of range %d rows", lo, hi, m.rows))
+	}
+	base := m.rowPtr[lo]
+	nnz := m.rowPtr[hi] - base
+	out := &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: make([]int, m.rows+1),
+		colIdx: make([]int, nnz),
+		val:    make([]float64, nnz),
+	}
+	// Rows before lo stay at 0 (empty); rows in the block are rebased by
+	// the block's first entry; rows after hi pin to nnz (empty).
+	for i := lo; i <= hi; i++ {
+		out.rowPtr[i] = m.rowPtr[i] - base
+	}
+	for i := hi + 1; i <= m.rows; i++ {
+		out.rowPtr[i] = nnz
+	}
+	copy(out.colIdx, m.colIdx[base:base+nnz])
+	copy(out.val, m.val[base:base+nnz])
+	return out
+}

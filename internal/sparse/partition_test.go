@@ -1,0 +1,69 @@
+package sparse
+
+import "testing"
+
+func TestRowBlockCSR(t *testing.T) {
+	m := NewCSRFromDense([][]float64{
+		{0, 1, 0, 2},
+		{3, 0, 4, 0},
+		{0, 0, 0, 5},
+		{6, 0, 0, 0},
+	})
+	blk := m.RowBlockCSR(1, 3)
+	if blk.Rows() != m.Rows() || blk.Cols() != m.Cols() {
+		t.Fatalf("block dims %dx%d, want %dx%d", blk.Rows(), blk.Cols(), m.Rows(), m.Cols())
+	}
+	if blk.NNZ() != 3 {
+		t.Fatalf("block nnz = %d, want 3", blk.NNZ())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			want := 0.0
+			if i >= 1 && i < 3 {
+				want = m.At(i, j)
+			}
+			if got := blk.At(i, j); got != want {
+				t.Fatalf("block At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Rows outside the block read as empty through RowView too.
+	if cols, _ := blk.RowView(0); len(cols) != 0 {
+		t.Fatalf("row 0 outside block has %d entries", len(cols))
+	}
+	if cols, _ := blk.RowView(3); len(cols) != 0 {
+		t.Fatalf("row 3 outside block has %d entries", len(cols))
+	}
+	// The block shares no storage with the original: the compact index
+	// is rebuilt for the block's own arrays.
+	rp, ci, ok := blk.CompactIndex()
+	if !ok || int(rp[len(rp)-1]) != 3 || len(ci) != 3 {
+		t.Fatalf("block compact index ok=%v rp=%v ci=%v", ok, rp, ci)
+	}
+}
+
+func TestRowBlockCSRWholeAndEmpty(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1, 0}, {0, 2}})
+	whole := m.RowBlockCSR(0, 2)
+	if !whole.IsSymmetric() == !m.IsSymmetric() && whole.NNZ() != m.NNZ() {
+		t.Fatalf("whole block nnz %d != %d", whole.NNZ(), m.NNZ())
+	}
+	empty := m.RowBlockCSR(1, 1)
+	if empty.NNZ() != 0 {
+		t.Fatalf("empty block nnz = %d", empty.NNZ())
+	}
+}
+
+func TestRowBlockCSRPanics(t *testing.T) {
+	m := NewCSRFromDense([][]float64{{1}})
+	for _, r := range [][2]int{{-1, 1}, {0, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RowBlockCSR(%d, %d) must panic", r[0], r[1])
+				}
+			}()
+			m.RowBlockCSR(r[0], r[1])
+		}()
+	}
+}

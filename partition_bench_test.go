@@ -1,0 +1,156 @@
+// Benchmarks for the partition-parallel serving data plane: the PR 3
+// compact/auto layout as the baseline against the partitioned plane at
+// increasing block counts, on the ≥100k-node Kronecker regime where
+// memory placement matters. `make bench-partition` archives these into
+// BENCH_results.json.
+package lsbp_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/beliefs"
+	"repro/internal/core"
+	"repro/internal/coupling"
+	"repro/internal/gen"
+)
+
+// partitionBenchCounts returns the block counts to sweep: 1 (the
+// overhead baseline — the acceptance bar is no regression against the
+// unpartitioned plane), always 2 (so the archive records multi-block
+// behavior even on single-core machines, where it measures the plane's
+// per-round merge overhead rather than scaling), then powers of two up
+// to the machine's parallelism.
+func partitionBenchCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1, 2}
+	for c := 4; c <= max && c <= 16; c *= 2 {
+		counts = append(counts, c)
+	}
+	return counts
+}
+
+// BenchmarkPartitionLinBP compares one prepared LinBP solve (5 fixed
+// rounds, the paper's timing convention) across execution planes on a
+// large Kronecker graph:
+//
+//   - pr3_compact_auto — the PR 3 baseline: compact indices, auto
+//     reordering, serial kernel;
+//   - span_workersW — the span-stealing worker pool at the machine's
+//     parallelism;
+//   - partitionsP — the partition-parallel plane at P blocks (P = 1 is
+//     the overhead baseline and must not regress against pr3).
+func BenchmarkPartitionLinBP(b *testing.B) {
+	power := reorderBenchPower()
+	g := gen.Kronecker(power)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 1})
+	p := &core.Problem{Graph: g, Explicit: beliefs.New(g.N(), 3), Ho: coupling.Fig6bResidual(), EpsilonH: 0.001}
+	g.Adjacency()
+	g.WeightedDegrees()
+
+	type variant struct {
+		name string
+		opts []core.Option
+	}
+	variants := []variant{{"pr3_compact_auto", nil}}
+	maxw := runtime.GOMAXPROCS(0)
+	if maxw > 16 {
+		maxw = 16
+	}
+	if maxw > 1 {
+		variants = append(variants, variant{
+			fmt.Sprintf("span_workers%d", maxw),
+			[]core.Option{core.WithWorkers(maxw)},
+		})
+	}
+	for _, parts := range partitionBenchCounts() {
+		variants = append(variants, variant{
+			fmt.Sprintf("partitions%d", parts),
+			[]core.Option{core.WithPartitions(parts)},
+		})
+	}
+	for _, tc := range variants {
+		opts := append([]core.Option{core.WithMaxIter(timingIters), core.WithTol(-1)}, tc.opts...)
+		b.Run(fmt.Sprintf("%s/power%d_nodes%d", tc.name, power, g.N()), func(b *testing.B) {
+			s, err := core.Prepare(p, core.MethodLinBP, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			dst := beliefs.New(g.N(), 3)
+			ctx := context.Background()
+			if _, err := s.SolveInto(ctx, dst, e); err != nil && !errors.Is(err, core.ErrNotConverged) {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveInto(ctx, dst, e); err != nil && !errors.Is(err, core.ErrNotConverged) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionSharedSolver measures the concurrent serving
+// scenario the concurrency-safe Solver exists for: G goroutines
+// hammering one shared prepared solver with independent SolveInto
+// calls (each on its own pooled engine). Reported time is per solve.
+func BenchmarkPartitionSharedSolver(b *testing.B) {
+	power := reorderBenchPower() - 2 // concurrency amplifies footprint; one size down
+	if power < 5 {
+		power = 5
+	}
+	g := gen.Kronecker(power)
+	p := &core.Problem{Graph: g, Explicit: beliefs.New(g.N(), 3), Ho: coupling.Fig6bResidual(), EpsilonH: 0.001}
+	g.Adjacency()
+	g.WeightedDegrees()
+	es := make([]*beliefs.Residual, 8)
+	for i := range es {
+		es[i], _ = beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: uint64(i + 1)})
+	}
+	for _, gr := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines%d/power%d_nodes%d", gr, power, g.N()), func(b *testing.B) {
+			s, err := core.Prepare(p, core.MethodLinBP, core.WithMaxIter(timingIters), core.WithTol(-1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			// Warm one pooled engine per goroutine.
+			var warm sync.WaitGroup
+			for w := 0; w < gr; w++ {
+				warm.Add(1)
+				go func(w int) {
+					defer warm.Done()
+					dst := beliefs.New(g.N(), 3)
+					s.SolveInto(ctx, dst, es[w%len(es)])
+				}(w)
+			}
+			warm.Wait()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/gr + 1
+			for w := 0; w < gr; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					dst := beliefs.New(g.N(), 3)
+					for i := 0; i < per; i++ {
+						if _, err := s.SolveInto(ctx, dst, es[(w+i)%len(es)]); err != nil && !errors.Is(err, core.ErrNotConverged) {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -12,6 +12,15 @@ import (
 // ordering — is reused across solves, and every iterative loop honors
 // context cancellation at round boundaries.
 //
+// Solvers are safe for concurrent use: any number of goroutines may
+// share one Solver; per-solve workspaces are recycled through an
+// internal pool so the SolveInto path stays allocation-free in steady
+// state, Stats is race-free, and Close is idempotent (later solves
+// fail with ErrClosed). The one carve-out is the incremental SBP
+// state returned by Solve on an SBP solver (Result.SBP): it shares
+// the problem's graph, so its mutators must be serialized against all
+// other use of the solver.
+//
 //	s, err := lsbp.PrepareLinBP(p, lsbp.WithWorkers(4))
 //	if err != nil { ... }
 //	defer s.Close()
@@ -138,6 +147,22 @@ func WithReordering(r Reordering) Option { return core.WithReordering(r) }
 // layout, on by default whenever the graph fits it; false restores the
 // wide index layout (for layout benchmarks and debugging).
 func WithCompactIndices(on bool) Option { return core.WithCompactIndices(on) }
+
+// PartitionsAuto asks WithPartitions to size the partition-parallel
+// plane from the graph and worker count (serving-scale graphs get one
+// partition per worker; small graphs keep the unpartitioned plane).
+const PartitionsAuto = core.PartitionsAuto
+
+// WithPartitions selects the kernel's partition-parallel data plane for
+// the kernel-backed methods (LinBP, LinBP*, FABP, and their batches):
+// the layout-ordered adjacency is split into n contiguous nnz-balanced
+// row blocks, and each prepared engine binds one persistent
+// OS-thread-locked worker per block with first-touched private block
+// state — one delta-merge/buffer-exchange step per round instead of
+// span stealing. 0 (the default) disables the plane; PartitionsAuto
+// sizes it automatically; BP and SBP ignore it. Stats() reports the
+// partition count, cut edges, and nnz imbalance.
+func WithPartitions(n int) Option { return core.WithPartitions(n) }
 
 // WithAutoEpsilonH derives εH from the exact convergence criterion
 // (half the Lemma 8 threshold) at preparation time, overriding
