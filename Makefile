@@ -21,6 +21,11 @@
 #                   baseline on the same large Kronecker graph
 #                   (partitions 1..GOMAXPROCS + the span pool), archived
 #                   into BENCH_results.json
+#   make bench-update - the dynamic-plane benchmark on the same large
+#                   Kronecker graph: Update round-trip (overlay commit +
+#                   epoch swap + re-solve) warm vs cold, plus the
+#                   belief-only and single-edge commit throughput,
+#                   archived into BENCH_results.json
 #
 # Tuning knobs (see EXPERIMENTS.md):
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
@@ -30,10 +35,10 @@
 GO ?= go
 BENCHTIME ?= 1s
 COVER_FLOOR ?= 70
-COVER_PKGS = internal/kernel internal/order internal/sparse internal/core
+COVER_PKGS = internal/kernel internal/order internal/sparse internal/core internal/difftest
 RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/ ./internal/difftest/
 
-.PHONY: verify test fmt vet build cover bench bench-quick bench-batch bench-reorder bench-partition race test-race
+.PHONY: verify test fmt vet build cover bench bench-quick bench-batch bench-reorder bench-partition bench-update race test-race
 
 verify: build fmt vet test test-race
 
@@ -85,4 +90,8 @@ bench-reorder:
 
 bench-partition:
 	$(GO) test -bench 'BenchmarkPartition' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-update:
+	$(GO) test -bench 'BenchmarkUpdate' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -26,6 +27,8 @@ func TestGolden(t *testing.T) {
 		{"bp_k2", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "bp", "-eps", "0.05"}},
 		{"sbp_k3", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "sbp", "-eps", "0.05"}},
 		{"fabp_partitioned", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "fabp", "-eps", "0.05", "-partitions", "2", "-v"}},
+		{"linbp_updates", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "linbp", "-eps", "0.05", "-order", "none", "-updates", "testdata/updates.txt"}},
+		{"sbp_updates", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "sbp", "-eps", "0.05", "-updates", "testdata/updates.txt"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -48,6 +51,34 @@ func TestGoldenUsageErrors(t *testing.T) {
 	if code := run(args, &stdout, &stderr); code != 1 {
 		t.Fatalf("bad -partitions: exit %d, want 1 (stderr %q)", code, stderr.String())
 	}
+	stderr.Reset()
+	args = []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt", "-updates", "testdata/no_such_stream.txt"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing -updates file: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+}
+
+// TestUpdatesParseErrors pins the event-stream validation.
+func TestUpdatesParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"bad-op":    "frobnicate 1 2\n",
+		"bad-node":  "add 0 99\n",
+		"bad-class": "label 0 7\n",
+		"bad-w":     "add 0 1 -2\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+".txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels3.txt", "-k", "3", "-eps", "0.05", "-updates", path}
+			if code := run(args, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+			}
+		})
+	}
 }
 
 // checkGolden compares got against the golden file, rewriting it under
@@ -66,5 +97,36 @@ func checkGolden(t *testing.T, path string, got []byte) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestUpdatesEventOrder pins two parser subtleties: a del-then-add of
+// the same pair splits the batch (an Update applies adds before
+// removals, so folding them together would undo the re-add), and bare
+// repeated commits do not produce spurious empty epochs.
+func TestUpdatesEventOrder(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.txt")
+	content := "del 0 3\nadd 0 3 2\ncommit\ncommit\ncommit\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt",
+		"-eps", "0.05", "-order", "none", "-updates", path}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	// The del must land in its own epoch (1) so the re-add (epoch 2)
+	// survives; the duplicate commits must add no further epochs.
+	if !strings.Contains(out, "epoch 1: +0 -1 edges") {
+		t.Errorf("missing del-only epoch:\n%s", out)
+	}
+	if !strings.Contains(out, "epoch 2: +1 -0 edges") {
+		t.Errorf("missing re-add epoch:\n%s", out)
+	}
+	if strings.Contains(out, "epoch 3") {
+		t.Errorf("empty commit produced a spurious epoch:\n%s", out)
 	}
 }

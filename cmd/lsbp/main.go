@@ -15,7 +15,11 @@
 // coupling defaults to k-class homophily; -coupling FILE loads a k×k
 // stochastic coupling matrix (whitespace-separated rows) instead.
 // -partitions engages the kernel's partition-parallel data plane
-// (0 = off, auto, or an explicit block count).
+// (0 = off, auto, or an explicit block count). -updates FILE replays an
+// edge/belief event stream ('add s t [w]', 'del s t', 'label node
+// class [strength]', 'commit') against the prepared solver through the
+// epoch-versioned Update path, printing the top-belief assignment per
+// epoch instead of the single one-shot solve.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -55,7 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		orderFlag = fs.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
 		partsFlag = fs.String("partitions", "0", "partition-parallel data plane: 0 = off, auto, or a block count")
-		verbose   = fs.Bool("v", false, "print the solver stats line (ordering, bandwidth, partitions, iterations) to stderr")
+		updates   = fs.String("updates", "", "event stream file replayed against the prepared solver: 'add s t [w]' | 'del s t' | 'label node class [strength]' | 'commit' lines; beliefs print per epoch")
+		verbose   = fs.Bool("v", false, "print the solver stats line (ordering, bandwidth, partitions, epochs, iterations) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -130,6 +136,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	if *updates != "" {
+		batches, err := loadUpdates(*updates, g.N(), *k)
+		if err != nil {
+			return fail(err)
+		}
+		if err := replayUpdates(ctx, s, batches, stdout, stderr); err != nil {
+			return fail(err)
+		}
+		if *verbose {
+			st := s.Stats()
+			fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v epochs=%d updates=%d rebuilds=%d overlay=%d iters=%d\n",
+				st.Method, st.N, st.K, st.Ordering, st.Epoch, st.Updates, st.Rebuilds, st.OverlayNNZ, st.Iterations)
+		}
+		return 0
+	}
+
 	res, err := s.Solve(ctx, e)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -157,6 +179,167 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(w, "%d %s\n", node, strings.Join(strs, ","))
 	}
 	return 0
+}
+
+// updateBatch is one committed event batch of a -updates stream plus
+// its label count (for the per-epoch summary line).
+type updateBatch struct {
+	u      lsbp.Update
+	labels int
+}
+
+// loadUpdates parses a -updates event stream: 'add s t [w]' inserts an
+// edge (w defaults to 1), 'del s t' removes all edges between s and t,
+// 'label node class [strength]' installs an explicit belief (strength
+// defaults to 0.1), and 'commit' closes a batch (empty commits are
+// no-ops). Trailing events commit implicitly at EOF; blank lines and
+// '#' comments are skipped. One subtlety preserves event order: an
+// Update applies its additions before its removals, so an 'add'
+// following a 'del' of the same pair within one batch would be undone
+// by its own batch — the parser commits the pending batch first, so
+// the delete lands in its own epoch and the re-add survives.
+func loadUpdates(path string, n, k int) ([]updateBatch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []updateBatch
+	var cur updateBatch
+	pending := false
+	deleted := make(map[[2]int]bool) // pairs removed in the pending batch
+	flush := func() {
+		if pending {
+			out = append(out, cur)
+			cur = updateBatch{}
+			pending = false
+			deleted = make(map[[2]int]bool)
+		}
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(msg string) error { return fmt.Errorf("%s:%d: %s: %q", path, line, msg, text) }
+		switch fields[0] {
+		case "commit":
+			if len(fields) != 1 {
+				return nil, bad("want bare 'commit'")
+			}
+			flush()
+		case "add", "del":
+			if len(fields) < 3 || len(fields) > 4 || (fields[0] == "del" && len(fields) != 3) {
+				return nil, bad("want 'add s t [w]' or 'del s t'")
+			}
+			s, err1 := strconv.Atoi(fields[1])
+			t, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, bad("bad endpoint")
+			}
+			if s < 0 || s >= n || t < 0 || t >= n {
+				return nil, bad(fmt.Sprintf("endpoint outside graph (n=%d)", n))
+			}
+			pair := [2]int{s, t}
+			if s > t {
+				pair = [2]int{t, s}
+			}
+			if fields[0] == "del" {
+				cur.u.RemoveEdges = append(cur.u.RemoveEdges, lsbp.Edge{S: s, T: t})
+				deleted[pair] = true
+			} else {
+				w := 1.0
+				if len(fields) == 4 {
+					if w, err = strconv.ParseFloat(fields[3], 64); err != nil || !(w > 0) || math.IsInf(w, 1) {
+						return nil, bad("bad weight (want finite > 0)")
+					}
+				}
+				if deleted[pair] {
+					flush() // see the event-order note above
+				}
+				cur.u.AddEdges = append(cur.u.AddEdges, lsbp.Edge{S: s, T: t, W: w})
+			}
+			pending = true
+		case "label":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, bad("want 'label node class [strength]'")
+			}
+			node, err1 := strconv.Atoi(fields[1])
+			class, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, bad("bad node or class")
+			}
+			if node < 0 || node >= n || class < 0 || class >= k {
+				return nil, bad(fmt.Sprintf("node or class out of range (n=%d k=%d)", n, k))
+			}
+			strength := 0.1
+			if len(fields) == 4 {
+				// Zero would encode an all-zero residual row, which the
+				// Update contract treats as "leave untouched" — the
+				// event would silently no-op; NaN/Inf would poison the
+				// beliefs. Reject all three.
+				strength, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil || strength == 0 || math.IsNaN(strength) || math.IsInf(strength, 0) {
+					return nil, bad("bad strength (want finite nonzero)")
+				}
+			}
+			if cur.u.SetExplicit == nil {
+				cur.u.SetExplicit = lsbp.NewBeliefs(n, k)
+			}
+			cur.u.SetExplicit.Set(node, lsbp.LabelResidual(k, class, strength))
+			cur.labels++
+			pending = true
+		default:
+			return nil, bad("unknown event")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+// replayUpdates drives the event stream through Solver.Update, printing
+// the top-belief assignment after the initial solve (epoch 0) and
+// after every committed batch.
+func replayUpdates(ctx context.Context, s lsbp.Solver, batches []updateBatch, stdout, stderr io.Writer) error {
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	printEpoch := func(i int, b updateBatch, res *lsbp.Result) {
+		fmt.Fprintf(w, "epoch %d: +%d -%d edges, %d labels, iters=%d, converged=%v\n",
+			i, len(b.u.AddEdges), len(b.u.RemoveEdges), b.labels, res.Iterations, res.Converged)
+		for node, classes := range res.Top {
+			strs := make([]string, len(classes))
+			for i, c := range classes {
+				strs[i] = strconv.Itoa(c)
+			}
+			fmt.Fprintf(w, "%d %s\n", node, strings.Join(strs, ","))
+		}
+	}
+	res, err := s.Update(ctx, lsbp.Update{})
+	if err != nil && !errors.Is(err, lsbp.ErrNotConverged) {
+		return fmt.Errorf("initial solve: %w", err)
+	}
+	if errors.Is(err, lsbp.ErrNotConverged) {
+		fmt.Fprintf(stderr, "warning: epoch 0 did not converge (delta %g)\n", res.Delta)
+	}
+	printEpoch(0, updateBatch{}, res)
+	for i, b := range batches {
+		res, err := s.Update(ctx, b.u)
+		if err != nil && !errors.Is(err, lsbp.ErrNotConverged) {
+			return fmt.Errorf("epoch %d: %w", i+1, err)
+		}
+		if errors.Is(err, lsbp.ErrNotConverged) {
+			fmt.Fprintf(stderr, "warning: epoch %d did not converge (delta %g)\n", i+1, res.Delta)
+		}
+		printEpoch(i+1, b, res)
+	}
+	return nil
 }
 
 // parseMethod maps the -method flag onto the Method enum.

@@ -1,0 +1,537 @@
+// The epoch-versioned dynamic serving plane. Prepare wraps every
+// method's immutable prepared state (a snapshot) in a dynSolver, which
+// adds the Update path of the paper's incremental-maintenance story
+// (Section 8; SBP Algorithms 3–4) on top of the existing serving
+// surface:
+//
+//   - Deltas accumulate in a mutable overlay over the prepared,
+//     layout-ordered CSR (sparse.Overlay: weight additions plus
+//     tombstones). Committing a topology update materializes the merged
+//     adjacency by one merged-row pass — no COO rebuild, no reordering
+//     recompute, no partition recompute — and builds a fresh snapshot
+//     on it, reusing the prepare-time permutation and partition
+//     boundaries.
+//   - The snapshot swap is RCU-style: the current-epoch pointer is
+//     swapped atomically, solves already in flight drain on the old
+//     snapshot (its Close waits for them), and new solves land on the
+//     new one. A reader that loses the race — loads the old pointer
+//     just as it retires — observes the old snapshot's ErrClosed and
+//     transparently retries on the current epoch, so no caller ever
+//     sees a torn graph or a spurious closed error.
+//   - Workspaces are pooled per epoch (each snapshot owns its
+//     statePools); retiring an epoch closes its pools and folds its
+//     counters into the solver-lifetime accumulator, and the kernel's
+//     package-level workspace pool recycles the large buffers across
+//     epochs.
+//   - Update re-solves the maintained problem warm-started from the
+//     previous fixpoint for the kernel-backed methods (the fixpoint is
+//     unique under the convergence criterion, so warm starting changes
+//     the iteration count, never the answer). BP and SBP re-solve cold.
+//   - When the overlay's delta-cell count crosses
+//     UpdatePolicy.CompactionRatio × base nnz, the commit becomes a
+//     compaction rebuild: the reordering strategy and the partitioner
+//     replay on the merged graph and the overlay rebases onto the
+//     fresh layout.
+//
+// Convergence caveat: εH (including a WithAutoEpsilonH derivation) is
+// fixed at preparation time. Edge insertions raise the spectral radius
+// of the update operator, so a long-running insert-heavy stream should
+// either keep a safety margin in εH or watch for ErrNotConverged from
+// Update — the same contract the paper's Section 8 sketch implies.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/beliefs"
+	"repro/internal/coupling"
+	"repro/internal/dense"
+	"repro/internal/errs"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// Update is one delta batch for Solver.Update. Within a batch the
+// additions apply before the removals (so a pair both added and
+// removed ends up absent); the belief rows are independent of the
+// topology delta. The whole batch commits as one epoch.
+type Update struct {
+	// AddEdges inserts undirected weighted edges (weights must be
+	// positive, endpoints within the prepared node range — the node set
+	// is fixed at preparation time).
+	AddEdges []graph.Edge
+	// RemoveEdges deletes all stored edges between each listed endpoint
+	// pair (parallel edges go together; weights are ignored and absent
+	// pairs are skipped).
+	RemoveEdges []graph.Edge
+	// SetExplicit installs the non-zero rows of the given n×k residual
+	// matrix as new or replacement explicit beliefs of the maintained
+	// problem — the belief half of the update stream. Zero rows leave
+	// the node's maintained belief untouched (clearing a label is not
+	// representable, matching SBP's Algorithm 3 surface).
+	SetExplicit *beliefs.Residual
+}
+
+// UpdatePolicy tunes the dynamic plane; see WithUpdatePolicy. The zero
+// value selects the defaults.
+type UpdatePolicy struct {
+	// CompactionRatio is the overlay-growth threshold that triggers a
+	// compaction rebuild: when the accumulated delta cells exceed
+	// CompactionRatio × base nnz, the commit replays the reordering
+	// strategy and the partitioner on the merged graph instead of
+	// merging over the stale layout. <= 0 selects
+	// DefaultCompactionRatio; a very small positive value forces a
+	// rebuild on every topology update (the differential tests use
+	// this), a huge one disables compaction.
+	CompactionRatio float64
+	// DisableWarmStart makes Update re-solve from the Bˆ = 0 cold start
+	// instead of the previous fixpoint (for benchmarking the warm-start
+	// payoff; the served answer is the same either way).
+	DisableWarmStart bool
+}
+
+// DefaultCompactionRatio is the default overlay-growth threshold: a
+// quarter of the base's stored entries. Below it the stale layout's
+// locality loss is marginal; above it the O(nnz) relayout amortizes.
+const DefaultCompactionRatio = 0.25
+
+// WithUpdatePolicy sets the dynamic plane's compaction and warm-start
+// policy for Update; solvers that never see an Update ignore it.
+func WithUpdatePolicy(p UpdatePolicy) Option { return func(c *config) { c.policy = p } }
+
+// epochState is one immutable serving epoch — the unit the RCU pointer
+// swaps.
+type epochState struct {
+	snap snapshot
+}
+
+// dynSolver is the epoch-versioned Solver every Prepare returns. The
+// read path (Solve/SolveInto/SolveBatch/Stats) costs one atomic load
+// over the wrapped snapshot; the update path serializes under mu.
+type dynSolver struct {
+	method Method
+	cfg    config
+	ho     *dense.Matrix
+	n, k   int
+	eps    float64
+
+	cur atomic.Pointer[epochState]
+
+	// Everything below mu is the updater's private state: the
+	// caller-order graph and maintained beliefs (lazily cloned on the
+	// first Update so purely static solvers pay nothing), the overlay
+	// and layout the kernel snapshots rebuild from, and the compaction
+	// bookkeeping.
+	mu         sync.Mutex
+	closed     bool
+	srcGraph   *graph.Graph
+	srcExp     *beliefs.Residual
+	g          *graph.Graph      // current caller-order graph (private clone)
+	exp        *beliefs.Residual // maintained explicit beliefs
+	last       *beliefs.Residual // previous fixpoint (warm-start seed)
+	layoutA    *sparse.CSR       // prepare-time layout CSR (kernel methods)
+	overlay    *sparse.Overlay   // delta overlay (kernel methods)
+	perm       order.Permutation
+	partStarts []int
+	info       solverInfo
+	baseNNZ    int
+	deltaCells int
+
+	epochN, updates, rebuilds, overlayNNZ atomic.Int64
+
+	statsMu sync.Mutex
+	retired SolverStats // folded counters of retired epochs
+}
+
+// newDynSolver wraps the freshly prepared snapshot. The layout fields
+// are lifted off the concrete snapshot types so rebuilds can reuse
+// them without re-deriving anything from the problem.
+func newDynSolver(p *Problem, m Method, cfg config, inner snapshot) *dynSolver {
+	d := &dynSolver{method: m, cfg: cfg, ho: p.Ho, srcGraph: p.Graph, srcExp: p.Explicit}
+	switch s := inner.(type) {
+	case *linbpSolver:
+		d.info, d.perm, d.partStarts, d.layoutA = s.solverInfo, s.perm, s.partStarts, s.a
+	case *fabpSolver:
+		d.info, d.perm, d.partStarts, d.layoutA = s.solverInfo, s.perm, s.partStarts, s.a
+	case *bpSolver:
+		d.info, d.perm = s.solverInfo, s.perm
+	case *sbpSolver:
+		d.info, d.perm = s.solverInfo, s.perm
+	}
+	d.n, d.k, d.eps = d.info.n, d.info.k, d.info.eps
+	d.cur.Store(&epochState{snap: inner})
+	return d
+}
+
+// Solve, SolveInto, and SolveBatch delegate to the current epoch's
+// snapshot. The retry handles the RCU race: a snapshot that retired
+// between the pointer load and the solve's lock acquisition answers
+// ErrClosed, and as long as the epoch pointer has moved on the call
+// simply re-lands on the current snapshot. When the pointer has not
+// moved the ErrClosed is real (the solver itself was closed).
+func (d *dynSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, error) {
+	for {
+		ep := d.cur.Load()
+		res, err := ep.snap.Solve(ctx, e)
+		if err != nil && errors.Is(err, errs.ErrClosed) && d.cur.Load() != ep {
+			continue
+		}
+		return res, err
+	}
+}
+
+func (d *dynSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	for {
+		ep := d.cur.Load()
+		info, err := ep.snap.SolveInto(ctx, dst, e)
+		if err != nil && errors.Is(err, errs.ErrClosed) && d.cur.Load() != ep {
+			continue
+		}
+		return info, err
+	}
+}
+
+func (d *dynSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	for {
+		ep := d.cur.Load()
+		resp := ep.snap.SolveBatch(ctx, reqs)
+		// A closed snapshot fails every request with ErrClosed, so the
+		// first response tells the whole story.
+		if len(resp) > 0 && errors.Is(resp[0].Err, errs.ErrClosed) && d.cur.Load() != ep {
+			continue
+		}
+		return resp
+	}
+}
+
+func (d *dynSolver) Stats() SolverStats {
+	// The epoch pointer and the retired accumulator are read under one
+	// lock so a concurrent swap (which folds the retiring epoch's
+	// counters in the same critical section) can never make the totals
+	// dip: a reader sees either the old epoch with the accumulator
+	// before the fold, or the new epoch with the fold applied.
+	d.statsMu.Lock()
+	ep := d.cur.Load()
+	r := d.retired
+	d.statsMu.Unlock()
+	st := ep.snap.Stats()
+	st.Solves += r.Solves
+	st.Batches += r.Batches
+	st.BatchRequests += r.BatchRequests
+	st.Iterations += r.Iterations
+	st.NotConverged += r.NotConverged
+	st.Cancelled += r.Cancelled
+	st.Epoch = d.epochN.Load()
+	st.Updates = d.updates.Load()
+	st.Rebuilds = d.rebuilds.Load()
+	st.OverlayNNZ = d.overlayNNZ.Load()
+	return st
+}
+
+// foldRetired accumulates counters into the retired accumulator.
+func (d *dynSolver) foldRetired(st SolverStats) {
+	d.statsMu.Lock()
+	d.foldRetiredLocked(st)
+	d.statsMu.Unlock()
+}
+
+func (d *dynSolver) foldRetiredLocked(st SolverStats) {
+	d.retired.Solves += st.Solves
+	d.retired.Batches += st.Batches
+	d.retired.BatchRequests += st.BatchRequests
+	d.retired.Iterations += st.Iterations
+	d.retired.NotConverged += st.NotConverged
+	d.retired.Cancelled += st.Cancelled
+}
+
+// statsDelta returns the counter fields of post minus pre — the bumps
+// in-flight solves landed on a retiring epoch while it drained.
+func statsDelta(post, pre SolverStats) SolverStats {
+	return SolverStats{
+		Solves:        post.Solves - pre.Solves,
+		Batches:       post.Batches - pre.Batches,
+		BatchRequests: post.BatchRequests - pre.BatchRequests,
+		Iterations:    post.Iterations - pre.Iterations,
+		NotConverged:  post.NotConverged - pre.NotConverged,
+		Cancelled:     post.Cancelled - pre.Cancelled,
+	}
+}
+
+// Close drains and closes the current epoch after any in-flight Update
+// (including its compaction rebuild) finishes; retired epochs were
+// already closed at their swap. Idempotent.
+func (d *dynSolver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.cur.Load().snap.Close()
+}
+
+// Update applies the delta batch and re-solves the maintained problem,
+// returning the refreshed result (warm-started from the previous
+// fixpoint for LinBP/LinBP*/FABP). An empty Update{} just (re-)solves
+// the maintained problem — the idiom for obtaining the initial
+// fixpoint after Prepare. Updates serialize; readers keep serving the
+// previous epoch until the commit swaps the snapshot. On a context
+// error the delta is already committed (readers see it) and only the
+// returned re-solve was aborted; the next Update re-solves from the
+// last stored fixpoint.
+func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("core: %v solver: %w", d.method, errs.ErrClosed)
+	}
+	if err := d.validateUpdate(u); err != nil {
+		return nil, err
+	}
+	d.initDynState()
+	if u.SetExplicit != nil {
+		for _, v := range u.SetExplicit.ExplicitNodes() {
+			d.exp.Set(v, u.SetExplicit.Row(v))
+		}
+	}
+	if len(u.AddEdges) > 0 || len(u.RemoveEdges) > 0 {
+		for _, e := range u.AddEdges {
+			d.g.AddEdge(e.S, e.T, e.W)
+		}
+		removed := d.g.RemoveEdges(u.RemoveEdges)
+		// Removals of absent pairs are no-ops; a batch with no net
+		// structural change skips the snapshot rebuild entirely (an
+		// idempotent delete stream must not pay an O(nnz) epoch per
+		// call).
+		changed := len(u.AddEdges) > 0 || removed > 0
+		if d.overlay != nil {
+			for _, e := range u.AddEdges {
+				i, j := d.pm(e.S), d.pm(e.T)
+				d.overlay.Add(i, j, e.W)
+				if i != j {
+					d.overlay.Add(j, i, e.W)
+				}
+			}
+			for _, e := range u.RemoveEdges {
+				i, j := d.pm(e.S), d.pm(e.T)
+				d.overlay.Remove(i, j)
+				if i != j {
+					d.overlay.Remove(j, i)
+				}
+			}
+			d.deltaCells = d.overlay.DeltaNNZ()
+		} else if changed {
+			d.deltaCells += 2*len(u.AddEdges) + removed
+		}
+		if changed {
+			if err := d.swapSnapshotLocked(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.updates.Add(1)
+	res, err := d.resolveLocked(ctx)
+	if res != nil && res.Beliefs != nil {
+		d.last = res.Beliefs.Clone()
+	}
+	return res, err
+}
+
+// pm maps a caller node id into the current layout order.
+func (d *dynSolver) pm(i int) int {
+	if d.perm == nil {
+		return i
+	}
+	return d.perm[i]
+}
+
+func (d *dynSolver) validateUpdate(u Update) error {
+	for _, e := range u.AddEdges {
+		if e.S < 0 || e.S >= d.n || e.T < 0 || e.T >= d.n {
+			return fmt.Errorf("core: update edge (%d,%d) out of range n=%d: %w", e.S, e.T, d.n, errs.ErrDimensionMismatch)
+		}
+		// !(W > 0) also rejects NaN, which e.W <= 0 would let through —
+		// and a NaN weight poisons the maintained graph permanently.
+		if !(e.W > 0) || math.IsInf(e.W, 1) {
+			return fmt.Errorf("core: update edge (%d,%d) has invalid weight %v (want finite > 0)", e.S, e.T, e.W)
+		}
+	}
+	for _, e := range u.RemoveEdges {
+		if e.S < 0 || e.S >= d.n || e.T < 0 || e.T >= d.n {
+			return fmt.Errorf("core: update edge (%d,%d) out of range n=%d: %w", e.S, e.T, d.n, errs.ErrDimensionMismatch)
+		}
+	}
+	if u.SetExplicit != nil {
+		if u.SetExplicit.N() != d.n || u.SetExplicit.K() != d.k {
+			return fmt.Errorf("core: update belief matrix %dx%d does not match n=%d k=%d: %w",
+				u.SetExplicit.N(), u.SetExplicit.K(), d.n, d.k, errs.ErrDimensionMismatch)
+		}
+		if err := u.SetExplicit.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initDynState lazily clones the mutable dynamic state on the first
+// Update, so a solver that is never updated shares the caller's graph
+// and pays no copy.
+func (d *dynSolver) initDynState() {
+	if d.g != nil {
+		return
+	}
+	d.g = d.srcGraph.Clone()
+	d.exp = d.srcExp.Clone()
+	switch d.method {
+	case MethodLinBP, MethodLinBPStar, MethodFABP:
+		d.overlay = sparse.NewOverlay(d.layoutA)
+		d.baseNNZ = d.layoutA.NNZ()
+	default:
+		d.baseNNZ = d.srcGraph.Adjacency().NNZ()
+	}
+}
+
+// compactionRatio resolves the policy threshold.
+func (d *dynSolver) compactionRatio() float64 {
+	if d.cfg.policy.CompactionRatio > 0 {
+		return d.cfg.policy.CompactionRatio
+	}
+	return DefaultCompactionRatio
+}
+
+// swapSnapshotLocked commits the accumulated topology delta: build the
+// next epoch's snapshot (merged overlay on the fast path, a full
+// layout replay when the compaction threshold is crossed), swap it in,
+// and retire the old epoch — its Close drains the in-flight solves,
+// after which its counters fold into the lifetime accumulator.
+func (d *dynSolver) swapSnapshotLocked() error {
+	kernelMethod := d.overlay != nil
+	compact := float64(d.deltaCells) >= d.compactionRatio()*float64(d.baseNNZ)
+	info := d.info
+	var snap snapshot
+	var err error
+	switch {
+	case compact:
+		// Replay the layout optimizer and (for the kernel methods) the
+		// partitioner on the merged graph, exactly as Prepare would.
+		a := d.g.Adjacency()
+		perm, chosen := order.Compute(d.cfg.reorder, a)
+		info.ordering = chosen
+		info.bandBefore = order.Bandwidth(a, nil)
+		info.bandAfter = info.bandBefore
+		if perm != nil {
+			info.bandAfter = order.Bandwidth(a, perm)
+		}
+		d.perm = perm
+		if kernelMethod {
+			la := a
+			if perm != nil {
+				la = a.Permute(perm)
+			}
+			info.partitions, info.cutEdges, info.imbalance = 0, 0, 0
+			d.partStarts = resolvePartition(d.cfg.partitions, d.cfg.workers, la, &info)
+			d.overlay.Rebase(la)
+			d.baseNNZ = la.NNZ()
+			snap, err = d.buildKernelSnapshot(la, info)
+		} else {
+			d.baseNNZ = a.NNZ()
+			snap, err = d.buildGraphSnapshot(info)
+		}
+		if err == nil {
+			d.deltaCells = 0
+			d.rebuilds.Add(1)
+		}
+	case kernelMethod:
+		merged := d.overlay.Merge()
+		if d.partStarts != nil {
+			// Keep the partition diagnostics honest while the structure
+			// drifts under the fixed prepare-time boundaries.
+			st := order.StatsForStarts(merged, d.partStarts)
+			info.cutEdges = st.CutEdges
+			info.imbalance = st.Imbalance
+		}
+		snap, err = d.buildKernelSnapshot(merged, info)
+	default:
+		snap, err = d.buildGraphSnapshot(info)
+	}
+	if err != nil {
+		// The old epoch keeps serving; the delta stays accumulated for
+		// the next commit attempt.
+		return err
+	}
+	d.info = info
+	old := d.cur.Load()
+	// Fold the retiring epoch's counters in the same critical section
+	// as the pointer swap (see Stats), so the lifetime totals never dip
+	// while the old epoch drains; the bumps that land during the drain
+	// are folded as a delta once Close returns.
+	pre := old.snap.Stats()
+	d.statsMu.Lock()
+	d.cur.Store(&epochState{snap: snap})
+	d.foldRetiredLocked(pre)
+	d.statsMu.Unlock()
+	d.epochN.Add(1)
+	d.overlayNNZ.Store(int64(d.deltaCells))
+	old.snap.Close()
+	d.foldRetired(statsDelta(old.snap.Stats(), pre))
+	return nil
+}
+
+// buildKernelSnapshot prepares a kernel-backed snapshot over the given
+// layout-ordered adjacency, reusing the current permutation and
+// partition boundaries. Degrees are re-derived from the matrix itself
+// (one O(nnz) pass), so LinBP's echo term always matches the merged
+// weights.
+func (d *dynSolver) buildKernelSnapshot(a *sparse.CSR, info solverInfo) (snapshot, error) {
+	lay := kernelLayout{a: a, perm: d.perm, partStarts: d.partStarts}
+	switch d.method {
+	case MethodFABP:
+		lay.d = a.RowSumsSquared()
+		return newFABPSolverOn(d.eps*d.ho.At(0, 0), info, d.cfg, lay)
+	case MethodLinBP:
+		lay.d = a.RowSumsSquared()
+	}
+	return newLinBPSolverOn(coupling.Scale(d.ho, d.eps), info, d.cfg, lay)
+}
+
+// buildGraphSnapshot prepares a message-passing snapshot (BP, SBP) on a
+// private clone of the current graph — private so later updates to d.g
+// never race the snapshot's readers.
+func (d *dynSolver) buildGraphSnapshot(info solverInfo) (snapshot, error) {
+	g := d.g.Clone()
+	if d.method == MethodBP {
+		return newBPSolverOn(g, d.ho, info, d.cfg, d.perm)
+	}
+	return newSBPSolverOn(g, d.ho, info, d.perm)
+}
+
+// resolveLocked re-solves the maintained problem on the current epoch:
+// warm-started from the previous fixpoint where the method supports it,
+// cold otherwise.
+func (d *dynSolver) resolveLocked(ctx context.Context) (*Result, error) {
+	ep := d.cur.Load()
+	if ws, ok := ep.snap.(warmStarter); ok {
+		var start *beliefs.Residual
+		if !d.cfg.policy.DisableWarmStart {
+			start = d.last
+		}
+		dst := beliefs.New(d.n, d.k)
+		info, err := ws.SolveFrom(ctx, dst, d.exp, start)
+		if err != nil && !isNotConverged(err) {
+			return nil, err
+		}
+		res := &Result{
+			Method: d.method, Beliefs: dst,
+			Iterations: info.Iterations, Converged: info.Converged, Delta: info.Delta,
+		}
+		res.Top = dst.TopAssignment()
+		return res, err
+	}
+	return ep.snap.Solve(ctx, d.exp)
+}

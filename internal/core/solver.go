@@ -55,6 +55,7 @@ type config struct {
 	reorder    Reordering
 	layout     kernel.Layout
 	partitions int
+	policy     UpdatePolicy
 }
 
 // Reordering selects the prepare-time graph layout strategy; see
@@ -227,6 +228,15 @@ type SolverStats struct {
 	// (1.0 = perfectly balanced); both are 0 when Partitions is 0.
 	Partitions, CutEdges int
 	Imbalance            float64
+	// Epoch is the number of snapshot swaps the dynamic plane has
+	// performed (0 until the first topology Update); Updates counts
+	// committed Update calls, Rebuilds the subset that triggered a
+	// compaction relayout (reordering and partitioning replayed on the
+	// merged graph). OverlayNNZ is the number of delta cells currently
+	// accumulated over the prepared base — it resets to 0 at every
+	// compaction.
+	Epoch, Updates, Rebuilds int64
+	OverlayNNZ               int64
 	// Solves counts completed Solve/SolveInto calls; BatchRequests
 	// counts requests served through SolveBatch (Batches calls) for
 	// every method — batch-internal solves are not double-counted
@@ -241,24 +251,34 @@ type SolverStats struct {
 	NotConverged, Cancelled int64
 }
 
-// Solver is a prepared inference engine over one fixed problem
-// configuration (graph + coupling + εH): construct it once with
-// Prepare (or the per-method PrepareBP/PrepareLinBP/PrepareSBP/
-// PrepareFABP wrappers in the facade), then issue many solves for
-// changing explicit beliefs. All methods serve through this one
-// interface with their preprocessed state reused across solves.
+// Solver is a prepared inference engine over one problem configuration
+// (graph + coupling + εH): construct it once with Prepare (or the
+// per-method PrepareBP/PrepareLinBP/PrepareSBP/PrepareFABP wrappers in
+// the facade), then issue many solves for changing explicit beliefs.
+// All methods serve through this one interface with their preprocessed
+// state reused across solves.
+//
+// The solver is epoch-versioned: the graph fixed at preparation time
+// is the first epoch, and Update evolves it — edge insertions and
+// deletions, explicit-belief changes — without re-preparing from
+// scratch. Each committed topology update builds a fresh immutable
+// snapshot (merged adjacency, engines, pools) and swaps it in
+// atomically; solves already in flight finish on the snapshot they
+// started on, new solves land on the new one, and no reader ever
+// observes a half-updated graph.
 //
 // Solvers are safe for concurrent use: any number of goroutines may
-// call Solve, SolveInto, SolveBatch, and Stats on one shared Solver.
-// Per-solve workspaces are recycled through an internal pool, so the
-// SolveInto serving path stays allocation-free in steady state no
-// matter how many goroutines share the solver. Close is idempotent,
-// waits for in-flight solves to drain, and fails later solves with
-// ErrClosed. One carve-out: the incremental SBP state a Solve on an
-// SBP solver returns (Result.SBP) shares the problem's graph, so its
-// mutators (AddEdges, AddExplicitBeliefs) are NOT covered by the
-// guarantee — serialize them against all other use of the solver and
-// the problem.
+// call Solve, SolveInto, SolveBatch, Update, and Stats on one shared
+// Solver (updates serialize internally). Per-solve workspaces are
+// recycled through per-epoch pools, so the SolveInto serving path
+// stays allocation-free in steady state no matter how many goroutines
+// share the solver. Close is idempotent, waits for in-flight solves
+// and a pending update (including its compaction rebuild) to drain,
+// and fails later solves with ErrClosed. One carve-out: the
+// incremental SBP state a Solve on an SBP solver returns (Result.SBP)
+// shares the epoch's graph, so its mutators (AddEdges,
+// AddExplicitBeliefs) are NOT covered by the guarantee — use Update
+// instead, which keeps the solver and the graph consistent.
 type Solver interface {
 	// Solve runs the method for the explicit residual beliefs e and
 	// allocates a fresh result (including the top-belief assignment).
@@ -281,6 +301,15 @@ type Solver interface {
 	// steady-state allocation of the batch path — a requirement of
 	// concurrent batch callers).
 	SolveBatch(ctx context.Context, reqs []Request) []Response
+	// Update applies a graph/belief delta to the solver — see the
+	// Update type for the delta surface and the UpdatePolicy for the
+	// compaction and warm-start knobs — re-solves the maintained
+	// problem (warm-started from the previous fixpoint for the
+	// kernel-backed methods), and returns the refreshed result.
+	// Updates serialize against each other; concurrent solves keep
+	// serving the previous snapshot until the swap and are never
+	// interrupted.
+	Update(ctx context.Context, u Update) (*Result, error)
 	// Stats returns a snapshot of configuration and serving counters;
 	// safe to call concurrently with solves.
 	Stats() SolverStats
@@ -288,6 +317,27 @@ type Solver interface {
 	// solves to complete. It is idempotent; any solve after Close
 	// fails with ErrClosed.
 	Close() error
+}
+
+// snapshot is the immutable serving surface of one epoch — the Solver
+// contract minus Update. The per-method solver implementations below
+// are snapshots; Prepare wraps the initial one in the epoch-versioned
+// dynamic solver (dynamic.go), which swaps snapshots as updates
+// commit.
+type snapshot interface {
+	Solve(ctx context.Context, e *beliefs.Residual) (*Result, error)
+	SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error)
+	SolveBatch(ctx context.Context, reqs []Request) []Response
+	Stats() SolverStats
+	Close() error
+}
+
+// warmStarter is implemented by the kernel-backed snapshots (LinBP,
+// LinBP*, FABP): SolveFrom is SolveInto warm-started from a previous
+// fixpoint, the cheap re-solve of the dynamic plane. A nil start is a
+// cold solve.
+type warmStarter interface {
+	SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error)
 }
 
 // Prepare validates the problem once and builds a prepared Solver for
@@ -340,16 +390,25 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 		base.bandAfter = order.Bandwidth(a, perm)
 	}
 
+	var inner snapshot
+	var err error
 	switch m {
 	case MethodBP:
-		return newBPSolver(p, base, cfg, perm)
+		inner, err = newBPSolver(p, base, cfg, perm)
 	case MethodLinBP, MethodLinBPStar:
-		return newLinBPSolver(p, base, cfg, perm)
+		inner, err = newLinBPSolver(p, base, cfg, perm)
 	case MethodSBP:
-		return newSBPSolver(p, base, perm)
+		inner, err = newSBPSolver(p, base, perm)
 	default:
-		return newFABPSolver(p, base, cfg, perm)
+		inner, err = newFABPSolver(p, base, cfg, perm)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Every prepared solver is served through the epoch-versioned
+	// dynamic plane; a solver that never sees an Update pays only an
+	// atomic pointer load per solve for it.
+	return newDynSolver(p, m, cfg, inner), nil
 }
 
 // permutedLayout applies perm to the adjacency and (optionally) the
@@ -673,24 +732,45 @@ type linbpSolver struct {
 	batch  []*statePool[*linbpBatchEngine] // index c-1 → chunks of c requests
 }
 
+// kernelLayout is the concrete prepared layout a kernel-backed snapshot
+// runs on: the (possibly reordered) adjacency, its matching degree
+// vector (nil disables echo cancellation), the relabeling it was
+// produced under, and the partition boundaries. Prepare derives it from
+// the problem; the dynamic plane derives it from a merged overlay,
+// reusing the prepare-time permutation and partitions between
+// compactions.
+type kernelLayout struct {
+	a          *sparse.CSR
+	d          []float64
+	perm       order.Permutation
+	partStarts []int
+}
+
 func newLinBPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutation) (*linbpSolver, error) {
-	h := coupling.Scale(p.Ho, base.eps)
 	var d []float64
 	if base.method == MethodLinBP {
 		d = p.Graph.WeightedDegrees()
 	}
 	a, d := permutedLayout(p.Graph.Adjacency(), d, perm)
+	lay := kernelLayout{a: a, d: d, perm: perm,
+		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base)}
+	return newLinBPSolverOn(coupling.Scale(p.Ho, base.eps), base, cfg, lay)
+}
+
+// newLinBPSolverOn builds the snapshot on an explicit layout; base must
+// already carry the partition diagnostics for lay.partStarts.
+func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLayout) (*linbpSolver, error) {
 	s := &linbpSolver{
-		a:          a,
-		d:          d,
+		a:          lay.a,
+		d:          lay.d,
 		h:          h,
-		perm:       perm,
+		perm:       lay.perm,
 		layout:     cfg.layout,
-		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base),
+		partStarts: lay.partStarts,
 		maxIter:    cfg.maxIter,
 		tol:        cfg.tol,
 	}
-	s.solverInfo = base // after resolvePartition recorded the diagnostics
+	s.solverInfo = base
 	if s.maxIter == 0 {
 		s.maxIter = linbp.DefaultMaxIter
 	}
@@ -770,6 +850,28 @@ func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (
 	}
 	defer s.states.put(eng)
 	iters, delta, converged, err := eng.SolveIntoContext(ctx, dst, e)
+	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+}
+
+// SolveFrom is the warm-started serving path of the dynamic plane: the
+// iteration begins at start (a previous fixpoint in the caller's node
+// order) instead of Bˆ = 0, so a solve after a small input delta
+// converges in a fraction of the cold rounds. A nil start solves cold.
+func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
+	if !s.begin() {
+		return SolveInfo{}, s.errClosed()
+	}
+	defer s.end()
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves.Add(1)
+	eng, err := s.states.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.states.put(eng)
+	iters, delta, converged, err := eng.SolveFromIntoContext(ctx, dst, e, start)
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
 }
 
@@ -987,8 +1089,15 @@ type bpSolver struct {
 }
 
 func newBPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutation) (*bpSolver, error) {
-	h := coupling.Uncenter(coupling.Scale(p.Ho, base.eps))
-	g := p.Graph
+	return newBPSolverOn(p.Graph, p.Ho, base, cfg, perm)
+}
+
+// newBPSolverOn builds the snapshot on an explicit caller-order graph —
+// the rebuild entry point of the dynamic plane (which passes a private
+// clone so later updates never race the snapshot's readers).
+func newBPSolverOn(cg *graph.Graph, ho *dense.Matrix, base solverInfo, cfg config, perm order.Permutation) (*bpSolver, error) {
+	h := coupling.Uncenter(coupling.Scale(ho, base.eps))
+	g := cg
 	if perm != nil {
 		g = g.Permute(perm)
 	}
@@ -1103,17 +1212,23 @@ type sbpSolver struct {
 }
 
 func newSBPSolver(p *Problem, base solverInfo, perm order.Permutation) (*sbpSolver, error) {
-	g := p.Graph
+	return newSBPSolverOn(p.Graph, p.Ho, base, perm)
+}
+
+// newSBPSolverOn builds the snapshot on an explicit caller-order graph
+// (the dynamic plane passes a private clone per epoch).
+func newSBPSolverOn(cg *graph.Graph, ho *dense.Matrix, base solverInfo, perm order.Permutation) (*sbpSolver, error) {
+	g := cg
 	if perm != nil {
 		g = g.Permute(perm)
 	}
-	s := &sbpSolver{g: p.Graph, pg: g, ho: p.Ho, perm: perm}
+	s := &sbpSolver{g: cg, pg: g, ho: ho, perm: perm}
 	s.solverInfo = base
-	if p.Graph.N() > 0 {
+	if cg.N() > 0 {
 		// Warm the caller-order graph's lazy neighbor index while
 		// preparation is single-goroutine; concurrent legacy Solves
 		// then only read it. (NewRunner warms the layout-order graph.)
-		p.Graph.Degree(0)
+		cg.Degree(0)
 	}
 	s.states = newStatePool(func() (*sbpState, error) {
 		runner, err := sbp.NewRunner(s.pg, s.ho)
@@ -1206,8 +1321,8 @@ func (s *sbpSolver) Close() error { return s.closeOnce(nil) }
 // fabpState is one per-solve FABP workspace: a prepared scalar engine
 // plus the collapse/expand scratch vectors.
 type fabpState struct {
-	eng    *fabp.Engine
-	es, bs []float64 // scalar explicit/result scratch (layout order)
+	eng        *fabp.Engine
+	es, bs, ss []float64 // scalar explicit/result/start scratch (layout order)
 }
 
 // fabpSolver serves the binary (k = 2) scalar linearization of
@@ -1232,19 +1347,27 @@ func newFABPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutati
 	if p.K() != 2 {
 		return nil, fmt.Errorf("core: FABP needs k=2 classes, got k=%d: %w", p.K(), errs.ErrDimensionMismatch)
 	}
+	a, d := permutedLayout(p.Graph.Adjacency(), p.Graph.WeightedDegrees(), perm)
+	lay := kernelLayout{a: a, d: d, perm: perm,
+		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base)}
 	// Any valid k=2 residual coupling has the form [[ĥ,−ĥ],[−ĥ,ĥ]];
 	// the scaled ĥ is its (0,0) entry.
-	a, d := permutedLayout(p.Graph.Adjacency(), p.Graph.WeightedDegrees(), perm)
+	return newFABPSolverOn(base.eps*p.Ho.At(0, 0), base, cfg, lay)
+}
+
+// newFABPSolverOn builds the snapshot on an explicit layout; base must
+// already carry the partition diagnostics for lay.partStarts.
+func newFABPSolverOn(hhat float64, base solverInfo, cfg config, lay kernelLayout) (*fabpSolver, error) {
 	s := &fabpSolver{
-		a:          a,
-		d:          d,
-		hhat:       base.eps * p.Ho.At(0, 0),
-		perm:       perm,
-		partStarts: resolvePartition(cfg.partitions, cfg.workers, a, &base),
+		a:          lay.a,
+		d:          lay.d,
+		hhat:       hhat,
+		perm:       lay.perm,
+		partStarts: lay.partStarts,
 		maxIter:    cfg.maxIter,
 		tol:        cfg.tol,
 	}
-	s.solverInfo = base // after resolvePartition recorded the diagnostics
+	s.solverInfo = base
 	s.states = newStatePool(func() (*fabpState, error) {
 		eng, err := fabp.NewEngineCSR(s.a, s.d, s.hhat, fabp.Options{
 			MaxIter: s.maxIter, Tol: s.tol, PartitionStarts: s.partStarts,
@@ -1256,6 +1379,7 @@ func newFABPSolver(p *Problem, base solverInfo, cfg config, perm order.Permutati
 			eng: eng,
 			es:  make([]float64, s.n),
 			bs:  make([]float64, s.n),
+			ss:  make([]float64, s.n),
 		}, nil
 	})
 	st, err := s.states.get()
@@ -1293,6 +1417,29 @@ func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (S
 }
 
 func (s *fabpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	return s.solveFromInto(ctx, dst, e, nil)
+}
+
+// SolveFrom is the warm-started serving path of the dynamic plane (see
+// linbpSolver.SolveFrom); the binary collapse starts the Jacobi
+// iteration at start's class-0 residuals. A nil start solves cold.
+func (s *fabpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
+	if !s.begin() {
+		return SolveInfo{}, s.errClosed()
+	}
+	defer s.end()
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	if start != nil && (start.N() != s.n || start.K() != s.k) {
+		return SolveInfo{}, fmt.Errorf("core: start matrix %dx%d does not match n=%d k=%d: %w",
+			start.N(), start.K(), s.n, s.k, errs.ErrDimensionMismatch)
+	}
+	s.solves.Add(1)
+	return s.solveFromInto(ctx, dst, e, start)
+}
+
+func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
 	st, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -1310,7 +1457,21 @@ func (s *fabpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (S
 			st.es[s.perm[i]] = ed[i*2]
 		}
 	}
-	iters, delta, converged, err := st.eng.SolveInto(ctx, st.bs, st.es)
+	var ss []float64
+	if start != nil {
+		sd := start.Matrix().Data()
+		ss = st.ss
+		if s.perm == nil {
+			for i := 0; i < s.n; i++ {
+				ss[i] = sd[i*2]
+			}
+		} else {
+			for i := 0; i < s.n; i++ {
+				ss[s.perm[i]] = sd[i*2]
+			}
+		}
+	}
+	iters, delta, converged, err := st.eng.SolveFromInto(ctx, st.bs, st.es, ss)
 	dd := dst.Matrix().Data()
 	if s.perm == nil {
 		for i, b := range st.bs {

@@ -12,6 +12,14 @@
 // execution plane or layout axis extends Variants once and every
 // method × k combination is covered, including the fuzzed edge-list
 // entry point (FuzzLinBPEquivalence in this package's tests).
+//
+// The dynamic half of the harness (RunDynamic/RunDynamicMatrix) checks
+// the epoch-versioned update plane: any stream of edge inserts,
+// deletes, and relabels applied through Solver.Update — under every
+// layout × ordering × partition variant and every compaction policy,
+// including forced rebuilds — must land within the same bound of a
+// fresh Prepare+Solve on the final graph. FuzzDynamicEquivalence is
+// the fuzzed entry point for byte-encoded update streams.
 package difftest
 
 import (
@@ -26,8 +34,10 @@ import (
 	"repro/internal/dense"
 	"repro/internal/errs"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/order"
+	"repro/internal/xrand"
 )
 
 // DefaultTol is the divergence bound variants must stay within.
@@ -224,6 +234,218 @@ func RunKernelK1(t testing.TB, n, edges int, seed uint64, tol float64) {
 						return
 					}
 				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic equivalence: any update stream applied through Solver.Update
+// must land on the same answer as a fresh Prepare+Solve on the final
+// graph, for every serving configuration and update policy.
+
+// DynamicBatch is one Update batch of a dynamic-equivalence stream.
+// Within a batch additions apply before removals (the Update
+// contract), so mirrors must replay in the same order.
+type DynamicBatch struct {
+	Add    []graph.Edge
+	Del    []graph.Edge
+	Labels map[int]int // node → class, installed with strength 0.1
+}
+
+// ToUpdate converts the batch into the core Update surface for a
+// k-class problem over n nodes.
+func (b DynamicBatch) ToUpdate(n, k int) core.Update {
+	u := core.Update{AddEdges: b.Add, RemoveEdges: b.Del}
+	if len(b.Labels) > 0 {
+		en := beliefs.New(n, k)
+		for v, c := range b.Labels {
+			en.Set(v, beliefs.LabelResidual(k, c, 0.1))
+		}
+		u.SetExplicit = en
+	}
+	return u
+}
+
+// ApplyMirror replays the batch onto a from-scratch mirror problem.
+func (b DynamicBatch) ApplyMirror(g *graph.Graph, e *beliefs.Residual) {
+	for _, ed := range b.Add {
+		g.AddEdge(ed.S, ed.T, ed.W)
+	}
+	g.RemoveEdges(b.Del)
+	for v, c := range b.Labels {
+		e.Set(v, beliefs.LabelResidual(e.K(), c, 0.1))
+	}
+}
+
+// DynamicStream generates a deterministic update stream against the
+// problem's graph: each batch inserts a few unit edges (self-loops and
+// parallel edges included occasionally — both are legal), deletes a
+// couple of existing edges, and relabels a node. Unit weights keep the
+// merged-overlay and fresh-build summations exactly equal, so streams
+// stay inside the 1e-12 differential bound.
+func DynamicStream(p *core.Problem, batches int, seed uint64) []DynamicBatch {
+	rng := xrand.New(seed)
+	n, k := p.Graph.N(), p.K()
+	mirror := p.Graph.Clone()
+	out := make([]DynamicBatch, batches)
+	for bi := range out {
+		var b DynamicBatch
+		adds := 2 + rng.Intn(3)
+		for a := 0; a < adds; a++ {
+			s, t := rng.Intn(n), rng.Intn(n)
+			b.Add = append(b.Add, graph.Edge{S: s, T: t, W: 1})
+		}
+		for _, e := range b.Add {
+			mirror.AddEdge(e.S, e.T, e.W)
+		}
+		dels := rng.Intn(3)
+		for d := 0; d < dels && mirror.NumEdges() > 1; d++ {
+			edges := mirror.Edges()
+			pick := edges[rng.Intn(len(edges))]
+			b.Del = append(b.Del, graph.Edge{S: pick.S, T: pick.T})
+			mirror.RemoveEdges(b.Del[len(b.Del)-1:])
+		}
+		b.Labels = map[int]int{rng.Intn(n): rng.Intn(k)}
+		out[bi] = b
+	}
+	return out
+}
+
+// DynamicVariants enumerates the serving axes of the dynamic
+// differential suite per the acceptance matrix: wide+compact layouts ×
+// all orderings × partitions ∈ {1, auto} for the kernel methods, and
+// the ordering axis alone for BP and SBP.
+func DynamicVariants(m core.Method) []Variant {
+	orderings := []struct {
+		name string
+		r    core.Reordering
+	}{
+		{"natural", core.ReorderNone},
+		{"rcm", core.ReorderRCM},
+		{"degree", core.ReorderDegree},
+	}
+	var out []Variant
+	if m == core.MethodBP || m == core.MethodSBP {
+		for _, o := range orderings {
+			out = append(out, Variant{
+				Name: fmt.Sprintf("order=%s", o.name),
+				Opts: []core.Option{core.WithReordering(o.r)},
+			})
+		}
+		return out
+	}
+	for _, layout := range []struct {
+		name    string
+		compact bool
+	}{{"compact", true}, {"wide", false}} {
+		for _, o := range orderings {
+			for _, parts := range []struct {
+				name string
+				n    int
+			}{{"1", 1}, {"auto", core.PartitionsAuto}} {
+				out = append(out, Variant{
+					Name: fmt.Sprintf("layout=%s/order=%s/parts=%s", layout.name, o.name, parts.name),
+					Opts: []core.Option{
+						core.WithCompactIndices(layout.compact),
+						core.WithReordering(o.r),
+						core.WithPartitions(parts.n),
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DynamicPolicies is the policy axis: the default merge-until-threshold
+// behavior, a forced compaction rebuild on every topology update, and
+// pure overlay accumulation with compaction disabled.
+func DynamicPolicies() []struct {
+	Name   string
+	Policy core.UpdatePolicy
+} {
+	return []struct {
+		Name   string
+		Policy core.UpdatePolicy
+	}{
+		{"default", core.UpdatePolicy{}},
+		{"force-compact", core.UpdatePolicy{CompactionRatio: 1e-12}},
+		{"no-compact", core.UpdatePolicy{CompactionRatio: 1e12}},
+	}
+}
+
+// RunDynamic drives one update stream through a dynamic solver under
+// the variant and policy, checking after every batch that (a) the
+// Update-returned (warm-started) beliefs and (b) a cold solve served
+// from the updated snapshot both match a fresh Prepare+Solve on the
+// mirrored final graph within tol. The tight iteration options pin
+// both sides far below the bound: warm and cold iterates land within
+// ~tol_solve/(1−ρ) of the unique fixpoint, so their distance cannot
+// exceed the differential tolerance.
+func RunDynamic(t testing.TB, p *core.Problem, m core.Method, v Variant, policy core.UpdatePolicy, stream []DynamicBatch, tol float64) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	var extra []core.Option
+	if m == core.MethodLinBP || m == core.MethodLinBPStar || m == core.MethodFABP {
+		extra = []core.Option{core.WithMaxIter(500), core.WithTol(1e-13)}
+	}
+	opts := append(append(append([]core.Option{}, v.Opts...), extra...), core.WithUpdatePolicy(policy))
+	s, err := core.Prepare(p, m, opts...)
+	if err != nil {
+		t.Fatalf("%v %s: Prepare: %v", m, v.Name, err)
+	}
+	defer s.Close()
+	mirror := &core.Problem{Graph: p.Graph.Clone(), Explicit: p.Explicit.Clone(), Ho: p.Ho, EpsilonH: p.EpsilonH}
+	ctx := context.Background()
+	n, k := p.Graph.N(), p.K()
+	for bi, b := range stream {
+		res, err := s.Update(ctx, b.ToUpdate(n, k))
+		if err != nil && !errors.Is(err, errs.ErrNotConverged) {
+			t.Fatalf("%v %s batch %d: Update: %v", m, v.Name, bi, err)
+		}
+		b.ApplyMirror(mirror.Graph, mirror.Explicit)
+		fresh := solveOnce(t, mirror, m, v, extra)
+		if d := maxAbsDiff(res.Beliefs, fresh); d > tol {
+			t.Errorf("%v %s batch %d: Update result diverges from fresh Prepare by %g (tol %g)", m, v.Name, bi, d, tol)
+		}
+		dst := beliefs.New(n, k)
+		if _, err := s.SolveInto(ctx, dst, mirror.Explicit); err != nil && !errors.Is(err, errs.ErrNotConverged) {
+			t.Fatalf("%v %s batch %d: SolveInto: %v", m, v.Name, bi, err)
+		}
+		if d := maxAbsDiff(dst, fresh); d > tol {
+			t.Errorf("%v %s batch %d: served solve diverges from fresh Prepare by %g (tol %g)", m, v.Name, bi, d, tol)
+		}
+	}
+}
+
+// RunDynamicMatrix is the canonical dynamic differential suite: for
+// every method it crosses the serving variants with the update
+// policies on a deterministic stream. BP runs at a slightly looser
+// bound (its message iteration stops on the message delta, not the
+// belief delta, so the stale-layout epochs differ from the fresh
+// prepare by more summation noise than the kernel methods).
+func RunDynamicMatrix(t *testing.T, n, edges, batches int, seed uint64) {
+	for _, m := range Methods {
+		k := 3
+		if m == core.MethodFABP {
+			k = 2
+		}
+		p, err := Problem(n, edges, k, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := DynamicStream(p, batches, seed+7)
+		tol := DefaultTol
+		if m == core.MethodBP {
+			tol = 1e-10
+		}
+		for _, v := range DynamicVariants(m) {
+			for _, pol := range DynamicPolicies() {
+				t.Run(fmt.Sprintf("%v/%s/policy=%s", m, v.Name, pol.Name), func(t *testing.T) {
+					RunDynamic(t, p, m, v, pol.Policy, stream, tol)
+				})
 			}
 		}
 	}

@@ -1,0 +1,32 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDynamicEquivalenceMatrix is the dynamic differential suite of the
+// acceptance matrix: every method × serving variant × update policy
+// replays the same deterministic insert/delete/relabel stream and must
+// match a fresh Prepare on the evolving graph after every batch.
+func TestDynamicEquivalenceMatrix(t *testing.T) {
+	RunDynamicMatrix(t, 48, 96, 4, 5)
+}
+
+// TestDynamicEquivalenceLargerKernel gives the kernel methods a second,
+// denser instance where the auto partitioner and reorderer make
+// non-trivial choices.
+func TestDynamicEquivalenceLargerKernel(t *testing.T) {
+	p, err := Problem(120, 300, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := DynamicStream(p, 5, 78)
+	for _, m := range []core.Method{core.MethodLinBP, core.MethodLinBPStar} {
+		v := Variant{Name: "defaults", Opts: nil}
+		t.Run(m.String(), func(t *testing.T) {
+			RunDynamic(t, p, m, v, core.UpdatePolicy{CompactionRatio: 0.02}, stream, DefaultTol)
+		})
+	}
+}

@@ -35,6 +35,83 @@ func FuzzLinBPEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzDynamicEquivalence fuzzes byte-encoded update streams — edge
+// inserts, deletes, relabels, and epoch commits — against a fixed
+// small instance and asserts that the epoch-versioned Update path
+// stays within 1e-12 of a fresh Prepare+Solve on the evolving graph at
+// every commit. Explore with
+//
+//	go test -fuzz=FuzzDynamicEquivalence ./internal/difftest
+func FuzzDynamicEquivalence(f *testing.F) {
+	// Seeds: insert-heavy, delete/re-add churn, relabel-only, and a mix
+	// with several commits.
+	f.Add([]byte{0, 1, 5, 0, 2, 9, 3, 255, 0, 0, 4, 11, 0})
+	f.Add([]byte{1, 1, 5, 3, 0, 1, 5, 0, 1, 5, 3, 255, 2, 4, 1})
+	f.Add([]byte{2, 3, 1, 2, 7, 2, 3, 255, 2, 9, 0, 255})
+	f.Add([]byte{0, 2, 13, 1, 13, 2, 255, 0, 13, 2, 3, 255, 2, 1, 1, 0, 6, 17, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		stream := fuzzStream(raw)
+		if len(stream) == 0 {
+			t.Skip("bytes encode no committed batch")
+		}
+		p, err := Problem(24, 48, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RunDynamic(t, p, core.MethodLinBP, Variant{Name: "fuzz"},
+			core.UpdatePolicy{CompactionRatio: 0.1}, stream, DefaultTol)
+	})
+}
+
+// fuzzStream decodes bytes into DynamicBatches over a 24-node graph:
+// opcode 0 = add edge (two operand bytes), 1 = delete edge (two
+// operands), 2 = relabel (node, class), 255 = commit the batch.
+// Batches and per-batch ops are capped to keep fuzz cases fast.
+func fuzzStream(raw []byte) []DynamicBatch {
+	const n = 24
+	var out []DynamicBatch
+	var cur DynamicBatch
+	ops := 0
+	for i := 0; i < len(raw) && len(out) < 6; {
+		op := raw[i]
+		switch {
+		case op == 255:
+			if ops > 0 {
+				out = append(out, cur)
+				cur = DynamicBatch{}
+				ops = 0
+			}
+			i++
+		case i+2 < len(raw):
+			a, b := int(raw[i+1])%n, int(raw[i+2])%n
+			switch op % 3 {
+			case 0:
+				cur.Add = append(cur.Add, graph.Edge{S: a, T: b, W: 1})
+			case 1:
+				cur.Del = append(cur.Del, graph.Edge{S: a, T: b})
+			case 2:
+				if cur.Labels == nil {
+					cur.Labels = map[int]int{}
+				}
+				cur.Labels[a] = b % 3
+			}
+			ops++
+			if ops >= 8 {
+				out = append(out, cur)
+				cur = DynamicBatch{}
+				ops = 0
+			}
+			i += 3
+		default:
+			i = len(raw)
+		}
+	}
+	if ops > 0 && len(out) < 6 {
+		out = append(out, cur)
+	}
+	return out
+}
+
 // fuzzProblem decodes bytes into a small LinBP instance: byte 0 picks
 // k ∈ {2, 3, 5}, byte 1 the node count, then byte pairs form edges
 // until a zero pair or the belief section, whose bytes fill centered

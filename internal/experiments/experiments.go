@@ -87,6 +87,7 @@ func All() []Experiment {
 		{"fig10b", "Fig. 10(b): ΔSBP vs SBP for fractions of new edges", Fig10b},
 		{"fig11b", "Fig. 11(b): DBLP-like F1 vs εH", Fig11b},
 		{"appg", "Appendix G: LinBP criteria vs Mooij–Kappen BP bound", AppendixG},
+		{"incr", "Section 8: incremental updates, warm vs cold re-solve", Incremental},
 	}
 }
 

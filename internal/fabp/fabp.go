@@ -127,20 +127,41 @@ func NewEngineCSR(a *sparse.CSR, d []float64, hhat float64, opts Options) (*Engi
 // cancellation the solve aborts with ctx.Err() and dst holds the last
 // completed iterate.
 func (s *Engine) SolveInto(ctx context.Context, dst, e []float64) (iters int, delta float64, converged bool, err error) {
+	return s.SolveFromInto(ctx, dst, e, nil)
+}
+
+// SolveFromInto is SolveInto warm-started from the scalar beliefs start
+// instead of b = 0 — the binary collapse of the incremental-maintenance
+// path: the Jacobi contraction restarted near its unique fixpoint
+// reaches tolerance in far fewer rounds after a small input change. A
+// nil start is the ordinary cold solve.
+func (s *Engine) SolveFromInto(ctx context.Context, dst, e, start []float64) (iters int, delta float64, converged bool, err error) {
 	if s.closed {
 		return 0, 0, false, fmt.Errorf("fabp: %w", errs.ErrClosed)
 	}
 	if len(e) != s.n || len(dst) != s.n {
 		return 0, 0, false, fmt.Errorf("fabp: belief vector lengths %d/%d do not match n=%d: %w", len(e), len(dst), s.n, errs.ErrDimensionMismatch)
 	}
-	s.eng.ResetFast()
+	if start == nil {
+		s.eng.ResetFast()
+	} else {
+		if len(start) != s.n {
+			return 0, 0, false, fmt.Errorf("fabp: start vector length %d does not match n=%d: %w", len(start), s.n, errs.ErrDimensionMismatch)
+		}
+		s.eng.SetStart(start)
+	}
 	s.eng.SetExplicit(e)
 	iters, delta, converged, err = s.eng.RunContext(ctx, s.opts.MaxIter, s.opts.Tol, nil)
 	if iters == 0 {
-		// Nothing ran: the last completed iterate is the zero start,
-		// and with ResetFast the engine buffer may hold a prior solve.
-		for i := range dst {
-			dst[i] = 0
+		// Nothing ran: the last completed iterate is the starting point
+		// (with ResetFast the engine buffer may hold a prior solve, so
+		// it is not read).
+		if start != nil {
+			copy(dst, start)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
 		}
 		return iters, delta, converged, err
 	}

@@ -84,6 +84,44 @@ func (g *Graph) AddEdge(s, t int, w float64) {
 // AddUnitEdge adds the undirected edge s−t with weight 1.
 func (g *Graph) AddUnitEdge(s, t int) { g.AddEdge(s, t, 1) }
 
+// RemoveEdges deletes every stored edge between the endpoint pairs of
+// edges (parallel edges between a pair all go; weights are ignored, and
+// pairs with no stored edge are skipped), returning the number of edges
+// removed. This is the topology-shrink half of the dynamic serving
+// plane's Update stream; like AddEdge it invalidates the lazy caches.
+func (g *Graph) RemoveEdges(edges []Edge) int {
+	if len(edges) == 0 {
+		return 0
+	}
+	kill := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		s, t := e.S, e.T
+		if s > t {
+			s, t = t, s
+		}
+		kill[[2]int{s, t}] = true
+	}
+	w := 0
+	for _, e := range g.edges {
+		s, t := e.S, e.T
+		if s > t {
+			s, t = t, s
+		}
+		if kill[[2]int{s, t}] {
+			continue
+		}
+		g.edges[w] = e
+		w++
+	}
+	removed := len(g.edges) - w
+	if removed > 0 {
+		g.edges = g.edges[:w]
+		g.adj = nil
+		g.nbr = nil
+	}
+	return removed
+}
+
 // ReserveEdges pre-sizes the edge list for at least m undirected edges
 // in total. Generators that know their edge counts (Kronecker powers,
 // grids) call it so building large graphs does not regrow the list.

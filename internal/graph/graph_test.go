@@ -331,3 +331,35 @@ func TestPermute(t *testing.T) {
 		}()
 	}
 }
+
+func TestRemoveEdges(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 2) // parallel, reversed orientation
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 3, 1) // self-loop
+	_ = g.Adjacency()  // build the caches so removal must invalidate them
+
+	if got := g.RemoveEdges([]Edge{{S: 1, T: 0}}); got != 2 {
+		t.Fatalf("removed %d parallel edges, want 2", got)
+	}
+	if g.Adjacency().At(0, 1) != 0 || g.Adjacency().At(1, 0) != 0 {
+		t.Fatal("adjacency kept removed edge")
+	}
+	if g.Adjacency().At(1, 2) != 1 {
+		t.Fatal("removal clobbered an unrelated edge")
+	}
+	if got := g.RemoveEdges([]Edge{{S: 3, T: 3}}); got != 1 {
+		t.Fatalf("self-loop removal removed %d, want 1", got)
+	}
+	// Absent pairs and out-of-range ids are no-ops.
+	if got := g.RemoveEdges([]Edge{{S: 0, T: 1}, {S: 4, T: 4}}); got != 0 {
+		t.Fatalf("no-op removal removed %d", got)
+	}
+	if got := g.RemoveEdges(nil); got != 0 {
+		t.Fatalf("empty removal removed %d", got)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}

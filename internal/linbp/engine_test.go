@@ -149,3 +149,73 @@ func TestEngineLayoutRoundTrip(t *testing.T) {
 		t.Errorf("%v allocs per reordered SolveInto, want 0", allocs)
 	}
 }
+
+// TestEngineWarmStart pins the warm-start contract: starting at the
+// previous fixpoint converges in fewer rounds to the same unique
+// answer, with and without a layout permutation.
+func TestEngineWarmStart(t *testing.T) {
+	g := gen.Kronecker(5)
+	e, _ := beliefs.Seed(g.N(), 3, beliefs.SeedConfig{Fraction: 0.05, Seed: 3})
+	h := coupling.Fig6bResidual().Scaled(0.002)
+	opts := Options{EchoCancellation: true, MaxIter: 200, Tol: 1e-11}
+	for name, perm := range map[string][]int{"natural": nil, "permuted": reversePerm(g.N())} {
+		var d []float64 = g.WeightedDegrees()
+		a := g.Adjacency()
+		if perm != nil {
+			a = a.Permute(perm)
+			dp := make([]float64, len(d))
+			for i, v := range d {
+				dp[perm[i]] = v
+			}
+			d = dp
+		}
+		eng, err := NewEngineLayout(a, d, h, perm, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		cold := beliefs.New(g.N(), 3)
+		coldIters, _, converged, err := eng.SolveInto(cold, e)
+		if err != nil || !converged {
+			t.Fatalf("%s cold solve: iters=%d converged=%v err=%v", name, coldIters, converged, err)
+		}
+		warm := beliefs.New(g.N(), 3)
+		warmIters, _, converged, err := eng.SolveFromIntoContext(nil, warm, e, cold)
+		if err != nil || !converged {
+			t.Fatalf("%s warm solve: err=%v", name, err)
+		}
+		if warmIters >= coldIters {
+			t.Errorf("%s: warm start took %d rounds, cold %d", name, warmIters, coldIters)
+		}
+		if d := maxDiff(warm, cold); d > 1e-10 {
+			t.Errorf("%s: warm fixpoint diverges by %g", name, d)
+		}
+		// Start-shape validation.
+		if _, _, _, err := eng.SolveFromIntoContext(nil, warm, e, beliefs.New(3, 3)); err == nil {
+			t.Errorf("%s: mis-shaped start accepted", name)
+		}
+	}
+}
+
+func reversePerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}
+
+func maxDiff(a, b *beliefs.Residual) float64 {
+	var max float64
+	ad, bd := a.Matrix().Data(), b.Matrix().Data()
+	for i := range ad {
+		d := ad[i] - bd[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -9,82 +9,19 @@ import (
 	"repro/internal/kernel"
 )
 
-// Incremental maintains a LinBP solution across input changes by
-// warm-starting the iterative updates from the previous fixpoint. The
-// paper defers incremental LinBP maintenance to future work (Section 8,
-// pointing at LINVIEW-style delta processing); warm starting is the
-// simple, always-correct variant: the fixpoint of Eq. 4 is unique
-// whenever ρ < 1, so restarting the contraction from a nearby point
-// yields the same solution in fewer iterations (property-tested), with
-// the iteration count shrinking as the perturbation shrinks.
-type Incremental struct {
-	g    *graph.Graph
-	e    *beliefs.Residual
-	h    *dense.Matrix
-	opts Options
-	last *beliefs.Residual
-}
-
-// NewIncremental solves the initial problem and returns the maintained
-// state. opts.Tol must be non-negative (a fixpoint is required).
-func NewIncremental(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options) (*Incremental, *Result, error) {
-	if opts.Tol < 0 {
-		return nil, nil, fmt.Errorf("linbp: incremental maintenance needs a convergence tolerance")
-	}
-	res, err := Run(g, e, h, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !res.Converged {
-		return nil, nil, fmt.Errorf("linbp: initial solve did not converge (delta %g)", res.Delta)
-	}
-	inc := &Incremental{g: g, e: e.Clone(), h: h, opts: opts, last: res.Beliefs.Clone()}
-	return inc, res, nil
-}
-
-// Beliefs returns the current fixpoint (aliased; treat as read-only).
-func (inc *Incremental) Beliefs() *beliefs.Residual { return inc.last }
-
-// UpdateExplicitBeliefs installs the non-zero rows of en as new or
-// replacement explicit beliefs and re-solves from the previous
-// fixpoint. It returns the refreshed result.
-func (inc *Incremental) UpdateExplicitBeliefs(en *beliefs.Residual) (*Result, error) {
-	if en.N() != inc.e.N() || en.K() != inc.e.K() {
-		return nil, fmt.Errorf("linbp: update matrix %dx%d does not match state", en.N(), en.K())
-	}
-	for _, v := range en.ExplicitNodes() {
-		inc.e.Set(v, en.Row(v))
-	}
-	return inc.resolve()
-}
-
-// UpdateEdges inserts new edges and re-solves from the previous
-// fixpoint. The caller must ensure the perturbed system still satisfies
-// the convergence criterion (CheckConvergence); otherwise an error is
-// returned after MaxIter rounds.
-func (inc *Incremental) UpdateEdges(edges []graph.Edge) (*Result, error) {
-	for _, e := range edges {
-		inc.g.AddEdge(e.S, e.T, e.W)
-	}
-	return inc.resolve()
-}
-
-// resolve runs the iterative updates warm-started at the previous
-// fixpoint and stores the new one.
-func (inc *Incremental) resolve() (*Result, error) {
-	res, err := runFrom(inc.g, inc.e, inc.h, inc.opts, inc.last)
-	if err != nil {
-		return nil, err
-	}
-	if !res.Converged {
-		return nil, fmt.Errorf("linbp: incremental solve did not converge (delta %g); check the convergence criterion after the update", res.Delta)
-	}
-	inc.last = res.Beliefs.Clone()
-	return res, nil
-}
+// The maintained-state Incremental type that used to live here was
+// superseded by the epoch-versioned dynamic solver (core/dynamic.go +
+// the lsbp.IncrementalLinBP wrapper): incremental maintenance now runs
+// through the prepared kernel engines, layouts, partitions, and
+// concurrency machinery instead of this package's one-shot path. What
+// remains is the warm-start run primitive both paths are built on.
 
 // runFrom is Run with a caller-provided starting point instead of Bˆ = 0.
-// It drives the fused kernel engine with a pooled workspace.
+// It drives the fused kernel engine with a pooled workspace. The
+// fixpoint of Eq. 4 is unique whenever ρ < 1, so restarting the
+// contraction from a nearby point yields the same solution in fewer
+// iterations, with the iteration count shrinking as the perturbation
+// shrinks.
 func runFrom(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options, start *beliefs.Residual) (*Result, error) {
 	opts = opts.withDefaults()
 	n, k, err := validate(g, e, h)

@@ -6,130 +6,12 @@ import (
 	"repro/internal/beliefs"
 	"repro/internal/coupling"
 	"repro/internal/gen"
-	"repro/internal/graph"
 )
 
-// TestIncrementalBeliefUpdateMatchesScratch: the warm-started fixpoint
-// after a belief change equals solving from scratch.
-func TestIncrementalBeliefUpdateMatchesScratch(t *testing.T) {
-	g := gen.Random(60, 150, 77)
-	e, _ := beliefs.Seed(60, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 7})
-	h := coupling.Scale(ho(t), 0.02)
-	inc, _, err := NewIncremental(g, e, h, Options{EchoCancellation: true, MaxIter: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	en := beliefs.New(60, 3)
-	en.Set(5, beliefs.LabelResidual(3, 1, 0.1))
-	en.Set(17, beliefs.LabelResidual(3, 2, 0.1))
-	res, err := inc.UpdateExplicitBeliefs(en)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	merged := e.Clone()
-	merged.Set(5, en.Row(5))
-	merged.Set(17, en.Row(17))
-	want, err := Run(g, merged, h, Options{EchoCancellation: true, MaxIter: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Beliefs.Matrix().EqualApprox(want.Beliefs.Matrix(), 1e-9) {
-		t.Fatal("incremental fixpoint differs from scratch")
-	}
-	if !inc.Beliefs().Matrix().EqualApprox(want.Beliefs.Matrix(), 1e-9) {
-		t.Fatal("state not updated")
-	}
-}
-
-// TestIncrementalEdgeUpdateMatchesScratch: same for edge insertion.
-func TestIncrementalEdgeUpdateMatchesScratch(t *testing.T) {
-	g := gen.Random(60, 150, 78)
-	e, _ := beliefs.Seed(60, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 8})
-	h := coupling.Scale(ho(t), 0.02)
-	inc, _, err := NewIncremental(g, e, h, Options{EchoCancellation: true, MaxIter: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-	batch := []graph.Edge{{S: 0, T: 30, W: 1}, {S: 2, T: 40, W: 1}}
-	res, err := inc.UpdateEdges(batch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := Run(g, e, h, Options{EchoCancellation: true, MaxIter: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Beliefs.Matrix().EqualApprox(want.Beliefs.Matrix(), 1e-9) {
-		t.Fatal("incremental edge fixpoint differs from scratch")
-	}
-}
-
-// TestIncrementalSavesIterations: warm starting from a nearby fixpoint
-// must need fewer rounds than a cold start for a small perturbation.
-func TestIncrementalSavesIterations(t *testing.T) {
-	g := gen.Random(80, 200, 79)
-	e, _ := beliefs.Seed(80, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 9})
-	h := coupling.Scale(ho(t), 0.02)
-	inc, initial, err := NewIncremental(g, e, h, Options{EchoCancellation: true, MaxIter: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Tiny perturbation: relabel a single node with a small residual.
-	en := beliefs.New(80, 3)
-	en.Set(3, beliefs.LabelResidual(3, 0, 0.001))
-	res, err := inc.UpdateExplicitBeliefs(en)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Iterations >= initial.Iterations {
-		t.Fatalf("warm start took %d iterations, cold start %d", res.Iterations, initial.Iterations)
-	}
-}
-
-func TestIncrementalRejectsForcedIterationMode(t *testing.T) {
-	g := gen.Torus()
-	e := beliefs.New(8, 3)
-	e.Set(0, beliefs.LabelResidual(3, 0, 0.1))
-	if _, _, err := NewIncremental(g, e, ho(t).Scaled(0.05), Options{Tol: -1}); err == nil {
-		t.Fatal("negative Tol must be rejected")
-	}
-}
-
-func TestIncrementalDivergenceAfterUpdateReported(t *testing.T) {
-	// Start convergent, then add enough parallel edges to push the
-	// spectral radius past 1: the update must report failure, not hang.
-	g := gen.Torus()
-	e := beliefs.New(8, 3)
-	e.Set(0, beliefs.LabelResidual(3, 0, 0.1))
-	batch := []graph.Edge{{S: 4, T: 6, W: 3}, {S: 5, T: 7, W: 3}}
-	// Compute the exact thresholds before and after the insertion and
-	// pick an εH strictly between them.
-	epsOld, err := MaxEpsilonH(g, ho(t), true, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gAfter := g.Clone()
-	for _, ed := range batch {
-		gAfter.AddEdge(ed.S, ed.T, ed.W)
-	}
-	epsNew, err := MaxEpsilonH(gAfter, ho(t), true, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if epsNew >= epsOld {
-		t.Fatalf("setup: batch must lower the threshold (old %v, new %v)", epsOld, epsNew)
-	}
-	h := coupling.Scale(ho(t), (epsOld+epsNew)/2)
-	inc, _, err := NewIncremental(g, e, h, Options{EchoCancellation: true, MaxIter: 2000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := inc.UpdateEdges(batch); err == nil {
-		t.Fatal("expected divergence error after destabilizing update")
-	}
-}
+// The maintained-state Incremental tests moved with the feature: the
+// dynamic-solver equivalents live in internal/core (dynamic_test.go)
+// and internal/difftest (RunDynamicMatrix). What stays here covers the
+// warm-start run primitive both were built on.
 
 func TestRunFromNilStartEqualsRun(t *testing.T) {
 	g, e := gen.Torus(), beliefs.New(8, 3)
@@ -145,5 +27,44 @@ func TestRunFromNilStartEqualsRun(t *testing.T) {
 	}
 	if !a.Beliefs.Matrix().EqualApprox(b.Beliefs.Matrix(), 0) {
 		t.Fatal("runFrom(nil) must equal Run")
+	}
+}
+
+// TestRunFromWarmStartSavesIterations: restarting the contraction at a
+// nearby fixpoint reaches tolerance in fewer rounds and lands on the
+// same unique answer.
+func TestRunFromWarmStartSavesIterations(t *testing.T) {
+	g := gen.Random(80, 200, 79)
+	e, _ := beliefs.Seed(80, 3, beliefs.SeedConfig{Fraction: 0.1, Seed: 9})
+	h := coupling.Scale(ho(t), 0.02)
+	opts := Options{EchoCancellation: true, MaxIter: 500}
+	cold, err := Run(g, e, h, opts)
+	if err != nil || !cold.Converged {
+		t.Fatalf("cold solve: %+v err=%v", cold, err)
+	}
+	// Tiny perturbation: relabel one node with a small residual.
+	e2 := e.Clone()
+	e2.Set(3, beliefs.LabelResidual(3, 0, 0.001))
+	warm, err := runFrom(g, e2, h, opts, cold.Beliefs)
+	if err != nil || !warm.Converged {
+		t.Fatalf("warm solve: err=%v", err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm start took %d iterations, cold start %d", warm.Iterations, cold.Iterations)
+	}
+	want, err := Run(g, e2, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Beliefs.Matrix().EqualApprox(want.Beliefs.Matrix(), 1e-9) {
+		t.Fatal("warm fixpoint differs from scratch")
+	}
+}
+
+func TestRunFromRejectsMisshapedStart(t *testing.T) {
+	g, e := gen.Torus(), beliefs.New(8, 3)
+	e.Set(0, []float64{2, -1, -1})
+	if _, err := runFrom(g, e, ho(t).Scaled(0.1), Options{}, beliefs.New(4, 3)); err == nil {
+		t.Fatal("mis-shaped start accepted")
 	}
 }

@@ -73,15 +73,11 @@ func PartitionRows(a *sparse.CSR, parts int) *Partition {
 	if n == 0 {
 		parts = 1
 	}
-	rowPtr, colIdx, _ := a.Index()
+	rowPtr, _, _ := a.Index()
 	total := a.NNZ()
 
-	p := &Partition{
-		Starts:   make([]int, parts+1),
-		BlockNNZ: make([]int, parts),
-		Halo:     make([]int, parts),
-	}
-	p.Starts[parts] = n
+	starts := make([]int, parts+1)
+	starts[parts] = n
 	r := 0
 	for b := 0; b < parts-1; b++ {
 		lo := r
@@ -92,11 +88,33 @@ func PartitionRows(a *sparse.CSR, parts int) *Partition {
 		for r < maxHi && (r == lo || rowPtr[r+1]-rowPtr[lo] <= target) {
 			r++
 		}
-		p.Starts[b+1] = r
+		starts[b+1] = r
 	}
+	return StatsForStarts(a, starts)
+}
 
-	// Statistics: block nnz, cut entries, and per-block halo (distinct
-	// external rows referenced), via a last-seen stamp per column.
+// StatsForStarts computes the partition statistics (block nnz, halo,
+// cut edges, imbalance) of a for the fixed block boundaries starts,
+// which must be a contiguous ascending partition of a's rows. Beyond
+// backing PartitionRows it serves the dynamic plane: merged epochs
+// reuse the prepare-time boundaries while the structure underneath
+// drifts, and this one O(nnz) pass keeps the reported diagnostics
+// honest without re-partitioning. The returned Partition aliases
+// starts.
+func StatsForStarts(a *sparse.CSR, starts []int) *Partition {
+	parts := len(starts) - 1
+	rowPtr, colIdx, _ := a.Index()
+	total := a.NNZ()
+	p := &Partition{
+		Starts:   starts,
+		BlockNNZ: make([]int, parts),
+		Halo:     make([]int, parts),
+	}
+	if err := p.Validate(a.Rows()); err != nil {
+		panic(err)
+	}
+	// Block nnz, cut entries, and per-block halo (distinct external rows
+	// referenced), via a last-seen stamp per column.
 	stamp := make([]int, a.Cols())
 	for i := range stamp {
 		stamp[i] = -1

@@ -115,3 +115,54 @@ func TestPartitionValidate(t *testing.T) {
 		t.Fatalf("empty middle block must be allowed by Validate: %v", err)
 	}
 }
+
+func TestStatsForStarts(t *testing.T) {
+	a := pathCSR(10)
+	// Fixed boundaries [0,5,10): the only cut entries are (4,5) and
+	// (5,4), one halo row on each side.
+	p := StatsForStarts(a, []int{0, 5, 10})
+	if p.Blocks() != 2 {
+		t.Fatalf("Blocks = %d", p.Blocks())
+	}
+	if p.CutEdges != 2 {
+		t.Errorf("CutEdges = %d, want 2", p.CutEdges)
+	}
+	if p.Halo[0] != 1 || p.Halo[1] != 1 {
+		t.Errorf("Halo = %v, want [1 1]", p.Halo)
+	}
+	if p.BlockNNZ[0]+p.BlockNNZ[1] != a.NNZ() {
+		t.Errorf("block nnz %v does not sum to %d", p.BlockNNZ, a.NNZ())
+	}
+	// The drifted-structure use: same boundaries, denser matrix.
+	b := sparse.NewBuilder(10, 10)
+	for i := 0; i+1 < 10; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	b.AddSym(0, 9, 1) // long-range edge crosses the boundary
+	p2 := StatsForStarts(b.ToCSR(), []int{0, 5, 10})
+	if p2.CutEdges != 4 {
+		t.Errorf("after drift CutEdges = %d, want 4", p2.CutEdges)
+	}
+	if p2.Imbalance < 1 {
+		t.Errorf("Imbalance = %v, want >= 1", p2.Imbalance)
+	}
+}
+
+func TestStatsForStartsRejectsBadBoundaries(t *testing.T) {
+	a := pathCSR(6)
+	for name, starts := range map[string][]int{
+		"not spanning": {0, 3},
+		"descending":   {0, 4, 2, 6},
+		"wrong origin": {1, 6},
+		"single bound": {0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			StatsForStarts(a, starts)
+		}()
+	}
+}

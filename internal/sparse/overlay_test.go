@@ -1,0 +1,94 @@
+package sparse
+
+import "testing"
+
+// The denseOf helper from sparse_test.go rebuilds a dense mirror, the
+// ground truth the overlay's merged-row iteration must match.
+
+func TestOverlayMergeMatchesDenseMirror(t *testing.T) {
+	base := NewCSRFromDense([][]float64{
+		{0, 1, 0, 2},
+		{1, 0, 3, 0},
+		{0, 3, 0, 0},
+		{2, 0, 0, 5},
+	})
+	mirror := denseOf(base)
+	o := NewOverlay(base)
+
+	apply := func(op string, i, j int, w float64) {
+		switch op {
+		case "add":
+			o.Add(i, j, w)
+			mirror[i][j] += w
+		case "del":
+			o.Remove(i, j)
+			mirror[i][j] = 0
+		}
+	}
+	apply("add", 0, 2, 1.5) // brand-new cell
+	apply("add", 0, 1, 2)   // accumulate onto base
+	apply("del", 1, 2, 0)   // tombstone a base entry
+	apply("del", 3, 3, 0)   // tombstone a self-loop
+	apply("add", 3, 3, 7)   // re-add after tombstone: exactly 7
+	apply("add", 2, 0, 4)   // fill a previously empty cell
+	apply("del", 2, 0, 0)   // ... and delete it again
+	apply("add", 1, 0, -1)  // cancel base to exact zero: entry must drop
+
+	got := o.Merge()
+	want := denseOf(NewCSRFromDense(mirror))
+	gd := denseOf(got)
+	for i := range want {
+		for j := range want[i] {
+			if gd[i][j] != want[i][j] {
+				t.Errorf("merged(%d,%d) = %v, want %v", i, j, gd[i][j], want[i][j])
+			}
+		}
+	}
+	// The cancelled (1,0) cell must not be stored as an explicit zero.
+	if got.At(1, 0) != 0 || got.RowNNZ(1) != 0 {
+		t.Errorf("row 1 kept explicit zeros: nnz=%d", got.RowNNZ(1))
+	}
+	// Untouched rows keep their exact values.
+	if got.At(2, 1) != 3 {
+		t.Errorf("untouched entry (2,1) = %v, want 3", got.At(2, 1))
+	}
+}
+
+func TestOverlayRemoveAbsentIsNoOp(t *testing.T) {
+	base := NewCSRFromDense([][]float64{{0, 1}, {1, 0}})
+	o := NewOverlay(base)
+	if o.Remove(0, 0) {
+		t.Error("Remove of absent cell reported true")
+	}
+	if o.DeltaNNZ() != 0 {
+		t.Errorf("no-op remove inflated DeltaNNZ to %d", o.DeltaNNZ())
+	}
+	if !o.Remove(0, 1) {
+		t.Error("Remove of stored cell reported false")
+	}
+	if o.Remove(0, 1) {
+		t.Error("second Remove of the same cell reported true")
+	}
+	if o.DeltaNNZ() != 1 {
+		t.Errorf("DeltaNNZ = %d, want 1", o.DeltaNNZ())
+	}
+	// Re-add after remove carries exactly the new weight.
+	o.Add(0, 1, 2.5)
+	if got := o.Merge().At(0, 1); got != 2.5 {
+		t.Errorf("re-added cell = %v, want 2.5", got)
+	}
+}
+
+func TestOverlayRebase(t *testing.T) {
+	base := NewCSRFromDense([][]float64{{0, 1}, {1, 0}})
+	o := NewOverlay(base)
+	o.Add(0, 1, 1)
+	merged := o.Merge()
+	o.Rebase(merged)
+	if o.DeltaNNZ() != 0 {
+		t.Errorf("DeltaNNZ after Rebase = %d, want 0", o.DeltaNNZ())
+	}
+	if got := o.Merge().At(0, 1); got != 2 {
+		t.Errorf("merged after rebase = %v, want 2", got)
+	}
+}

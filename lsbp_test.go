@@ -194,17 +194,59 @@ func TestIncrementalLinBPFacade(t *testing.T) {
 	e, _ := lsbp.SeedBeliefs(40, 3, lsbp.SeedConfig{Fraction: 0.1, Seed: 1})
 	ho, _ := lsbp.NewCouplingFromStochastic(lsbp.Fig1c())
 	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: 0.02}
-	inc, err := lsbp.NewIncrementalLinBP(p, true, 500)
+	inc, initial, err := lsbp.NewIncrementalLinBP(p, true, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer inc.Close()
+	if initial == nil || !initial.Converged || initial.Beliefs == nil {
+		t.Fatalf("initial result not returned or not converged: %+v", initial)
+	}
+	if inc.Beliefs() != initial.Beliefs {
+		t.Error("Beliefs() does not expose the initial fixpoint")
+	}
 	en := lsbp.NewBeliefs(40, 3)
 	en.Set(2, lsbp.LabelResidual(3, 1, 0.1))
-	if _, err := inc.UpdateExplicitBeliefs(en); err != nil {
+	res, err := inc.UpdateExplicitBeliefs(en)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Error("belief update reported zero iterations")
 	}
 	if _, err := inc.UpdateEdges([]lsbp.Edge{{S: 0, T: 20, W: 1}}); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := inc.RemoveEdges([]lsbp.Edge{{S: 0, T: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	// The maintained state rides the dynamic Solver: its stats must
+	// reflect the three committed updates plus the initial solve.
+	st := inc.Solver().Stats()
+	if st.Updates != 4 || st.Epoch != 2 {
+		t.Errorf("solver stats: updates=%d epoch=%d, want 4/2", st.Updates, st.Epoch)
+	}
+	// And the final fixpoint must match a from-scratch solve on the
+	// final problem: the edge round-tripped away, so only the label on
+	// node 2 distinguishes it from the original.
+	e2 := e.Clone()
+	e2.Set(2, lsbp.LabelResidual(3, 1, 0.1))
+	want, err := lsbp.Solve(&lsbp.Problem{Graph: g, Explicit: e2, Ho: ho, EpsilonH: 0.02},
+		lsbp.LinBP, lsbp.Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff float64
+	wd, gd := want.Beliefs.Matrix().Data(), inc.Beliefs().Matrix().Data()
+	for i := range wd {
+		if d := wd[i] - gd[i]; d > diff {
+			diff = d
+		} else if -d > diff {
+			diff = -d
+		}
+	}
+	if diff > 1e-9 {
+		t.Errorf("incremental fixpoint diverges from fresh solve by %g", diff)
 	}
 }
 

@@ -12,14 +12,28 @@ import (
 // ordering — is reused across solves, and every iterative loop honors
 // context cancellation at round boundaries.
 //
+// Solvers are epoch-versioned: Update absorbs edge/belief streams
+// (inserts, deletes, relabels) without re-preparing from scratch.
+// Deltas accumulate in a tombstoned overlay over the prepared CSR;
+// each committed topology update merges the overlay in one pass,
+// builds a fresh immutable snapshot reusing the prepare-time
+// reordering and partitions, and swaps it in RCU-style — in-flight
+// solves drain on the old snapshot, new solves land on the new one,
+// and the kernel-backed methods re-solve warm-started from the
+// previous fixpoint (fewer iterations after small deltas, same unique
+// answer). When the overlay outgrows WithUpdatePolicy's compaction
+// threshold the commit replays reordering and partitioning on the
+// merged graph. Stats reports Epoch/Updates/Rebuilds/OverlayNNZ.
+//
 // Solvers are safe for concurrent use: any number of goroutines may
-// share one Solver; per-solve workspaces are recycled through an
-// internal pool so the SolveInto path stays allocation-free in steady
-// state, Stats is race-free, and Close is idempotent (later solves
-// fail with ErrClosed). The one carve-out is the incremental SBP
-// state returned by Solve on an SBP solver (Result.SBP): it shares
-// the problem's graph, so its mutators must be serialized against all
-// other use of the solver.
+// share one Solver (updates serialize internally); per-solve
+// workspaces are recycled through per-epoch pools so the SolveInto
+// path stays allocation-free in steady state, Stats is race-free, and
+// Close is idempotent (later solves fail with ErrClosed) and drains
+// in-flight solves and a pending update. The one carve-out is the
+// incremental SBP state returned by Solve on an SBP solver
+// (Result.SBP): it shares the epoch's graph, so prefer Update, which
+// keeps the solver and graph consistent.
 //
 //	s, err := lsbp.PrepareLinBP(p, lsbp.WithWorkers(4))
 //	if err != nil { ... }
@@ -27,7 +41,19 @@ import (
 //	res, err := s.Solve(ctx, e)             // fresh result + top assignment
 //	info, err := s.SolveInto(ctx, dst, e)   // zero-allocation serving path
 //	resps := s.SolveBatch(ctx, reqs)        // fused multi-request rounds
+//	res, err = s.Update(ctx, lsbp.Update{   // absorb a delta, warm re-solve
+//		AddEdges: []lsbp.Edge{{S: 1, T: 7, W: 1}}})
 type Solver = core.Solver
+
+// Update is one delta batch for Solver.Update: edge insertions,
+// edge deletions (all parallel edges between a pair), and explicit
+// belief installs/replacements. Additions apply before removals;
+// the batch commits as one epoch.
+type Update = core.Update
+
+// UpdatePolicy tunes the dynamic plane's compaction threshold and
+// warm-start behavior; see WithUpdatePolicy.
+type UpdatePolicy = core.UpdatePolicy
 
 // Option configures Prepare and the per-method constructors.
 type Option = core.Option
@@ -163,6 +189,13 @@ const PartitionsAuto = core.PartitionsAuto
 // sizes it automatically; BP and SBP ignore it. Stats() reports the
 // partition count, cut edges, and nnz imbalance.
 func WithPartitions(n int) Option { return core.WithPartitions(n) }
+
+// WithUpdatePolicy sets the dynamic plane's policy for Solver.Update:
+// the overlay-growth ratio that triggers a compaction rebuild
+// (reordering + partitioning replayed on the merged graph) and whether
+// Update's re-solves warm-start from the previous fixpoint (the
+// default) or run cold. Solvers that never see an Update ignore it.
+func WithUpdatePolicy(p UpdatePolicy) Option { return core.WithUpdatePolicy(p) }
 
 // WithAutoEpsilonH derives εH from the exact convergence criterion
 // (half the Lemma 8 threshold) at preparation time, overriding
