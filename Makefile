@@ -1,7 +1,8 @@
 # Build, verify, and benchmark targets for the LinBP reproduction.
 #
 #   make verify   - tier-1 gate: build + gofmt + vet + full test suite +
-#                   the race-detector pass over the concurrent packages
+#                   the race-detector pass over the concurrent packages +
+#                   the crash-recovery fault-injection matrix under -race
 #   make test-race - race-detector pass (the 32-goroutine shared-Solver
 #                   stress, the partitioned kernel, the pools)
 #   make cover    - per-package coverage with a floor: fails when any of
@@ -26,6 +27,13 @@
 #                   epoch swap + re-solve) warm vs cold, plus the
 #                   belief-only and single-edge commit throughput,
 #                   archived into BENCH_results.json
+#   make bench-durable - the durable-plane benchmark: snapshot-load cold
+#                   start (Open) vs full re-Prepare on the same large
+#                   Kronecker graph, plus WAL append overhead per fsync
+#                   policy, archived into BENCH_results.json
+#   make crash    - the fault-injection crash-recovery matrix (torn
+#                   appends, bit rot, lying fsyncs, interrupted
+#                   checkpoints) under -race
 #
 # Tuning knobs (see EXPERIMENTS.md):
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
@@ -35,17 +43,19 @@
 GO ?= go
 BENCHTIME ?= 1s
 COVER_FLOOR ?= 70
-COVER_PKGS = internal/kernel internal/order internal/sparse internal/core internal/difftest
-RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/ ./internal/difftest/
+COVER_PKGS = internal/kernel internal/order internal/sparse internal/core internal/difftest internal/durable
+RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ ./internal/core/ ./internal/difftest/ ./internal/durable/
 
-.PHONY: verify test fmt vet build cover bench bench-quick bench-batch bench-reorder bench-partition bench-update race test-race
+.PHONY: verify test fmt vet build cover bench bench-quick bench-batch bench-reorder bench-partition bench-update bench-durable race test-race crash
 
-verify: build fmt vet test test-race
+verify: build fmt vet test test-race crash
 
 build:
 	$(GO) build ./...
 
-fmt:
+# The formatting gate also vets: both are cheap static checks a commit
+# must clear.
+fmt: vet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
@@ -62,6 +72,14 @@ test-race:
 
 # Kept as an alias for the pre-PR 4 target name.
 race: test-race
+
+# The durable-plane acceptance matrix: every injected fault (torn WAL
+# append, bit rot in log or snapshot, dropped/failed fsyncs, power
+# loss mid-checkpoint) must recover to a pinned update prefix or fail
+# with a typed error — under the race detector, since recovery shares
+# the epoch-swap machinery with concurrent serving.
+crash:
+	$(GO) test -race -run 'Crash|Durable|TestWAL|TestSnapshot|TestMemFS' ./internal/difftest/ ./internal/core/ ./internal/durable/
 
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \
@@ -94,4 +112,8 @@ bench-partition:
 
 bench-update:
 	$(GO) test -bench 'BenchmarkUpdate' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-durable:
+	$(GO) test -bench 'BenchmarkColdStart|BenchmarkWALAppend' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json

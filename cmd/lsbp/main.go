@@ -20,6 +20,14 @@
 // class [strength]', 'commit') against the prepared solver through the
 // epoch-versioned Update path, printing the top-belief assignment per
 // epoch instead of the single one-shot solve.
+//
+// -state DIR makes the solver durable: the first invocation prepares
+// from -edges/-labels and persists a checksummed snapshot plus a
+// write-ahead log of every update under DIR (fsync cadence set by
+// -fsync); later invocations find the snapshot and recover from it —
+// replaying any logged updates a crash left behind — without re-reading
+// the input files or re-preparing (-edges, -labels, -k, -method, -eps
+// are then taken from the recovered state and the flags are ignored).
 package main
 
 import (
@@ -61,12 +69,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		orderFlag = fs.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
 		partsFlag = fs.String("partitions", "0", "partition-parallel data plane: 0 = off, auto, or a block count")
 		updates   = fs.String("updates", "", "event stream file replayed against the prepared solver: 'add s t [w]' | 'del s t' | 'label node class [strength]' | 'commit' lines; beliefs print per epoch")
+		statePath = fs.String("state", "", "durable state directory: first run persists a snapshot + update WAL there, later runs recover from it (ignoring -edges/-labels)")
+		fsyncFlag = fs.String("fsync", "always", "WAL fsync cadence under -state: always | interval=N | never")
 		verbose   = fs.Bool("v", false, "print the solver stats line (ordering, bandwidth, partitions, epochs, iterations) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *edgesPath == "" || *labelPath == "" {
+	recovering := *statePath != "" && lsbp.HasState(*statePath)
+	if !recovering && (*edgesPath == "" || *labelPath == "") {
 		fs.Usage()
 		return 2
 	}
@@ -75,58 +86,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	g, err := loadGraph(*edgesPath)
-	if err != nil {
-		return fail(err)
-	}
-	e, err := loadLabels(*labelPath, g.N(), *k)
-	if err != nil {
-		return fail(err)
-	}
-
-	ho := lsbp.Homophily(*k, *strength)
-	if *coupPath != "" {
-		m, err := loadMatrix(*coupPath, *k)
-		if err != nil {
-			return fail(err)
-		}
-		ho, err = lsbp.NewCouplingFromStochastic(m)
-		if err != nil {
+	var pol lsbp.DurabilityPolicy
+	if *statePath != "" {
+		var err error
+		if pol, err = parseFsync(*fsyncFlag); err != nil {
 			return fail(err)
 		}
 	}
 
-	m, err := parseMethod(*method)
-	if err != nil {
-		return fail(err)
-	}
+	var s lsbp.Solver
+	var e *lsbp.Beliefs
+	var m lsbp.Method
+	if recovering {
+		var err error
+		s, err = lsbp.Open(*statePath, lsbp.WithDurability(*statePath, pol),
+			lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol), lsbp.WithWorkers(*workers))
+		if err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		st := s.Stats()
+		m = st.Method
+		fmt.Fprintf(stderr, "recovered %v state from %s: n=%d k=%d updates=%d eps_H=%g\n",
+			st.Method, *statePath, st.N, st.K, st.Updates, st.EpsilonH)
+	} else {
+		g, err := loadGraph(*edgesPath)
+		if err != nil {
+			return fail(err)
+		}
+		if e, err = loadLabels(*labelPath, g.N(), *k); err != nil {
+			return fail(err)
+		}
 
-	reorder, err := lsbp.ParseReordering(*orderFlag)
-	if err != nil {
-		return fail(err)
-	}
-	partitions, err := parsePartitions(*partsFlag)
-	if err != nil {
-		return fail(err)
-	}
+		ho := lsbp.Homophily(*k, *strength)
+		if *coupPath != "" {
+			mat, err := loadMatrix(*coupPath, *k)
+			if err != nil {
+				return fail(err)
+			}
+			ho, err = lsbp.NewCouplingFromStochastic(mat)
+			if err != nil {
+				return fail(err)
+			}
+		}
 
-	opts := []lsbp.Option{
-		lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol),
-		lsbp.WithWorkers(*workers), lsbp.WithReordering(reorder),
-		lsbp.WithPartitions(partitions),
-	}
-	if *eps == 0 && m != lsbp.SBP {
-		opts = append(opts, lsbp.WithAutoEpsilonH())
-	}
+		if m, err = parseMethod(*method); err != nil {
+			return fail(err)
+		}
 
-	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: *eps}
-	s, err := lsbp.Prepare(p, m, opts...)
-	if err != nil {
-		return fail(err)
-	}
-	defer s.Close()
-	if *eps == 0 && m != lsbp.SBP {
-		fmt.Fprintf(stderr, "auto eps_H = %g\n", s.Stats().EpsilonH)
+		reorder, err := lsbp.ParseReordering(*orderFlag)
+		if err != nil {
+			return fail(err)
+		}
+		partitions, err := parsePartitions(*partsFlag)
+		if err != nil {
+			return fail(err)
+		}
+
+		opts := []lsbp.Option{
+			lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol),
+			lsbp.WithWorkers(*workers), lsbp.WithReordering(reorder),
+			lsbp.WithPartitions(partitions),
+		}
+		if *eps == 0 && m != lsbp.SBP {
+			opts = append(opts, lsbp.WithAutoEpsilonH())
+		}
+		if *statePath != "" {
+			opts = append(opts, lsbp.WithDurability(*statePath, pol))
+		}
+
+		p := &lsbp.Problem{Graph: g, Explicit: e, Ho: ho, EpsilonH: *eps}
+		if s, err = lsbp.Prepare(p, m, opts...); err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		if *eps == 0 && m != lsbp.SBP {
+			fmt.Fprintf(stderr, "auto eps_H = %g\n", s.Stats().EpsilonH)
+		}
 	}
 
 	ctx := context.Background()
@@ -137,7 +173,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *updates != "" {
-		batches, err := loadUpdates(*updates, g.N(), *k)
+		st := s.Stats()
+		batches, err := loadUpdates(*updates, st.N, st.K)
 		if err != nil {
 			return fail(err)
 		}
@@ -152,7 +189,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res, err := s.Solve(ctx, e)
+	var res *lsbp.Result
+	var err error
+	if recovering {
+		// No explicit-belief file on the recovered path: an empty Update
+		// re-solves the maintained problem (graph and beliefs as of the
+		// last logged batch).
+		res, err = s.Update(ctx, lsbp.Update{})
+	} else {
+		res, err = s.Solve(ctx, e)
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return fail(fmt.Errorf("solve exceeded -timeout %v after %d iterations", *timeout, s.Stats().Iterations))
@@ -357,6 +403,24 @@ func parseMethod(name string) (lsbp.Method, error) {
 		return lsbp.FABP, nil
 	default:
 		return 0, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+// parseFsync maps the -fsync spellings onto WAL sync policies.
+func parseFsync(s string) (lsbp.DurabilityPolicy, error) {
+	switch {
+	case s == "always":
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncAlways}, nil
+	case s == "never":
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncNever}, nil
+	case strings.HasPrefix(s, "interval="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "interval="))
+		if err != nil || n < 1 {
+			return lsbp.DurabilityPolicy{}, fmt.Errorf("invalid -fsync %q (want interval=N with N >= 1)", s)
+		}
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncInterval, Interval: n}, nil
+	default:
+		return lsbp.DurabilityPolicy{}, fmt.Errorf("invalid -fsync %q (want always, interval=N, or never)", s)
 	}
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// TestGoldenStatePersistRecover pins the -state lifecycle end to end:
+// a priming run persists its snapshot and update WAL, a bare -state
+// invocation recovers by replaying the logged batches (the priming run
+// never checkpoints, so recovery IS a WAL replay), a torn WAL tail —
+// the artifact an append cut short by a crash leaves behind — is
+// truncated transparently, and the recovered solver keeps absorbing
+// further update streams durably.
+func TestGoldenStatePersistRecover(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state")
+	prime := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels3.txt",
+		"-k", "3", "-method", "linbp", "-eps", "0.05", "-order", "none",
+		"-updates", "testdata/updates.txt", "-state", state}
+	var stdout, stderr bytes.Buffer
+	if code := run(prime, &stdout, &stderr); code != 0 {
+		t.Fatalf("prime run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	// Durability must not change what the command prints.
+	checkGolden(t, filepath.Join("testdata", "linbp_updates.golden"), stdout.Bytes())
+
+	recover := func(name string, extra ...string) string {
+		t.Helper()
+		stdout.Reset()
+		stderr.Reset()
+		args := append([]string{"-state", state}, extra...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s: exit %d, stderr:\n%s", name, code, stderr.String())
+		}
+		return stderr.String()
+	}
+
+	// Bare recovery: the epoch-0 solve plus the stream's three batches
+	// were logged; all four replay onto the Prepare-time snapshot, and
+	// the solve must print exactly the final epoch of the priming run.
+	errOut := recover("recover")
+	if !strings.Contains(errOut, "recovered LinBP state") || !strings.Contains(errOut, "updates=4") {
+		t.Errorf("recovery note missing or wrong: %q", errOut)
+	}
+	checkGolden(t, filepath.Join("testdata", "state_recover.golden"), stdout.Bytes())
+
+	// Crash artifact: an append torn mid-frame that the OS flushed
+	// anyway. Recovery truncates the tail back to the last intact
+	// record and lands on the same state as the clean reopen. (The
+	// bare recovery above logged one more empty batch: updates=5.)
+	wal, err := os.OpenFile(filepath.Join(state, durable.WALFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	errOut = recover("recover after torn tail")
+	if !strings.Contains(errOut, "updates=5") {
+		t.Errorf("torn-tail recovery note: %q", errOut)
+	}
+	checkGolden(t, filepath.Join("testdata", "state_recover.golden"), stdout.Bytes())
+
+	// The recovered solver is itself durable: replay the stream again
+	// on top and the next recovery sees the grown update count.
+	recover("recover with updates", "-updates", "testdata/updates.txt")
+	checkGolden(t, filepath.Join("testdata", "state_recover_updates.golden"), stdout.Bytes())
+	errOut = recover("final recover")
+	if !strings.Contains(errOut, "updates=10") {
+		t.Errorf("final recovery note: %q", errOut)
+	}
+}
+
+// TestStateFlagErrors pins the -state failure modes: a bad -fsync
+// spelling, and a first run (no state yet) still needs its inputs.
+func TestStateFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt",
+		"-state", filepath.Join(dir, "st"), "-fsync", "sometimes"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad -fsync: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-state", filepath.Join(dir, "empty")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-state without inputs or prior state: exit %d, want 2", code)
+	}
+}
+
+// TestStateCorruptSnapshot pins the typed refusal: bit rot in the
+// snapshot must produce an actionable error, not a solver.
+func TestStateCorruptSnapshot(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state")
+	args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt",
+		"-eps", "0.05", "-state", state}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("prime run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	snap := filepath.Join(state, durable.SnapshotFile)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4100] ^= 0x04 // inside the first page-aligned section's payload
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-state", state}, &stdout, &stderr); code != 1 {
+		t.Fatalf("corrupt snapshot: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "corrupt") {
+		t.Errorf("corruption error not actionable: %q", stderr.String())
+	}
+}

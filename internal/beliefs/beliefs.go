@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/xrand"
 )
 
@@ -95,6 +96,12 @@ func (r *Residual) Validate() error {
 	for s := 0; s < r.N(); s++ {
 		var sum float64
 		for _, v := range r.m.Row(s) {
+			// NaN must be rejected explicitly: it fails every comparison,
+			// so a NaN row would sail through the |sum| check below and
+			// silently poison the fixpoint.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("beliefs: row %d holds %v: %w", s, v, errs.ErrNonFinite)
+			}
 			sum += v
 		}
 		if math.Abs(sum) > 1e-9 {

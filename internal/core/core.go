@@ -35,6 +35,12 @@ var (
 	ErrInvalidCoupling = errs.ErrInvalidCoupling
 	// ErrClosed wraps any use of a Solver after Close.
 	ErrClosed = errs.ErrClosed
+	// ErrNonFinite wraps NaN/Inf inputs (edge weights, explicit
+	// beliefs) and iterative solves whose update delta overflowed.
+	ErrNonFinite = errs.ErrNonFinite
+	// ErrCorruptState wraps durable solver state (snapshot or WAL) that
+	// failed checksum or structural validation on Open.
+	ErrCorruptState = errs.ErrCorruptState
 )
 
 // Method selects the inference algorithm.
@@ -115,6 +121,14 @@ func (p *Problem) Validate() error {
 	}
 	if err := coupling.ValidateResidual(p.Ho); err != nil {
 		return err
+	}
+	// graph.AddEdge rejects w <= 0 but NaN fails that comparison too, so
+	// NaN (and +Inf) weights can reach a built graph; catch them here
+	// before they poison the fixpoint.
+	for _, e := range p.Graph.Edges() {
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return fmt.Errorf("core: edge (%d,%d) has weight %v: %w", e.S, e.T, e.W, errs.ErrNonFinite)
+		}
 	}
 	return p.Explicit.Validate()
 }

@@ -143,6 +143,14 @@ type dynSolver struct {
 	baseNNZ    int
 	deltaCells int
 
+	// pendingSwap records a built-but-unswapped commit (the Update's
+	// context was cancelled between materialization and the epoch
+	// swap); the next Update retries the swap before anything else.
+	pendingSwap bool
+	// dur is the durable half (snapshot + WAL); nil without
+	// WithDurability.
+	dur *durability
+
 	epochN, updates, rebuilds, overlayNNZ atomic.Int64
 
 	statsMu sync.Mutex
@@ -273,7 +281,15 @@ func (d *dynSolver) Close() error {
 		return nil
 	}
 	d.closed = true
-	return d.cur.Load().snap.Close()
+	err := d.cur.Load().snap.Close()
+	if d.dur != nil {
+		// After the epoch drains nothing reads the mapped snapshot
+		// arrays; flush and release the durable half last.
+		if derr := d.dur.close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // Update applies the delta batch and re-solves the maintained problem,
@@ -294,45 +310,23 @@ func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
 	if err := d.validateUpdate(u); err != nil {
 		return nil, err
 	}
+	// Write-ahead: the batch is durably logged before any in-memory
+	// mutation, so a crash recovers either the pre-batch or post-batch
+	// state — never a torn middle. A failed append commits nothing.
+	if d.dur != nil {
+		if err := d.appendWALLocked(u); err != nil {
+			return nil, err
+		}
+	}
 	d.initDynState()
 	if u.SetExplicit != nil {
 		for _, v := range u.SetExplicit.ExplicitNodes() {
 			d.exp.Set(v, u.SetExplicit.Row(v))
 		}
 	}
-	if len(u.AddEdges) > 0 || len(u.RemoveEdges) > 0 {
-		for _, e := range u.AddEdges {
-			d.g.AddEdge(e.S, e.T, e.W)
-		}
-		removed := d.g.RemoveEdges(u.RemoveEdges)
-		// Removals of absent pairs are no-ops; a batch with no net
-		// structural change skips the snapshot rebuild entirely (an
-		// idempotent delete stream must not pay an O(nnz) epoch per
-		// call).
-		changed := len(u.AddEdges) > 0 || removed > 0
-		if d.overlay != nil {
-			for _, e := range u.AddEdges {
-				i, j := d.pm(e.S), d.pm(e.T)
-				d.overlay.Add(i, j, e.W)
-				if i != j {
-					d.overlay.Add(j, i, e.W)
-				}
-			}
-			for _, e := range u.RemoveEdges {
-				i, j := d.pm(e.S), d.pm(e.T)
-				d.overlay.Remove(i, j)
-				if i != j {
-					d.overlay.Remove(j, i)
-				}
-			}
-			d.deltaCells = d.overlay.DeltaNNZ()
-		} else if changed {
-			d.deltaCells += 2*len(u.AddEdges) + removed
-		}
-		if changed {
-			if err := d.swapSnapshotLocked(); err != nil {
-				return nil, err
-			}
+	if d.applyTopologyLocked(u) || d.pendingSwap {
+		if err := d.swapSnapshotLocked(ctx); err != nil {
+			return nil, err
 		}
 	}
 	d.updates.Add(1)
@@ -341,6 +335,42 @@ func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
 		d.last = res.Beliefs.Clone()
 	}
 	return res, err
+}
+
+// applyTopologyLocked folds the batch's edge delta into the
+// maintained graph and overlay, reporting whether the structure
+// actually changed. Removals of absent pairs are no-ops; a batch with
+// no net structural change skips the snapshot rebuild entirely (an
+// idempotent delete stream must not pay an O(nnz) epoch per call).
+func (d *dynSolver) applyTopologyLocked(u Update) bool {
+	if len(u.AddEdges) == 0 && len(u.RemoveEdges) == 0 {
+		return false
+	}
+	for _, e := range u.AddEdges {
+		d.g.AddEdge(e.S, e.T, e.W)
+	}
+	removed := d.g.RemoveEdges(u.RemoveEdges)
+	changed := len(u.AddEdges) > 0 || removed > 0
+	if d.overlay != nil {
+		for _, e := range u.AddEdges {
+			i, j := d.pm(e.S), d.pm(e.T)
+			d.overlay.Add(i, j, e.W)
+			if i != j {
+				d.overlay.Add(j, i, e.W)
+			}
+		}
+		for _, e := range u.RemoveEdges {
+			i, j := d.pm(e.S), d.pm(e.T)
+			d.overlay.Remove(i, j)
+			if i != j {
+				d.overlay.Remove(j, i)
+			}
+		}
+		d.deltaCells = d.overlay.DeltaNNZ()
+	} else if changed {
+		d.deltaCells += 2*len(u.AddEdges) + removed
+	}
+	return changed
 }
 
 // pm maps a caller node id into the current layout order.
@@ -409,8 +439,11 @@ func (d *dynSolver) compactionRatio() float64 {
 // next epoch's snapshot (merged overlay on the fast path, a full
 // layout replay when the compaction threshold is crossed), swap it in,
 // and retire the old epoch — its Close drains the in-flight solves,
-// after which its counters fold into the lifetime accumulator.
-func (d *dynSolver) swapSnapshotLocked() error {
+// after which its counters fold into the lifetime accumulator. The
+// context is re-checked between materialization and the pointer swap:
+// a cancelled Update returns without a half-committed epoch (the
+// delta stays accumulated and the next Update retries the swap).
+func (d *dynSolver) swapSnapshotLocked(ctx context.Context) error {
 	kernelMethod := d.overlay != nil
 	compact := float64(d.deltaCells) >= d.compactionRatio()*float64(d.baseNNZ)
 	info := d.info
@@ -437,6 +470,7 @@ func (d *dynSolver) swapSnapshotLocked() error {
 			info.partitions, info.cutEdges, info.imbalance = 0, 0, 0
 			d.partStarts = resolvePartition(d.cfg.partitions, d.cfg.workers, la, &info)
 			d.overlay.Rebase(la)
+			d.layoutA = la
 			d.baseNNZ = la.NNZ()
 			snap, err = d.buildKernelSnapshot(la, info)
 		} else {
@@ -465,6 +499,15 @@ func (d *dynSolver) swapSnapshotLocked() error {
 		// the next commit attempt.
 		return err
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancelled between materialization and the swap: discard the
+		// built snapshot and leave the delta pending — readers keep the
+		// previous epoch, and the next Update retries the commit.
+		snap.Close()
+		d.pendingSwap = true
+		return fmt.Errorf("core: update commit aborted before epoch swap: %w", cerr)
+	}
+	d.pendingSwap = false
 	d.info = info
 	old := d.cur.Load()
 	// Fold the retiring epoch's counters in the same critical section
@@ -480,6 +523,15 @@ func (d *dynSolver) swapSnapshotLocked() error {
 	d.overlayNNZ.Store(int64(d.deltaCells))
 	old.snap.Close()
 	d.foldRetired(statsDelta(old.snap.Stats(), pre))
+	if compact && d.dur != nil {
+		// A compaction rewrote the layout: publish a checkpoint and
+		// rotate the log so recovery replays from the fresh base. The
+		// in-memory commit above stands either way; a checkpoint error
+		// only means recovery still replays the old log.
+		if cerr := d.checkpointLocked(); cerr != nil {
+			return fmt.Errorf("core: compaction checkpoint: %w", cerr)
+		}
+	}
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/coupling"
 	"repro/internal/dense"
+	"repro/internal/durable"
 	"repro/internal/errs"
 	"repro/internal/fabp"
 	"repro/internal/graph"
@@ -56,6 +57,10 @@ type config struct {
 	layout     kernel.Layout
 	partitions int
 	policy     UpdatePolicy
+	durFS      durable.FS
+	durDir     string
+	durPol     durable.Policy
+	durSet     bool
 }
 
 // Reordering selects the prepare-time graph layout strategy; see
@@ -408,7 +413,17 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 	// Every prepared solver is served through the epoch-versioned
 	// dynamic plane; a solver that never sees an Update pays only an
 	// atomic pointer load per solve for it.
-	return newDynSolver(p, m, cfg, inner), nil
+	d := newDynSolver(p, m, cfg, inner)
+	if cfg.durDir != "" {
+		// Publish the prepared state before handing the solver out, so
+		// a crash at any later point recovers at least the initial
+		// fixpoint problem.
+		if err := d.initDurability(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // permutedLayout applies perm to the adjacency and (optionally) the
@@ -618,7 +633,14 @@ func (b *solverBase) Stats() SolverStats {
 func (b *solverBase) record(info SolveInfo, err error) (SolveInfo, error) {
 	b.iterations.Add(int64(info.Iterations))
 	if err != nil {
-		b.cancelled.Add(1)
+		// A diverged solve (overflowed update delta) is a convergence
+		// failure, not a caller abort; keep the Cancelled counter
+		// meaning "context" only.
+		if errors.Is(err, errs.ErrNonFinite) {
+			b.notConverged.Add(1)
+		} else {
+			b.cancelled.Add(1)
+		}
 		return info, fmt.Errorf("core: %v solve: %w", b.method, err)
 	}
 	if !info.Converged {

@@ -1,0 +1,11 @@
+package difftest
+
+import "testing"
+
+// TestCrashRecoveryMatrix is the fault-injection acceptance suite of
+// the durable serving plane: torn appends, bit rot, lying fsyncs, and
+// power loss mid-checkpoint must all recover to a pinned update
+// prefix or fail with a typed error — never a silently wrong solver.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	RunCrashMatrix(t, 60, 130, 11)
+}

@@ -1,0 +1,117 @@
+// Byte-level codecs for the snapshot sections. On the dominant
+// platform shape (little-endian, 64-bit int — checked at runtime, not
+// assumed) the slice<->byte conversions are zero-copy aliases, which
+// is what lets the mmap loader serve the CSR arrays straight out of
+// the mapping. Big-endian or 32-bit hosts fall back to an explicit
+// encode/decode pass; the on-disk format is identical either way.
+package durable
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"unsafe"
+)
+
+// le is the on-disk byte order for every integer in the format.
+var le = binary.LittleEndian
+
+// hostAliasable reports whether []int/[]int32/[]float64 share memory
+// layout with their little-endian on-disk encodings.
+var hostAliasable = strconv.IntSize == 64 && func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// intsBytes returns the little-endian i64 encoding of s, aliasing its
+// memory when the host layout permits. The result must be treated as
+// read-only in the alias case.
+func intsBytes(s []int) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostAliasable {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	b := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return b
+}
+
+func int32sBytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostAliasable {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+func floatsBytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostAliasable {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	b := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// bytesInts decodes b as i64s. When alias is true and the host
+// permits, the returned slice shares b's memory (b must stay alive
+// and unmodified); otherwise it is a fresh copy.
+func bytesInts(b []byte, alias bool) []int {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if alias && hostAliasable {
+		return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), n)
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = int(int64(binary.LittleEndian.Uint64(b[i*8:])))
+	}
+	return s
+}
+
+func bytesInt32s(b []byte, alias bool) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if alias && hostAliasable {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return s
+}
+
+func bytesFloats(b []byte, alias bool) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if alias && hostAliasable {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return s
+}

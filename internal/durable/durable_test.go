@@ -1,0 +1,461 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Method:     2,
+		Ordering:   1,
+		N:          4,
+		K:          2,
+		EpsH:       0.05,
+		WALSeq:     7,
+		BandBefore: 3,
+		BandAfter:  1,
+		Perm:       []int{2, 0, 1, 3},
+		PartStarts: []int{0, 2, 4},
+		RowPtr:     []int{0, 2, 3, 5, 6},
+		ColIdx32:   []int32{1, 2, 0, 0, 3, 2},
+		Vals:       []float64{1, 2, 1, 2, 0.5, 0.5},
+		HO:         []float64{0.1, -0.1, -0.1, 0.1},
+		Explicit:   []float64{0.9, -0.9, 0, 0, 0, 0, -0.3, 0.3},
+		Last:       []float64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+func checkSnapshotEqual(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Method != want.Method || got.Ordering != want.Ordering ||
+		got.N != want.N || got.K != want.K || got.EpsH != want.EpsH ||
+		got.WALSeq != want.WALSeq || got.BandBefore != want.BandBefore ||
+		got.BandAfter != want.BandAfter || got.GraphOrder != want.GraphOrder {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	for name, pair := range map[string][2]any{
+		"perm":       {got.Perm, want.Perm},
+		"partStarts": {got.PartStarts, want.PartStarts},
+		"rowPtr":     {got.RowPtr, want.RowPtr},
+		"colIdx32":   {got.ColIdx32, want.ColIdx32},
+		"vals":       {got.Vals, want.Vals},
+		"ho":         {got.HO, want.HO},
+		"explicit":   {got.Explicit, want.Explicit},
+		"last":       {got.Last, want.Last},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Errorf("%s: got %v want %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestSnapshotRoundtripMemFS(t *testing.T) {
+	fs := NewMemFS()
+	want := testSnapshot()
+	if err := WriteSnapshot(fs, "d", want); err != nil {
+		t.Fatal(err)
+	}
+	if !HasSnapshot(fs, "d") {
+		t.Fatal("HasSnapshot = false after write")
+	}
+	got, err := LoadSnapshot(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	checkSnapshotEqual(t, got, want)
+}
+
+func TestSnapshotRoundtripOSWithMmap(t *testing.T) {
+	dir := t.TempDir()
+	want := testSnapshot()
+	want.GraphOrder = true
+	want.Last = nil // exercise the absent-section flag too
+	if err := WriteSnapshot(OS, dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	checkSnapshotEqual(t, got, want)
+}
+
+func TestSnapshotWideColIdxRoundtrip(t *testing.T) {
+	fs := NewMemFS()
+	want := testSnapshot()
+	want.ColIdx = []int{1, 2, 0, 0, 3, 2}
+	want.ColIdx32 = nil
+	if err := WriteSnapshot(fs, "d", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.ColIdx32 != nil || !reflect.DeepEqual(got.ColIdx, want.ColIdx) {
+		t.Fatalf("wide colIdx: got %v / %v", got.ColIdx, got.ColIdx32)
+	}
+}
+
+func TestSnapshotMissingIsNotExist(t *testing.T) {
+	if _, err := LoadSnapshot(NewMemFS(), "d"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if HasSnapshot(NewMemFS(), "d") {
+		t.Fatal("HasSnapshot on empty fs")
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	path := Join("d", SnapshotFile)
+	cases := []struct {
+		name string
+		off  int64 // byte to flip
+	}{
+		{"header", 25},         // n field
+		{"section-table", 80},  // first table entry
+		{"section-body", 4100}, // inside the first aligned section
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewMemFS()
+			if err := WriteSnapshot(fs, "d", testSnapshot()); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.FlipBit(path, tc.off, 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadSnapshot(fs, "d"); !errors.Is(err, errs.ErrCorruptState) {
+				t.Fatalf("err = %v, want ErrCorruptState", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotTruncatedIsCorrupt(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteSnapshot(fs, "d", testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := Join("d", SnapshotFile)
+	size, _ := fs.Size(path)
+	// The file is padded out to a page boundary, so cut a whole page
+	// to land inside the last section rather than its padding.
+	if err := fs.Truncate(path, size-pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(fs, "d"); !errors.Is(err, errs.ErrCorruptState) {
+		t.Fatalf("err = %v, want ErrCorruptState", err)
+	}
+}
+
+func TestSnapshotFutureVersionRejected(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteSnapshot(fs, "d", testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := Join("d", SnapshotFile)
+	// Bump the version field (offset 8) and refresh nothing else: the
+	// loader must refuse before checksum verification even matters.
+	f, _ := fs.OpenAppend(path)
+	if _, err := f.WriteAt([]byte{99, 0, 0, 0}, 8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err := LoadSnapshot(fs, "d")
+	if err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want version rejection", err)
+	}
+}
+
+func TestSnapshotCrashBeforeRenameLeavesOld(t *testing.T) {
+	fs := NewMemFS()
+	old := testSnapshot()
+	if err := WriteSnapshot(fs, "d", old); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the next write so the tmp file is torn mid-stream.
+	next := testSnapshot()
+	next.WALSeq = 99
+	// The tmp file is created inside WriteSnapshot; inject by making
+	// sync fail instead, which aborts before the rename.
+	fs.SetFailSync(true)
+	if err := WriteSnapshot(fs, "d", next); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sabotaged write err = %v, want ErrInjected", err)
+	}
+	fs.SetFailSync(false)
+	fs.Crash()
+	got, err := LoadSnapshot(fs, "d")
+	if err != nil {
+		t.Fatalf("old snapshot lost: %v", err)
+	}
+	defer got.Close()
+	if got.WALSeq != old.WALSeq {
+		t.Fatalf("WALSeq = %d, want the old snapshot's %d", got.WALSeq, old.WALSeq)
+	}
+}
+
+func TestSnapshotCrashAfterRenameWithoutDirSync(t *testing.T) {
+	fs := NewMemFS()
+	old := testSnapshot()
+	if err := WriteSnapshot(fs, "d", old); err != nil {
+		t.Fatal(err)
+	}
+	next := testSnapshot()
+	next.WALSeq = 99
+	fs.SetFailSyncDir(true)
+	err := WriteSnapshot(fs, "d", next)
+	fs.SetFailSyncDir(false)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected from dir sync", err)
+	}
+	fs.Crash()
+	// The rename was never made durable: the old snapshot must be back.
+	got, lerr := LoadSnapshot(fs, "d")
+	if lerr != nil {
+		t.Fatalf("after crash: %v", lerr)
+	}
+	defer got.Close()
+	if got.WALSeq != old.WALSeq {
+		t.Fatalf("WALSeq = %d, want rollback to %d", got.WALSeq, old.WALSeq)
+	}
+}
+
+func record(seq uint64) *Record {
+	return &Record{
+		Seq:  seq,
+		K:    2,
+		Adds: []Edge{{S: 1, T: 2, W: 0.5}},
+		Dels: []Pair{{S: 0, T: 3}},
+		Rows: []BeliefRow{{Node: 1, Row: []float64{0.25, -0.25}}},
+	}
+}
+
+func replayAll(t *testing.T, fs FS, dir string, after uint64) (uint64, []*Record) {
+	t.Helper()
+	var recs []*Record
+	last, n, err := ReplayWAL(fs, dir, after, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("replayed count %d, callback saw %d", n, len(recs))
+	}
+	return last, recs
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(record(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 3 || len(recs) != 3 {
+		t.Fatalf("replay: last=%d n=%d, want 3/3", last, len(recs))
+	}
+	if !reflect.DeepEqual(recs[1], record(2)) {
+		t.Fatalf("record 2 = %+v", recs[1])
+	}
+	// Skipping a checkpointed prefix.
+	last, recs = replayAll(t, fs, "d", 2)
+	if last != 3 || len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("after=2 replay: last=%d recs=%v", last, recs)
+	}
+}
+
+func TestWALSyncPoliciesUnderCrash(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  Policy
+		want int // records surviving the crash
+	}{
+		{"always", Policy{Sync: SyncAlways}, 4},
+		{"interval-2", Policy{Sync: SyncInterval, Interval: 2}, 4},
+		{"interval-3", Policy{Sync: SyncInterval, Interval: 3}, 3},
+		{"never", Policy{Sync: SyncNever}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewMemFS()
+			w, err := OpenWAL(fs, "d", tc.pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seq := uint64(1); seq <= 4; seq++ {
+				if err := w.Append(record(seq)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// No Close: the process dies here.
+			fs.Crash()
+			last, recs := replayAll(t, fs, "d", 0)
+			if len(recs) != tc.want || last != uint64(tc.want) {
+				t.Fatalf("survived %d records (last=%d), want %d", len(recs), last, tc.want)
+			}
+		})
+	}
+}
+
+func TestWALTornTailTruncatedAndAppendable(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second append mid-frame.
+	path := Join("d", WALFile)
+	size, _ := fs.Size(path)
+	if err := fs.FailWritesAfter(path, size+10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append err = %v", err)
+	}
+	fs.ClearWriteFault(path)
+	w.Close()
+	if got, _ := fs.Size(path); got != size+10 {
+		t.Fatalf("file size %d, want torn %d", got, size+10)
+	}
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 1 || len(recs) != 1 {
+		t.Fatalf("replay after tear: last=%d n=%d", last, len(recs))
+	}
+	if got, _ := fs.Size(path); got != size {
+		t.Fatalf("torn tail not truncated: %d, want %d", got, size)
+	}
+	// The log is clean again: appends continue at seq 2.
+	w2, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(record(2)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	last, recs = replayAll(t, fs, "d", 0)
+	if last != 2 || len(recs) != 2 {
+		t.Fatalf("post-repair replay: last=%d n=%d", last, len(recs))
+	}
+}
+
+func TestWALMidLogCorruptionStopsReplay(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{0}
+	path := Join("d", WALFile)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(record(seq)); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := fs.Size(path)
+		sizes = append(sizes, s)
+	}
+	w.Close()
+	// Flip a payload bit inside record 2.
+	if err := fs.FlipBit(path, sizes[1]+frameHeader+4, 0); err != nil {
+		t.Fatal(err)
+	}
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 1 || len(recs) != 1 {
+		t.Fatalf("replay past corruption: last=%d n=%d, want 1/1", last, len(recs))
+	}
+	if got, _ := fs.Size(path); got != sizes[1] {
+		t.Fatalf("log not truncated at corruption: %d, want %d", got, sizes[1])
+	}
+}
+
+func TestWALRotateEmptiesLog(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := w.Append(record(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue on the rotated log.
+	if err := w.Append(record(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	last, recs := replayAll(t, fs, "d", 2)
+	if last != 3 || len(recs) != 1 {
+		t.Fatalf("post-rotate replay: last=%d n=%d", last, len(recs))
+	}
+}
+
+func TestWALSequenceBreakStopsReplay(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(record(1))
+	w.Append(record(5)) // a gap the committer would never produce
+	w.Close()
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 1 || len(recs) != 1 {
+		t.Fatalf("replay across seq gap: last=%d n=%d", last, len(recs))
+	}
+}
+
+func TestRecordEncodeDecodeEmpty(t *testing.T) {
+	r := &Record{Seq: 12, K: 3}
+	if !r.Empty() {
+		t.Fatal("zero-delta record not Empty")
+	}
+	got, err := decodeRecord(r.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 12 || got.K != 3 || !got.Empty() {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestMemFSDropSyncLosesData(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetDropSync(true)
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(1)); err != nil {
+		t.Fatal(err) // the lying disk reports success
+	}
+	fs.Crash()
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 0 || len(recs) != 0 {
+		t.Fatalf("dropped-sync data survived crash: last=%d n=%d", last, len(recs))
+	}
+}

@@ -1,0 +1,136 @@
+// Package durable is the on-disk half of the serving plane: a
+// versioned, checksummed snapshot of prepared solver state plus a
+// write-ahead log of update batches, written through a small
+// filesystem abstraction so the crash-recovery tests can inject torn
+// writes, bit rot, and dropped fsyncs without touching a real disk.
+//
+// Durability contract (what recovery may assume):
+//
+//   - A snapshot becomes visible atomically: it is written to a temp
+//     file, synced, and renamed over the final name, with the
+//     directory synced after the rename. A reader therefore sees
+//     either the old complete snapshot or the new complete one, never
+//     a prefix.
+//   - Every WAL record is independently checksummed and
+//     length-prefixed. Replay stops at the first torn or corrupt
+//     record; everything before it is trusted, everything after is
+//     discarded (the file is truncated back to the valid prefix
+//     before new appends).
+//   - Corruption that checksums correctly is still caught
+//     structurally: the snapshot loader re-validates every invariant
+//     (CSR shape, permutation bijectivity, partition bounds) before
+//     any kernel touches the arrays.
+//
+// All integers on disk are little-endian; checksums are CRC-32C
+// (Castagnoli), the polynomial with hardware support on both amd64
+// and arm64.
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrInjected is the error returned by fault-injection knobs on the
+// in-memory filesystem (short writes, failed syncs). Production code
+// never returns it; tests assert on it to distinguish an injected
+// fault from a real bug.
+var ErrInjected = errors.New("durable: injected fault")
+
+// File is the slice of *os.File the snapshot writer and WAL need.
+// WriteAt is used only on files opened with Create (the snapshot
+// writer patches the header after streaming the sections); append
+// handles never call it.
+type File interface {
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage. After a
+	// successful Sync, a crash loses nothing written before the call.
+	Sync() error
+}
+
+// FS is the filesystem surface the durable plane writes through. The
+// production implementation is OS; tests substitute a MemFS with
+// fault knobs.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent; the
+	// write position starts at the current end.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath. The rename is
+	// durable only after SyncDir on the containing directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Size reports the current length of path (os.ErrNotExist if
+	// absent).
+	Size(path string) (int64, error)
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir flushes the directory entry metadata (creations,
+	// renames) of dir to stable storage.
+	SyncDir(dir string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+}
+
+// OS is the production FS backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+func (osFS) Open(path string) (File, error)   { return os.Open(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	// O_RDWR + explicit seek instead of O_APPEND: O_APPEND files
+	// reject WriteAt on some platforms, and replay needs ReadAt on the
+	// same handle.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+func (osFS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Join builds an FS path. All FS implementations accept
+// filepath-style paths.
+func Join(elem ...string) string { return filepath.Join(elem...) }

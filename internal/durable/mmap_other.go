@@ -1,0 +1,11 @@
+//go:build !unix
+
+package durable
+
+import "errors"
+
+// Mmap is unavailable off unix; the loader falls back to reading the
+// snapshot into RAM, which is slower but byte-for-byte equivalent.
+func (osFS) Mmap(string) ([]byte, func(), error) {
+	return nil, nil, errors.New("durable: mmap unsupported on this platform")
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package durable
+
+import (
+	"os"
+	"syscall"
+)
+
+// Mmap maps path read-only. The returned release unmaps; the slice
+// must not be written or used after release. Implementing this method
+// lets the snapshot loader alias the big CSR sections straight out of
+// the page cache instead of copying them — the "cold start = map +
+// verify" half of the durability story.
+func (osFS) Mmap(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,216 @@
+// The write-ahead log. Appends happen BEFORE the in-memory commit
+// (epoch swap): a crash after the append replays the batch, a crash
+// before it loses the batch entirely — never a half-applied state.
+// Replay trusts the longest prefix of intact records and truncates
+// the torn tail; rotation empties the log only after a fresh
+// checkpoint snapshot is durably published.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// SyncPolicy selects when Append flushes to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: no committed update is
+	// ever lost, at one disk flush per batch.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs every Policy.Interval appends: a crash loses
+	// at most Interval-1 of the most recent batches.
+	SyncInterval
+	// SyncNever leaves flushing to the OS: fastest, loses an unbounded
+	// recent suffix on power failure (process crashes still keep
+	// everything the page cache accepted).
+	SyncNever
+)
+
+// Policy is the durability policy of a WAL.
+type Policy struct {
+	Sync SyncPolicy
+	// Interval is the append count between fsyncs under SyncInterval;
+	// <= 1 degenerates to SyncAlways.
+	Interval int
+}
+
+// frame header: u32 payload length, u32 CRC-32C.
+const frameHeader = 8
+
+// maxRecordLen bounds a single record frame; a length prefix above it
+// is treated as corruption rather than an allocation request.
+const maxRecordLen = 1 << 30
+
+// WAL is an open write-ahead log positioned at its end. Not
+// concurrency-safe: the dynamic plane serializes updates under its
+// own lock.
+type WAL struct {
+	fs      FS
+	dir     string
+	f       File
+	pol     Policy
+	pending int // appends since the last flush
+}
+
+// OpenWAL opens (creating if needed) dir's log for appending. The
+// caller replays first — ReplayWAL also truncates any torn tail — so
+// the append position is always a record boundary.
+func OpenWAL(fsys FS, dir string, pol Policy) (*WAL, error) {
+	path := Join(dir, WALFile)
+	_, statErr := fsys.Size(path)
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: wal open: %w", err)
+	}
+	if errors.Is(statErr, os.ErrNotExist) {
+		// Freshly created: make the directory entry durable now, so a
+		// crash cannot lose the whole log file while keeping the
+		// snapshot that expects it.
+		if err := fsys.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: wal dir sync: %w", err)
+		}
+	}
+	return &WAL{fs: fsys, dir: dir, f: f, pol: pol}, nil
+}
+
+// Append writes one record frame and applies the sync policy. On
+// error the record must be treated as not logged (the in-memory
+// commit must not proceed); a torn partial frame left behind is
+// harmless — replay truncates it.
+func (w *WAL) Append(r *Record) error {
+	payload := r.encode()
+	frame := make([]byte, frameHeader+len(payload))
+	le.PutUint32(frame, uint32(len(payload)))
+	le.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: wal append: %w", err)
+	}
+	w.pending++
+	switch w.pol.Sync {
+	case SyncAlways:
+		return w.Sync()
+	case SyncInterval:
+		if w.pol.Interval <= 1 || w.pending >= w.pol.Interval {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: wal sync: %w", err)
+	}
+	w.pending = 0
+	return nil
+}
+
+// Rotate empties the log. Call only after a checkpoint snapshot
+// covering every logged record is durably published; on error the old
+// records remain and replay simply skips them (their seq is covered
+// by the snapshot), so rotation failure is not a correctness event.
+func (w *WAL) Rotate() error {
+	path := Join(w.dir, WALFile)
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: wal rotate close: %w", err)
+	}
+	w.f = nil
+	if err := w.fs.Truncate(path, 0); err != nil {
+		return fmt.Errorf("durable: wal rotate truncate: %w", err)
+	}
+	f, err := w.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("durable: wal rotate reopen: %w", err)
+	}
+	w.f = f
+	w.pending = 0
+	return w.Sync()
+}
+
+// Close flushes (best effort under SyncNever is still a flush — the
+// final state should survive an orderly shutdown) and closes the log.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// ReplayWAL scans dir's log, invoking fn for every intact record with
+// seq > after, in order. It stops at the first torn or corrupt frame,
+// truncates the file back to the last intact boundary, and returns
+// the highest sequence seen (or `after` when none). A missing log is
+// an empty log. Errors from fn abort the replay unchanged.
+func ReplayWAL(fsys FS, dir string, after uint64, fn func(*Record) error) (lastSeq uint64, replayed int, err error) {
+	path := Join(dir, WALFile)
+	size, err := fsys.Size(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return after, 0, nil
+	}
+	if err != nil {
+		return after, 0, fmt.Errorf("durable: wal stat: %w", err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return after, 0, fmt.Errorf("durable: wal open: %w", err)
+	}
+	data := make([]byte, size)
+	if _, err := readFullAt(f, data, 0); err != nil {
+		f.Close()
+		return after, 0, fmt.Errorf("durable: wal read: %w", err)
+	}
+	f.Close()
+
+	lastSeq = after
+	valid := int64(0)
+	off := 0
+	for off+frameHeader <= len(data) {
+		payloadLen := int(le.Uint32(data[off:]))
+		if payloadLen < recHeader || payloadLen > maxRecordLen || off+frameHeader+payloadLen > len(data) {
+			break // torn or corrupt tail
+		}
+		payload := data[off+frameHeader : off+frameHeader+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != le.Uint32(data[off+4:]) {
+			break
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			break
+		}
+		if rec.Seq <= after {
+			// Pre-checkpoint record: already folded into the snapshot.
+			off += frameHeader + payloadLen
+			valid = int64(off)
+			continue
+		}
+		if rec.Seq != lastSeq+1 {
+			// A sequence break is corruption the checksum cannot see
+			// (e.g. a restored stale file); trust only the prefix.
+			break
+		}
+		if err := fn(rec); err != nil {
+			return lastSeq, replayed, err
+		}
+		lastSeq = rec.Seq
+		replayed++
+		off += frameHeader + payloadLen
+		valid = int64(off)
+	}
+	if valid < size {
+		if terr := fsys.Truncate(path, valid); terr != nil {
+			return lastSeq, replayed, fmt.Errorf("durable: wal truncate torn tail: %w", terr)
+		}
+	}
+	return lastSeq, replayed, nil
+}

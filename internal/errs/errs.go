@@ -26,4 +26,17 @@ var (
 
 	// ErrClosed reports use of a solver after Close.
 	ErrClosed = errors.New("solver is closed")
+
+	// ErrNonFinite reports a NaN or infinite value where the math
+	// requires finite input or produced finite output: an edge weight,
+	// an explicit belief entry, or an iterative update whose delta
+	// overflowed. Solvers surface it instead of spinning to MaxIter on
+	// a poisoned fixpoint.
+	ErrNonFinite = errors.New("non-finite value")
+
+	// ErrCorruptState reports that on-disk solver state (a snapshot
+	// section or a write-ahead-log record) failed its checksum or
+	// structural validation and cannot be recovered from. The durable
+	// layer never serves a fixpoint from state that fails verification.
+	ErrCorruptState = errors.New("corrupt durable state")
 )

@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/sparse"
 )
 
@@ -505,6 +506,14 @@ func (e *Engine) RunContext(ctx context.Context, maxIter int, tol float64, onIte
 		iters++
 		if onIter != nil {
 			onIter(iters, delta)
+		}
+		// Step maps NaN deltas to +Inf (divergence is reported, never
+		// masked); once the update has overflowed no later round can
+		// shrink it back under tol, so stop paying for dead rounds and
+		// surface the divergence as a typed error.
+		if math.IsInf(delta, 1) {
+			return iters, delta, false,
+				fmt.Errorf("kernel: belief update overflowed at iteration %d: %w", iters, errs.ErrNonFinite)
 		}
 		if delta <= tol {
 			return iters, delta, true, nil

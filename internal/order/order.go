@@ -118,6 +118,39 @@ func (s Strategy) String() string {
 	}
 }
 
+// Code returns the stable on-disk identifier of a strategy for the
+// durable snapshot header. The codes are frozen independently of the
+// Strategy enum values (which are free to be reordered): auto is never
+// persisted (snapshots record the strategy actually chosen), so 0 is
+// reserved as invalid.
+func (s Strategy) Code() uint32 {
+	switch s {
+	case StrategyRCM:
+		return 1
+	case StrategyDegree:
+		return 2
+	case StrategyNone:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// StrategyFromCode inverts Code for snapshot loading; unknown codes
+// (including 0/auto) are rejected.
+func StrategyFromCode(c uint32) (Strategy, error) {
+	switch c {
+	case 1:
+		return StrategyRCM, nil
+	case 2:
+		return StrategyDegree, nil
+	case 3:
+		return StrategyNone, nil
+	default:
+		return 0, fmt.Errorf("order: unknown strategy code %d", c)
+	}
+}
+
 // ParseStrategy maps the flag spellings onto strategies.
 func ParseStrategy(name string) (Strategy, error) {
 	switch name {

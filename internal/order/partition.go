@@ -55,6 +55,14 @@ func (p *Partition) Validate(n int) error {
 	return nil
 }
 
+// ValidateStarts checks a bare block-boundary list (as deserialized
+// from a durable snapshot, where only Starts is persisted) against the
+// same invariants Partition.Validate enforces.
+func ValidateStarts(starts []int, n int) error {
+	p := Partition{Starts: starts}
+	return p.Validate(n)
+}
+
 // PartitionRows splits a's rows into parts contiguous blocks balanced by
 // stored-entry count. Each block receives at least one row whenever
 // enough rows exist (parts is clamped to the row count), so the greedy

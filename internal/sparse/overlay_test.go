@@ -92,3 +92,94 @@ func TestOverlayRebase(t *testing.T) {
 		t.Errorf("merged after rebase = %v, want 2", got)
 	}
 }
+
+func TestOverlayTombstoneNonexistentThenMerge(t *testing.T) {
+	base := NewCSRFromDense([][]float64{
+		{0, 1, 0},
+		{1, 0, 2},
+		{0, 2, 0},
+	})
+	o := NewOverlay(base)
+	// Tombstoning cells that were never stored must leave the merge
+	// byte-for-byte equal to the base: same structure, no explicit
+	// zeros, no phantom delta cells feeding the compaction counter.
+	o.Remove(0, 0)
+	o.Remove(0, 2)
+	o.Remove(2, 0)
+	if o.DeltaNNZ() != 0 {
+		t.Fatalf("DeltaNNZ = %d after absent-only removes, want 0", o.DeltaNNZ())
+	}
+	got := o.Merge()
+	if got.NNZ() != base.NNZ() {
+		t.Fatalf("merge nnz = %d, want %d", got.NNZ(), base.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != base.At(i, j) {
+				t.Errorf("merged(%d,%d) = %v, want %v", i, j, got.At(i, j), base.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOverlayAddRemoveAddSameCellOneBatch(t *testing.T) {
+	base := NewCSRFromDense([][]float64{
+		{0, 4},
+		{4, 0},
+	})
+	o := NewOverlay(base)
+	// One batch touching one cell three times: the tombstone must
+	// discard both the base entry and the first addition, and the
+	// final merged value is exactly the last addition — not base+w,
+	// not w1+w2.
+	o.Add(0, 1, 3)
+	o.Remove(0, 1)
+	o.Add(0, 1, 7)
+	if got := o.Merge().At(0, 1); got != 7 {
+		t.Errorf("add-remove-add cell = %v, want exactly 7", got)
+	}
+	// Same dance on a previously empty cell: tombstone of the pending
+	// addition only, then accumulate from zero.
+	o.Add(1, 1, 2)
+	o.Remove(1, 1)
+	o.Add(1, 1, 5)
+	o.Add(1, 1, 1)
+	if got := o.Merge().At(1, 1); got != 6 {
+		t.Errorf("fresh-cell add-remove-add = %v, want 6", got)
+	}
+	// The three-touch cell is one delta cell, not three.
+	if o.DeltaNNZ() != 2 {
+		t.Errorf("DeltaNNZ = %d, want 2 distinct cells", o.DeltaNNZ())
+	}
+}
+
+func TestOverlayLastRowOnlyBatch(t *testing.T) {
+	// A batch confined to the last row exercises the rowPtr tail the
+	// merged-row pass writes after its final touched row — the classic
+	// off-by-one spot for CSR surgery.
+	base := NewCSRFromDense([][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 9},
+	})
+	o := NewOverlay(base)
+	o.Add(3, 0, 2)    // prepend a column before the stored (3,3)
+	o.Remove(3, 3)    // tombstone the stored tail entry
+	o.Add(3, 3, 1.25) // and re-add it
+	got := o.Merge()
+	if got.Rows() != 4 || got.NNZ() != 4 {
+		t.Fatalf("merge shape rows=%d nnz=%d, want 4/4", got.Rows(), got.NNZ())
+	}
+	if got.At(3, 0) != 2 || got.At(3, 3) != 1.25 {
+		t.Errorf("last row merged as (%v, %v), want (2, 1.25)", got.At(3, 0), got.At(3, 3))
+	}
+	rp, ci, _ := got.Index()
+	if rp[4] != 4 || ci[len(ci)-1] != 3 {
+		t.Errorf("tail rowPtr/colIdx = %d/%d, want 4/3", rp[4], ci[len(ci)-1])
+	}
+	// Rows before the touched one are bulk copies.
+	if got.At(0, 1) != 1 || got.At(1, 0) != 1 || got.RowNNZ(2) != 0 {
+		t.Error("untouched rows disturbed by last-row-only batch")
+	}
+}

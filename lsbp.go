@@ -47,6 +47,26 @@
 // (ErrNotConverged, ErrDimensionMismatch, ErrInvalidCoupling,
 // ErrClosed) for errors.Is/As.
 //
+// # Durability
+//
+// A prepared solver can persist its state: WithDurability(dir, pol)
+// writes a checksummed snapshot of the prepared layout under dir and
+// write-ahead-logs every Update before it commits; Open(dir) recovers
+// by mapping and verifying the snapshot and replaying the log's
+// intact tail — a cold start without re-preparing (no reordering, no
+// partition replay, no εH search; ~79× faster on the 177k-node
+// benchmark graph). Corruption anywhere surfaces ErrCorruptState
+// rather than a wrong solver.
+//
+// On-disk compatibility promise: the snapshot header carries an
+// explicit format version (currently 1). A release either reads a
+// version or rejects it with an actionable error — state is never
+// misparsed — and within a major version, newer code keeps reading
+// every older format it ever wrote; when the format must break, Open
+// reports the mismatch and a fresh Prepare (which rewrites the
+// directory) is the documented migration. The WAL is always safe to
+// discard in favor of its covering snapshot.
+//
 // # Migration from the legacy one-shot Solve
 //
 // lsbp.Solve(p, m, opts) remains supported as a thin wrapper that

@@ -91,6 +91,13 @@ var (
 	ErrInvalidCoupling = core.ErrInvalidCoupling
 	// ErrClosed wraps any use of a Solver after Close.
 	ErrClosed = core.ErrClosed
+	// ErrNonFinite wraps NaN/Inf values where the math requires finite
+	// input (edge weights, explicit beliefs) and iterative solves whose
+	// updates overflow (a diverging εH past the spectral bound).
+	ErrNonFinite = core.ErrNonFinite
+	// ErrCorruptState wraps durable solver state (snapshot or WAL) that
+	// failed checksum or structural validation on Open.
+	ErrCorruptState = core.ErrCorruptState
 )
 
 // Prepare validates the problem once and builds a prepared Solver for
@@ -201,3 +208,48 @@ func WithUpdatePolicy(p UpdatePolicy) Option { return core.WithUpdatePolicy(p) }
 // (half the Lemma 8 threshold) at preparation time, overriding
 // Problem.EpsilonH; read the chosen value from Stats().EpsilonH.
 func WithAutoEpsilonH() Option { return core.WithAutoEpsilonH() }
+
+// DurabilityPolicy selects when the update WAL reaches stable
+// storage; see the Sync* policies and WithDurability.
+type DurabilityPolicy = core.DurabilityPolicy
+
+// SyncPolicy is the fsync cadence of the update WAL.
+type SyncPolicy = core.SyncPolicy
+
+// The WAL fsync policies.
+const (
+	// SyncAlways flushes after every committed update (the default):
+	// nothing acknowledged is ever lost.
+	SyncAlways = core.SyncAlways
+	// SyncInterval flushes every DurabilityPolicy.Interval updates; a
+	// crash loses at most the last Interval-1 batches.
+	SyncInterval = core.SyncInterval
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever = core.SyncNever
+)
+
+// WithDurability makes the prepared solver durable under dir: Prepare
+// publishes a checksummed snapshot of the prepared state (format
+// version, layout permutation, partition boundaries, compact-index
+// CSR — each section independently CRC-32C protected, written via
+// temp-file + atomic rename), and every Update is write-ahead-logged
+// under the given policy before it commits. Prepare starts dir fresh;
+// use Open to resume. Compaction rebuilds checkpoint the snapshot and
+// rotate the log.
+func WithDurability(dir string, pol DurabilityPolicy) Option {
+	return core.WithDurability(dir, pol)
+}
+
+// Open resumes a Solver from the durable state WithDurability (or a
+// previous Open) maintained under dir: the snapshot is memory-mapped
+// and verified — no re-preparation, no reordering or εH search — the
+// write-ahead log's intact prefix is replayed, and a fresh checkpoint
+// is published. Corrupt state surfaces ErrCorruptState; a missing
+// snapshot surfaces os.ErrNotExist. Options apply as in Prepare; a
+// WithDurability option contributes its fsync policy (the directory
+// is always dir).
+func Open(dir string, opts ...Option) (Solver, error) { return core.Open(dir, opts...) }
+
+// HasState reports whether dir holds a snapshot Open could resume
+// from.
+func HasState(dir string) bool { return core.HasState(dir) }
