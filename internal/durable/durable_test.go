@@ -315,7 +315,7 @@ func TestWALSyncPoliciesUnderCrash(t *testing.T) {
 	}
 }
 
-func TestWALTornTailTruncatedAndAppendable(t *testing.T) {
+func TestWALTornAppendRolledBackAndAppendable(t *testing.T) {
 	fs := NewMemFS()
 	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
 	if err != nil {
@@ -334,29 +334,204 @@ func TestWALTornTailTruncatedAndAppendable(t *testing.T) {
 		t.Fatalf("torn append err = %v", err)
 	}
 	fs.ClearWriteFault(path)
-	w.Close()
-	if got, _ := fs.Size(path); got != size+10 {
-		t.Fatalf("file size %d, want torn %d", got, size+10)
-	}
-	last, recs := replayAll(t, fs, "d", 0)
-	if last != 1 || len(recs) != 1 {
-		t.Fatalf("replay after tear: last=%d n=%d", last, len(recs))
-	}
+	// Append rolls the torn frame back immediately: the file is at the
+	// last acknowledged boundary without any replay in between.
 	if got, _ := fs.Size(path); got != size {
-		t.Fatalf("torn tail not truncated: %d, want %d", got, size)
+		t.Fatalf("file size %d after failed append, want rollback to %d", got, size)
 	}
-	// The log is clean again: appends continue at seq 2.
-	w2, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	// Continued operation on the SAME handle: the committer retries the
+	// unacknowledged batch at the same seq, and the new record must be
+	// replayable (the old code let it land after the torn frame, where
+	// replay silently discarded it).
+	if err := w.Append(record(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 3 || len(recs) != 3 {
+		t.Fatalf("post-tear replay: last=%d n=%d, want 3/3", last, len(recs))
+	}
+}
+
+func TestWALFailedSyncRollsBackUnacknowledgedFrame(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w2.Append(record(2)); err != nil {
+	if err := w.Append(record(1)); err != nil {
 		t.Fatal(err)
 	}
-	w2.Close()
-	last, recs = replayAll(t, fs, "d", 0)
+	path := Join("d", WALFile)
+	size, _ := fs.Size(path)
+	// The frame lands in full but the fsync fails: under SyncAlways the
+	// record was never acknowledged, so it must not survive on disk —
+	// otherwise the retried batch duplicates its seq and replay breaks.
+	fs.SetFailSync(true)
+	if err := w.Append(record(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed-sync append err = %v", err)
+	}
+	fs.SetFailSync(false)
+	if got, _ := fs.Size(path); got != size {
+		t.Fatalf("file size %d after failed sync, want rollback to %d", got, size)
+	}
+	if err := w.Append(record(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	last, recs := replayAll(t, fs, "d", 0)
+	if last != 3 || len(recs) != 3 {
+		t.Fatalf("post-sync-failure replay: last=%d n=%d, want 3/3", last, len(recs))
+	}
+}
+
+func TestWALOversizedRecordRefused(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := Join("d", WALFile)
+	size, _ := fs.Size(path)
+	// One belief row at an absurd k pushes the encoding past the frame
+	// limit; the refusal happens before encode, so nothing is allocated
+	// or written and the log stays healthy.
+	big := &Record{Seq: 2, K: 1 << 27, Rows: []BeliefRow{{Node: 0}}}
+	if err := w.Append(big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append err = %v, want ErrRecordTooLarge", err)
+	}
+	if got, _ := fs.Size(path); got != size {
+		t.Fatalf("file size %d after refused append, want %d", got, size)
+	}
+	if err := w.Append(record(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	last, recs := replayAll(t, fs, "d", 0)
 	if last != 2 || len(recs) != 2 {
-		t.Fatalf("post-repair replay: last=%d n=%d", last, len(recs))
+		t.Fatalf("post-refusal replay: last=%d n=%d, want 2/2", last, len(recs))
+	}
+}
+
+// faultFS overlays failure injection for the FS methods MemFS has no
+// knobs for (rotation and rollback paths).
+type faultFS struct {
+	FS
+	failOpenAppend bool
+	failTruncate   bool
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	if f.failOpenAppend {
+		return nil, ErrInjected
+	}
+	return f.FS.OpenAppend(path)
+}
+
+func (f *faultFS) Truncate(path string, size int64) error {
+	if f.failTruncate {
+		return ErrInjected
+	}
+	return f.FS.Truncate(path, size)
+}
+
+func TestWALBrokenWhenRollbackTruncateFails(t *testing.T) {
+	mem := NewMemFS()
+	ffs := &faultFS{FS: mem}
+	w, err := OpenWAL(ffs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := Join("d", WALFile)
+	size, _ := mem.Size(path)
+	if err := mem.FailWritesAfter(path, size+10); err != nil {
+		t.Fatal(err)
+	}
+	ffs.failTruncate = true
+	if err := w.Append(record(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append err = %v", err)
+	}
+	mem.ClearWriteFault(path)
+	ffs.failTruncate = false
+	// The torn frame could not be cut away: the WAL must refuse further
+	// appends rather than acknowledge records replay would discard.
+	if err := w.Append(record(2)); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append on broken wal err = %v, want ErrWALBroken", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("sync on broken wal err = %v, want ErrWALBroken", err)
+	}
+	w.Close()
+	// Recovery still works: replay truncates the torn tail as usual.
+	last, recs := replayAll(t, mem, "d", 0)
+	if last != 1 || len(recs) != 1 {
+		t.Fatalf("replay: last=%d n=%d, want 1/1", last, len(recs))
+	}
+}
+
+func TestWALRotateReopenFailureBreaksLogWithoutPanic(t *testing.T) {
+	mem := NewMemFS()
+	ffs := &faultFS{FS: mem}
+	w, err := OpenWAL(ffs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(record(1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.failOpenAppend = true
+	if err := w.Rotate(); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("rotate err = %v, want ErrWALBroken", err)
+	}
+	ffs.failOpenAppend = false
+	// The old code left w.f nil here and the next Append panicked.
+	if err := w.Append(record(2)); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append after failed rotate err = %v, want ErrWALBroken", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRotateTruncateFailureIsNonFatal(t *testing.T) {
+	mem := NewMemFS()
+	ffs := &faultFS{FS: mem}
+	w, err := OpenWAL(ffs, "d", Policy{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := w.Append(record(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.failTruncate = true
+	err = w.Rotate()
+	ffs.failTruncate = false
+	if !errors.Is(err, ErrInjected) || errors.Is(err, ErrWALBroken) {
+		t.Fatalf("rotate err = %v, want non-fatal ErrInjected", err)
+	}
+	// The stale records remain but are covered by the checkpoint; the
+	// log keeps accepting appends after them.
+	if err := w.Append(record(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	last, recs := replayAll(t, mem, "d", 2)
+	if last != 3 || len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("post-rotate-failure replay: last=%d recs=%v", last, recs)
 	}
 }
 

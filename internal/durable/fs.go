@@ -40,9 +40,10 @@ import (
 var ErrInjected = errors.New("durable: injected fault")
 
 // File is the slice of *os.File the snapshot writer and WAL need.
-// WriteAt is used only on files opened with Create (the snapshot
-// writer patches the header after streaming the sections); append
-// handles never call it.
+// WriteAt is used on files opened with Create (the snapshot writer
+// patches the header after streaming the sections) and by the WAL,
+// which appends at an explicitly tracked offset so a rollback
+// truncate cannot desynchronize the handle's cursor from the file.
 type File interface {
 	io.Writer
 	io.WriterAt

@@ -275,7 +275,9 @@ func (m *MemFS) Crash() {
 // --- handle ---
 
 func (h *memHandle) Write(p []byte) (int, error) {
-	n, err := h.WriteAt(p, h.pos)
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	n, err := h.writeAtLocked(p, h.pos)
 	h.pos += int64(n)
 	return n, err
 }
@@ -283,6 +285,10 @@ func (h *memHandle) Write(p []byte) (int, error) {
 func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	return h.writeAtLocked(p, off)
+}
+
+func (h *memHandle) writeAtLocked(p []byte, off int64) (int, error) {
 	if h.closed {
 		return 0, os.ErrClosed
 	}

@@ -44,6 +44,19 @@ const frameHeader = 8
 // is treated as corruption rather than an allocation request.
 const maxRecordLen = 1 << 30
 
+// ErrRecordTooLarge is returned by Append for a batch whose encoding
+// exceeds maxRecordLen. Such a record must be refused up front: replay
+// would reject its length prefix as corruption, so acknowledging it
+// would acknowledge something unrecoverable. Split the batch instead.
+var ErrRecordTooLarge = errors.New("durable: wal record exceeds max frame size")
+
+// ErrWALBroken marks a WAL whose on-disk tail could not be restored to
+// a record boundary (a rollback truncate or a rotation step failed).
+// Every subsequent Append or Sync refuses with this error: appending
+// past an unaccounted-for tail could place acknowledged records after
+// a torn frame, where replay would silently drop them.
+var ErrWALBroken = errors.New("durable: wal broken")
+
 // WAL is an open write-ahead log positioned at its end. Not
 // concurrency-safe: the dynamic plane serializes updates under its
 // own lock.
@@ -52,7 +65,9 @@ type WAL struct {
 	dir     string
 	f       File
 	pol     Policy
-	pending int // appends since the last flush
+	pending int   // appends since the last flush
+	off     int64 // logical end: every acknowledged frame lies below it
+	err     error // sticky ErrWALBroken state; nil while healthy
 }
 
 // OpenWAL opens (creating if needed) dir's log for appending. The
@@ -74,36 +89,81 @@ func OpenWAL(fsys FS, dir string, pol Policy) (*WAL, error) {
 			return nil, fmt.Errorf("durable: wal dir sync: %w", err)
 		}
 	}
-	return &WAL{fs: fsys, dir: dir, f: f, pol: pol}, nil
+	size, err := fsys.Size(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: wal stat: %w", err)
+	}
+	return &WAL{fs: fsys, dir: dir, f: f, pol: pol, off: size}, nil
 }
 
 // Append writes one record frame and applies the sync policy. On
 // error the record must be treated as not logged (the in-memory
-// commit must not proceed); a torn partial frame left behind is
-// harmless — replay truncates it.
+// commit must not proceed), and the file is truncated back to the
+// pre-append boundary so later acknowledged records never land beyond
+// a torn or unacknowledged frame; if even that rollback fails, the
+// WAL enters a broken state and refuses further appends.
 func (w *WAL) Append(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if n := r.encodedLen(); n > maxRecordLen {
+		return fmt.Errorf("durable: wal append: %d-byte record over the %d-byte frame limit (split the batch): %w",
+			n, maxRecordLen, ErrRecordTooLarge)
+	}
 	payload := r.encode()
 	frame := make([]byte, frameHeader+len(payload))
 	le.PutUint32(frame, uint32(len(payload)))
 	le.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeader:], payload)
-	if _, err := w.f.Write(frame); err != nil {
+	// WriteAt against the tracked offset, not Write: after a rollback
+	// the handle's own cursor would be past the truncation point, and
+	// appending there would punch a zero-filled hole into the log.
+	start := w.off
+	if _, err := w.f.WriteAt(frame, start); err != nil {
+		w.rollback(start)
 		return fmt.Errorf("durable: wal append: %w", err)
 	}
+	w.off += int64(len(frame))
 	w.pending++
 	switch w.pol.Sync {
 	case SyncAlways:
-		return w.Sync()
+		if err := w.Sync(); err != nil {
+			w.rollback(start)
+			return err
+		}
 	case SyncInterval:
 		if w.pol.Interval <= 1 || w.pending >= w.pol.Interval {
-			return w.Sync()
+			if err := w.Sync(); err != nil {
+				w.rollback(start)
+				return err
+			}
 		}
 	}
 	return nil
 }
 
+// rollback restores the log to the record boundary at off after a
+// failed append: the partial (or complete but unacknowledged) frame
+// is cut away so the on-disk log holds exactly the acknowledged
+// records. A failed truncate leaves the tail state unknown — the WAL
+// goes broken rather than risk appending after a bad frame.
+func (w *WAL) rollback(off int64) {
+	if terr := w.fs.Truncate(Join(w.dir, WALFile), off); terr != nil {
+		w.err = fmt.Errorf("%w: truncate to %d after failed append: %v", ErrWALBroken, off, terr)
+		return
+	}
+	if w.off > off && w.pending > 0 {
+		w.pending-- // the rolled-back frame no longer awaits a flush
+	}
+	w.off = off
+}
+
 // Sync flushes appended records to stable storage.
 func (w *WAL) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: wal sync: %w", err)
 	}
@@ -112,24 +172,40 @@ func (w *WAL) Sync() error {
 }
 
 // Rotate empties the log. Call only after a checkpoint snapshot
-// covering every logged record is durably published; on error the old
-// records remain and replay simply skips them (their seq is covered
-// by the snapshot), so rotation failure is not a correctness event.
+// covering every logged record is durably published. A failed
+// truncate is non-fatal: the old records remain, replay skips them
+// (their seq is covered by the snapshot), and appending after them is
+// still correct. A failed close or reopen leaves no usable handle, so
+// the WAL goes broken instead of letting a later Append crash.
 func (w *WAL) Rotate() error {
+	if w.err != nil {
+		return w.err
+	}
 	path := Join(w.dir, WALFile)
 	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("durable: wal rotate close: %w", err)
+		w.f = nil
+		w.err = fmt.Errorf("%w: rotate close: %v", ErrWALBroken, err)
+		return w.err
 	}
 	w.f = nil
-	if err := w.fs.Truncate(path, 0); err != nil {
-		return fmt.Errorf("durable: wal rotate truncate: %w", err)
-	}
+	terr := w.fs.Truncate(path, 0)
 	f, err := w.fs.OpenAppend(path)
 	if err != nil {
-		return fmt.Errorf("durable: wal rotate reopen: %w", err)
+		w.err = fmt.Errorf("%w: rotate reopen: %v", ErrWALBroken, err)
+		return w.err
+	}
+	size, err := w.fs.Size(path)
+	if err != nil {
+		f.Close()
+		w.err = fmt.Errorf("%w: rotate stat: %v", ErrWALBroken, err)
+		return w.err
 	}
 	w.f = f
+	w.off = size
 	w.pending = 0
+	if terr != nil {
+		return fmt.Errorf("durable: wal rotate truncate: %w", terr)
+	}
 	return w.Sync()
 }
 
