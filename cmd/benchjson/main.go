@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -104,20 +105,28 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 }
 
 func main() {
-	sc := bufio.NewScanner(os.Stdin)
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run converts in (go test -bench output) to JSON on out, returning
+// the process exit code: 1 on a read/encode error or when the input
+// reported FAIL lines, 0 otherwise.
+func run(in io.Reader, out, errw io.Writer) int {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	report, err := parse(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
 	}
 	if report.Failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

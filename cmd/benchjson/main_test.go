@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -53,6 +54,43 @@ func TestParseFailLine(t *testing.T) {
 	}
 	if r.Failures != 1 {
 		t.Fatalf("failures = %d, want 1", r.Failures)
+	}
+}
+
+func TestRun(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(strings.NewReader(sample), &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	var r Report
+	if err := json.Unmarshal([]byte(out.String()), &r); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(r.Benchmarks) != 3 || r.Meta["goos"] != "linux" {
+		t.Fatalf("round-tripped report = %+v", r)
+	}
+
+	// FAIL lines surface as a non-zero exit, with the (valid) JSON
+	// still written so the failure is inspectable.
+	out.Reset()
+	if code := run(strings.NewReader("FAIL\trepro\t0.1s\n"), &out, &errw); code != 1 {
+		t.Fatalf("run on FAIL input = %d, want 1", code)
+	}
+	if err := json.Unmarshal([]byte(out.String()), &r); err != nil || r.Failures != 1 {
+		t.Fatalf("FAIL report = %+v err=%v", r, err)
+	}
+}
+
+func TestRunScannerError(t *testing.T) {
+	// A single token longer than the scanner's max buffer surfaces as
+	// an error exit.
+	var out, errw strings.Builder
+	long := strings.Repeat("x", 5*1024*1024)
+	if code := run(strings.NewReader(long), &out, &errw); code != 1 {
+		t.Fatalf("run on oversized line = %d, want 1", code)
+	}
+	if errw.Len() == 0 {
+		t.Fatal("expected an error message on stderr")
 	}
 }
 

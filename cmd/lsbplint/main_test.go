@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolationsFailTheGate is the acceptance check for the lint
+// gate: pointed at a fixture package seeded with hot-path allocations,
+// the multichecker must exit 1 and print findings; pointed at a clean
+// fixture it must exit 0 silently.
+func TestSeededViolationsFailTheGate(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-fixture", "../../internal/analysis/testdata/src/hotpath=fixture/hotpath"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout %q stderr %q", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "hotpath-noalloc") {
+		t.Errorf("findings missing analyzer name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+func TestCleanFixturePassesTheGate(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-fixture", "../../internal/analysis/testdata/src/clean=fixture/clean"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout %q stderr %q", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got %q", out.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-makefile"}, &out, &errw); code != 2 {
+		t.Errorf("dangling -makefile: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-fixture"}, &out, &errw); code != 2 {
+		t.Errorf("dangling -fixture: exit = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-h"}, &out, &errw); code != 0 || !strings.Contains(out.String(), "usage:") {
+		t.Errorf("-h: exit = %d out = %q", code, out.String())
+	}
+}
+
+// TestRacePkgsDrift seeds a Makefile whose RACE_PKGS names a package
+// that does not exist and omits every real one: the -makefile check
+// must report both directions of drift.
+func TestRacePkgsDrift(t *testing.T) {
+	dir := t.TempDir()
+	// A Makefile outside the module: the race-pkgs check lists packages
+	// from the Makefile's own directory, which has none, so every entry
+	// is a "matches no package" finding.
+	mk := dir + "/Makefile"
+	writeFile(t, mk, "RACE_PKGS = ./internal/ghost/\n")
+	writeFile(t, dir+"/go.mod", "module scratch\n\ngo 1.24\n")
+
+	var out, errw strings.Builder
+	code := run([]string{"-makefile", mk, "-fixture", "../../internal/analysis/testdata/src/clean=fixture/clean"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout %q stderr %q", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "matches no package") {
+		t.Errorf("missing drift finding:\n%s", out.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

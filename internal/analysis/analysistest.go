@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// A WantError describes a mismatch between a fixture's "// want"
+// expectations and the diagnostics an analyzer produced.
+type WantError struct {
+	Pos     string
+	Message string
+}
+
+func (w WantError) String() string { return w.Pos + ": " + w.Message }
+
+// CheckFixture loads the fixture package at dir (a bare directory of
+// Go files, not part of the module build), runs the analyzers over it,
+// and verifies the diagnostics against the fixture's expectations: a
+// line containing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// must receive one diagnostic matching each pattern, every line
+// without one must receive none. It returns the mismatches (empty
+// means the fixture passed) plus the raw diagnostics for callers that
+// assert on counts.
+func CheckFixture(loader *Loader, dir string, analyzers []*Analyzer) ([]WantError, []Diagnostic, error) {
+	importPath := "fixture/" + filepath.Base(dir)
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := Run([]*LoadedPackage{pkg}, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	quoted := regexp.MustCompile(`"([^"]*)"`)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range quoted.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, nil, fmt.Errorf("analysis: bad want pattern %q at %s: %w", m[1], pos, err)
+					}
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	var errs []WantError
+	matched := make([]bool, len(diags))
+	for k, res := range wants {
+		for _, re := range res {
+			found := false
+			for i, d := range diags {
+				if !matched[i] && d.Pos.Filename == k.file && d.Pos.Line == k.line && re.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				errs = append(errs, WantError{
+					Pos:     fmt.Sprintf("%s:%d", k.file, k.line),
+					Message: fmt.Sprintf("expected diagnostic matching %q, got none", re),
+				})
+			}
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			errs = append(errs, WantError{
+				Pos:     d.Pos.String(),
+				Message: fmt.Sprintf("unexpected diagnostic: %s (%s)", d.Message, d.Analyzer),
+			})
+		}
+	}
+	return errs, diags, nil
+}

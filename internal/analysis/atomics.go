@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochAtomics freezes the RCU discipline of the dynamic serving
+// plane: struct fields annotated //lsbp:atomic (the dynSolver epoch
+// pointer and its counters) may only be touched through sync/atomic
+// operations — a method call on an atomic.* value, or the field's
+// address passed to a sync/atomic function — or inside a function
+// annotated //lsbp:atomic-access (a designated accessor reviewed for a
+// reason, e.g. single-threaded construction before publication).
+var EpochAtomics = &Analyzer{
+	Name: "epoch-atomics",
+	Doc:  "require sync/atomic access to //lsbp:atomic fields outside designated accessors",
+	Run:  runEpochAtomics,
+}
+
+// atomicMethods are the methods of the sync/atomic value types; a
+// selected //lsbp:atomic field used as the receiver of one of these is
+// a sanctioned access.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "Add": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+func runEpochAtomics(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil {
+				if pass.Reg.FuncAnnotation(obj).AtomicAccess {
+					continue
+				}
+			}
+			checkAtomicUses(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkAtomicUses walks a function body with a parent map so each
+// annotated-field selection can be judged by the expression consuming
+// it.
+func checkAtomicUses(pass *Pass, body *ast.BlockStmt) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := atomicFieldOf(pass, sel)
+		if field == "" {
+			return true
+		}
+		if sanctionedAtomicUse(pass, parents, sel) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "direct access to //lsbp:atomic field %s: use a sync/atomic operation or a //lsbp:atomic-access accessor", field)
+		return true
+	})
+}
+
+// atomicFieldOf returns the registry description of the selected field
+// if sel selects an //lsbp:atomic field, else "".
+func atomicFieldOf(pass *Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	fieldObj, ok := s.Obj().(*types.Var)
+	if !ok || fieldObj.Pkg() == nil {
+		return ""
+	}
+	// Resolve the named struct type owning the field from the receiver
+	// side of the selection.
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	key := FieldKey(fieldObj.Pkg().Path(), named.Obj().Name(), fieldObj.Name())
+	if !pass.Reg.fields[key] {
+		return ""
+	}
+	return key
+}
+
+// sanctionedAtomicUse reports whether the annotated-field selection is
+// consumed by a sync/atomic operation.
+func sanctionedAtomicUse(pass *Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	parent := parents[sel]
+	// Unwrap parens around the selection.
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.field.Load() — the field is the receiver of an atomic-type
+		// method call.
+		if p.X != sel && ast.Unparen(p.X) != ast.Expr(sel) {
+			return false
+		}
+		if !atomicMethods[p.Sel.Name] {
+			return false
+		}
+		call, ok := parents[p].(*ast.CallExpr)
+		if !ok || ast.Unparen(call.Fun) != ast.Expr(p) {
+			return false
+		}
+		// The method must belong to sync/atomic (guards against a
+		// same-named method on an ordinary type).
+		if m, ok := pass.Info.Selections[p]; ok {
+			if fn, ok := m.Obj().(*types.Func); ok && fn.Pkg() != nil {
+				return fn.Pkg().Path() == "sync/atomic"
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		// &x.field passed to a sync/atomic function
+		// (atomic.AddInt64(&x.field, 1)).
+		if p.Op != token.AND {
+			return false
+		}
+		call, ok := parents[p].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Info.Uses[se.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				return fn.Pkg().Path() == "sync/atomic"
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DurableFormat guards the on-disk snapshot contract in packages that
+// carry //lsbp:format declarations (internal/durable and its fixtures):
+//
+//  1. Raw write calls (methods named Write/WriteAt/WriteString) are
+//     confined to functions annotated //lsbp:rawio — the reviewed write
+//     paths: the checksumming section writer itself, padding, and the
+//     separately-checksummed header patch. Everything else must route
+//     payload bytes through those, so no section byte can reach the
+//     file without entering a CRC.
+//
+//  2. The source text of every //lsbp:format-annotated declaration
+//     (header layout constants, section-table encoding, record framing)
+//     is hashed into a lock string "v<FormatVersion>:<hash16>" that
+//     must equal the package's `formatLock` constant. Editing a
+//     format-affecting declaration therefore fails lint until the
+//     author either reverts, or bumps FormatVersion and re-locks —
+//     making "changed the encoding without a version bump" mechanically
+//     impossible.
+var DurableFormat = &Analyzer{
+	Name: "durable-format",
+	Doc:  "confine raw writes to //lsbp:rawio paths and tie //lsbp:format decls to the format-version lock",
+	Run:  runDurableFormat,
+}
+
+// formatLockConst is the package-level constant holding the expected
+// lock string.
+const formatLockConst = "formatLock"
+
+// formatVersionConst is the package-level constant holding the on-disk
+// format version embedded in the lock.
+const formatVersionConst = "FormatVersion"
+
+// rawWriteMethods are method names treated as raw byte sinks.
+var rawWriteMethods = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true,
+}
+
+func runDurableFormat(pass *Pass) error {
+	var formatDecls []ast.Decl
+	hasRawIO := false
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			doc := declDoc(decl)
+			if hasDirective(doc, dirFormat) {
+				formatDecls = append(formatDecls, decl)
+			}
+			if hasDirective(doc, dirRawIO) {
+				hasRawIO = true
+			}
+		}
+	}
+	if len(formatDecls) == 0 && !hasRawIO {
+		return nil // package has not opted into format guarding
+	}
+	checkRawWrites(pass)
+	if len(formatDecls) > 0 {
+		checkFormatLock(pass, formatDecls)
+	}
+	return nil
+}
+
+func declDoc(decl ast.Decl) *ast.CommentGroup {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return d.Doc
+	case *ast.GenDecl:
+		return d.Doc
+	}
+	return nil
+}
+
+func checkRawWrites(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil {
+				if pass.Reg.FuncAnnotation(obj).RawIO {
+					continue // a reviewed raw write path
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !rawWriteMethods[se.Sel.Name] {
+					return true
+				}
+				sel, ok := pass.Info.Selections[se]
+				if !ok || sel.Kind() != types.MethodVal {
+					return true
+				}
+				callee, _ := sel.Obj().(*types.Func)
+				if callee == nil {
+					return true
+				}
+				// Calling a //lsbp:rawio-annotated concrete writer (the
+				// checksumming section writer) is the sanctioned path.
+				if pass.Reg.FuncAnnotation(callee).RawIO {
+					return true
+				}
+				pass.Reportf(call.Pos(), "raw %s bypasses the checksumming writer: route payload bytes through a //lsbp:rawio path", se.Sel.Name)
+				return true
+			})
+		}
+	}
+}
+
+func checkFormatLock(pass *Pass, formatDecls []ast.Decl) {
+	version, versionOK := lookupIntConst(pass.Pkg, formatVersionConst)
+	lock, lockPos, lockOK := lookupStringConst(pass, formatLockConst)
+	expected := ComputeFormatLock(pass.Fset, pass.Sources, formatDecls, version)
+	switch {
+	case !versionOK:
+		pass.Reportf(pass.Files[0].Package, "package has //lsbp:format declarations but no %s integer constant", formatVersionConst)
+	case !lockOK:
+		pass.Reportf(pass.Files[0].Package, "package has //lsbp:format declarations but no %s constant; add: const %s = %q", formatLockConst, formatLockConst, expected)
+	case lock != expected:
+		pass.Reportf(lockPos, "format-affecting declarations changed: lock is %q, computed %q — if the on-disk format changed, bump %s and re-lock; otherwise revert", lock, expected, formatVersionConst)
+	}
+}
+
+// ComputeFormatLock hashes the source text of the format-affecting
+// declarations (sorted by file and offset, doc comments excluded) and
+// binds the hash to the format version: "v<version>:<sha256-prefix>".
+func ComputeFormatLock(fset *token.FileSet, sources map[string][]byte, decls []ast.Decl, version int64) string {
+	type span struct {
+		file       string
+		start, end int
+	}
+	spans := make([]span, 0, len(decls))
+	for _, d := range decls {
+		start := fset.Position(d.Pos())
+		end := fset.Position(d.End())
+		spans = append(spans, span{file: start.Filename, start: start.Offset, end: end.Offset})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].file != spans[j].file {
+			return spans[i].file < spans[j].file
+		}
+		return spans[i].start < spans[j].start
+	})
+	h := sha256.New()
+	for _, s := range spans {
+		src := sources[s.file]
+		if s.start < 0 || s.end > len(src) || s.start > s.end {
+			continue
+		}
+		h.Write(src[s.start:s.end])
+		h.Write([]byte{0})
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	return fmt.Sprintf("v%d:%s", version, sum[:16])
+}
+
+func lookupIntConst(pkg *types.Package, name string) (int64, bool) {
+	obj, ok := pkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(obj.Val()))
+	return v, ok
+}
+
+func lookupStringConst(pass *Pass, name string) (string, token.Pos, bool) {
+	obj, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+	if !ok || obj.Val().Kind() != constant.String {
+		return "", token.NoPos, false
+	}
+	return constant.StringVal(obj.Val()), obj.Pos(), true
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// errsImportSuffix identifies the error-taxonomy package: any package
+// importing it has opted into typed errors and is held to the rules.
+const errsImportSuffix = "internal/errs"
+
+// ErrsTaxonomy enforces the typed-error contract: a package that
+// imports the internal/errs taxonomy must never hand back an
+// untestable error. Concretely, in such packages:
+//
+//   - fmt.Errorf must %w-wrap something (a sentinel or an upstream
+//     error) — a format string without %w creates an error no caller
+//     can errors.Is/As against;
+//   - errors.New may only appear in package-level var declarations
+//     (defining a new sentinel is fine; minting a one-off dynamic error
+//     at a return site is not).
+var ErrsTaxonomy = &Analyzer{
+	Name: "errs-taxonomy",
+	Doc:  "require %w-wrapped fmt.Errorf and sentinel-only errors.New in packages using internal/errs",
+	Run:  runErrsTaxonomy,
+}
+
+func runErrsTaxonomy(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), errsImportSuffix) {
+		return nil // the taxonomy package defines the sentinels
+	}
+	usesErrs := false
+	for _, imp := range pass.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), errsImportSuffix) {
+			usesErrs = true
+			break
+		}
+	}
+	if !usesErrs {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkErrsBody(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level var blocks are the sanctioned home of
+				// errors.New sentinels; nothing to check inside.
+			}
+		}
+	}
+	return nil
+}
+
+func checkErrsBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "fmt.Errorf":
+			if s, ok := constFormatString(pass.Info, call); ok && !strings.Contains(s, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w: wrap an internal/errs sentinel (or an upstream error) so callers can errors.Is against it")
+			}
+		case "errors.New":
+			pass.Reportf(call.Pos(), "errors.New inside a function: reuse or add an internal/errs sentinel instead of a dynamic error")
+		}
+		return true
+	})
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func constFormatString(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

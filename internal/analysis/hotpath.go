@@ -1,0 +1,586 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathNoAlloc rejects allocating constructs inside functions
+// annotated //lsbp:hotpath, and restricts their static calls to other
+// annotated functions plus a small allocation-free allowlist. This
+// turns the 0 allocs/op benchmark numbers into a compile-time gate.
+//
+// Escape hatches, because a hot path still needs error exits and
+// amortized setup:
+//
+//   - Cold branches are exempt: any if/else block (or switch/select
+//     case) whose statement list ends in return, panic, break,
+//     continue, or goto is treated as an error/early-exit path, so
+//     `if err != nil { return fmt.Errorf(...) }` stays legal.
+//   - //lsbp:hotpath-init marks functions callable from hot paths whose
+//     bodies are exempt: guarded one-time or amortized work (worker
+//     spawn, pool-miss construction, buffer doubling). The annotation
+//     is the reviewed claim that the cost is not per-operation.
+var HotpathNoAlloc = &Analyzer{
+	Name: "hotpath-noalloc",
+	Doc:  "reject allocating constructs and un-annotated calls in //lsbp:hotpath functions",
+	Run:  runHotpath,
+}
+
+// hotpathAllowedPkgs are packages whose exported functions are accepted
+// in hot paths without annotation: allocation-free by contract.
+var hotpathAllowedPkgs = map[string]bool{
+	"math":            true,
+	"math/bits":       true,
+	"errors":          true, // errors.Is/As; errors.New is denied below
+	"sync":            true,
+	"sync/atomic":     true,
+	"hash/crc32":      true,
+	"hash/maphash":    true,
+	"encoding/binary": true,
+	"context":         true,
+	"runtime":         true,
+}
+
+// hotpathDeniedFuncs are specific allowlisted-package functions that do
+// allocate and are therefore rejected anyway.
+var hotpathDeniedFuncs = map[string]bool{
+	"errors.New":  true,
+	"errors.Join": true,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil || !pass.Reg.FuncAnnotation(obj).Hotpath {
+				continue
+			}
+			hc := &hotpathChecker{pass: pass, fn: obj}
+			hc.stmts(fd.Body.List, false, 0)
+		}
+	}
+	return nil
+}
+
+type hotpathChecker struct {
+	pass *Pass
+	fn   *types.Func
+}
+
+// terminates reports whether a statement list ends by leaving the
+// function or the enclosing loop/switch: the structural signature of a
+// cold (error/early-exit) branch.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanic(last.X)
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	case *ast.IfStmt:
+		if last.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := last.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = terminates([]ast.Stmt{e})
+		}
+		return elseTerm && terminates(last.Body.List)
+	}
+	return false
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// stmts walks a statement list. cold marks an exempt early-exit
+// branch; loops counts enclosing for/range statements (defer inside a
+// loop allocates a defer record per iteration).
+func (hc *hotpathChecker) stmts(list []ast.Stmt, cold bool, loops int) {
+	for _, s := range list {
+		hc.stmt(s, cold, loops)
+	}
+}
+
+func (hc *hotpathChecker) stmt(s ast.Stmt, cold bool, loops int) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		hc.stmts(s.List, cold, loops)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			hc.stmt(s.Init, cold, loops)
+		}
+		hc.expr(s.Cond, cold)
+		hc.stmts(s.Body.List, cold || terminates(s.Body.List), loops)
+		if s.Else != nil {
+			elseCold := cold
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				elseCold = cold || terminates(blk.List)
+			}
+			hc.stmt(s.Else, elseCold, loops)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			hc.stmt(s.Init, cold, loops)
+		}
+		if s.Cond != nil {
+			hc.expr(s.Cond, cold)
+		}
+		if s.Post != nil {
+			hc.stmt(s.Post, cold, loops)
+		}
+		hc.stmts(s.Body.List, cold, loops+1)
+	case *ast.RangeStmt:
+		hc.expr(s.X, cold)
+		hc.stmts(s.Body.List, cold, loops+1)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			hc.stmt(s.Init, cold, loops)
+		}
+		if s.Tag != nil {
+			hc.expr(s.Tag, cold)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				hc.expr(e, cold)
+			}
+			hc.stmts(cc.Body, cold || terminates(cc.Body), loops)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			hc.stmt(s.Init, cold, loops)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			hc.stmts(cc.Body, cold || terminates(cc.Body), loops)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				hc.stmt(cc.Comm, cold, loops)
+			}
+			hc.stmts(cc.Body, cold || terminates(cc.Body), loops)
+		}
+	case *ast.GoStmt:
+		if !cold {
+			hc.pass.Reportf(s.Pos(), "hot path spawns a goroutine")
+		}
+		hc.callArgs(s.Call, cold)
+	case *ast.DeferStmt:
+		if loops > 0 && !cold {
+			hc.pass.Reportf(s.Pos(), "defer inside a loop allocates a defer record per iteration")
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// A directly-deferred literal at function scope is the
+			// cleanup idiom; only its body needs checking.
+			hc.stmts(lit.Body.List, cold, 0)
+			hc.callArgs(s.Call, cold)
+			return
+		}
+		hc.expr(s.Call, cold)
+	case *ast.ReturnStmt:
+		sig := hc.fn.Type().(*types.Signature)
+		for i, r := range s.Results {
+			hc.expr(r, cold)
+			if !cold && sig.Results() != nil && len(s.Results) == sig.Results().Len() {
+				hc.checkBoxing(r, sig.Results().At(i).Type(), cold, "return")
+			}
+		}
+	case *ast.AssignStmt:
+		hc.assign(s, cold)
+	case *ast.ExprStmt:
+		if isPanic(s.X) {
+			// panic aborts; its argument is as cold as a return-throw.
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				hc.callArgs(call, true)
+			}
+			return
+		}
+		hc.expr(s.X, cold)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					hc.expr(v, cold)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		hc.expr(s.X, cold)
+	case *ast.SendStmt:
+		hc.expr(s.Chan, cold)
+		hc.expr(s.Value, cold)
+	case *ast.LabeledStmt:
+		hc.stmt(s.Stmt, cold, loops)
+	}
+}
+
+// assign handles the self-append exemption: x = append(x, ...) (and
+// x = append(x[:0], ...)) is the amortized reuse idiom, distinct from
+// appending into a fresh or foreign slice.
+func (hc *hotpathChecker) assign(s *ast.AssignStmt, cold bool) {
+	for i, rhs := range s.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && len(s.Lhs) == len(s.Rhs) {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := hc.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+					base := call.Args[0]
+					if se, ok := ast.Unparen(base).(*ast.SliceExpr); ok {
+						base = se.X
+					}
+					if exprString(s.Lhs[i]) == exprString(base) {
+						for _, a := range call.Args[1:] {
+							hc.expr(a, cold)
+						}
+						continue
+					}
+				}
+			}
+		}
+		hc.expr(rhs, cold)
+		if !cold && s.Tok == token.ASSIGN && i < len(s.Lhs) {
+			if lt := hc.pass.Info.Types[s.Lhs[i]].Type; lt != nil {
+				hc.checkBoxing(rhs, lt, cold, "assignment")
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		hc.expr(lhs, cold)
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return ""
+}
+
+func (hc *hotpathChecker) expr(e ast.Expr, cold bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		hc.expr(e.X, cold)
+	case *ast.CallExpr:
+		hc.call(e, cold)
+	case *ast.CompositeLit:
+		if !cold {
+			if t := hc.pass.Info.Types[e].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					hc.pass.Reportf(e.Pos(), "hot path allocates: slice literal")
+				case *types.Map:
+					hc.pass.Reportf(e.Pos(), "hot path allocates: map literal")
+				}
+			}
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				hc.expr(kv.Value, cold)
+				continue
+			}
+			hc.expr(el, cold)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && !cold {
+				hc.pass.Reportf(e.Pos(), "hot path allocates: &composite literal escapes to the heap")
+			}
+		}
+		hc.expr(e.X, cold)
+	case *ast.FuncLit:
+		if !cold {
+			hc.pass.Reportf(e.Pos(), "hot path allocates: closure")
+		}
+		hc.stmts(e.Body.List, cold, 0)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && !cold {
+			if tv := hc.pass.Info.Types[e]; tv.Type != nil && tv.Value == nil {
+				if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+					hc.pass.Reportf(e.Pos(), "hot path allocates: string concatenation")
+				}
+			}
+		}
+		hc.expr(e.X, cold)
+		hc.expr(e.Y, cold)
+	case *ast.IndexExpr:
+		hc.expr(e.X, cold)
+		hc.expr(e.Index, cold)
+	case *ast.IndexListExpr:
+		hc.expr(e.X, cold)
+	case *ast.SliceExpr:
+		hc.expr(e.X, cold)
+		hc.expr(e.Low, cold)
+		hc.expr(e.High, cold)
+		hc.expr(e.Max, cold)
+	case *ast.StarExpr:
+		hc.expr(e.X, cold)
+	case *ast.TypeAssertExpr:
+		hc.expr(e.X, cold)
+	case *ast.SelectorExpr:
+		if sel, ok := hc.pass.Info.Selections[e]; ok && sel.Kind() == types.MethodVal && !cold {
+			// A method value not in call position closes over its
+			// receiver. (Call positions never reach this case: call()
+			// resolves its callee without recursing here.)
+			hc.pass.Reportf(e.Pos(), "hot path allocates: method value %s closes over its receiver", e.Sel.Name)
+		}
+		hc.expr(e.X, cold)
+	}
+}
+
+func (hc *hotpathChecker) callArgs(call *ast.CallExpr, cold bool) {
+	for _, a := range call.Args {
+		hc.expr(a, cold)
+	}
+}
+
+func (hc *hotpathChecker) call(call *ast.CallExpr, cold bool) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation f[T](...) — unwrap to the function operand.
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	} else if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+
+	// Conversions: T(x).
+	if tv, ok := hc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if !cold && len(call.Args) == 1 {
+			hc.checkConversion(call, tv.Type)
+		}
+		hc.callArgs(call, cold)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := hc.pass.Info.Uses[id].(*types.Builtin); ok {
+			hc.builtin(call, b.Name(), cold)
+			return
+		}
+	}
+
+	callee := hc.staticCallee(fun)
+	if callee != nil && !cold {
+		hc.checkCallee(call, callee)
+	}
+	// Boxing at the call boundary applies to static and dynamic calls
+	// alike.
+	if !cold {
+		if sig, ok := hc.pass.Info.Types[call.Fun].Type.(*types.Signature); ok {
+			hc.checkCallBoxing(call, sig, cold)
+		}
+	}
+	// Receiver/operand side of the callee expression (x in x.M(), or a
+	// func-valued expression) can itself contain calls.
+	if se, ok := fun.(*ast.SelectorExpr); ok {
+		hc.expr(se.X, cold)
+	} else if callee == nil {
+		hc.expr(fun, cold)
+	}
+	hc.callArgs(call, cold)
+}
+
+func (hc *hotpathChecker) builtin(call *ast.CallExpr, name string, cold bool) {
+	switch name {
+	case "make":
+		if !cold {
+			hc.pass.Reportf(call.Pos(), "hot path allocates: make")
+		}
+	case "new":
+		if !cold {
+			hc.pass.Reportf(call.Pos(), "hot path allocates: new")
+		}
+	case "append":
+		// The self-append reuse form was consumed by assign(); any
+		// append still seen here targets a fresh or foreign slice.
+		if !cold {
+			hc.pass.Reportf(call.Pos(), "hot path allocates: append outside the x = append(x, ...) reuse form")
+		}
+	case "print", "println":
+		if !cold {
+			hc.pass.Reportf(call.Pos(), "hot path calls %s", name)
+		}
+	case "panic":
+		hc.callArgs(call, true)
+		return
+	}
+	hc.callArgs(call, cold)
+}
+
+// staticCallee resolves a call operand to its compile-time *types.Func
+// target, or nil for dynamic calls (func values, interface methods) —
+// which are permitted: the dispatch itself does not allocate, and the
+// concrete target is checked where it is defined.
+func (hc *hotpathChecker) staticCallee(fun ast.Expr) *types.Func {
+	var fn *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ = hc.pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := hc.pass.Info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil // func-typed field: dynamic
+			}
+			m, _ := sel.Obj().(*types.Func)
+			if m == nil {
+				return nil
+			}
+			if recv := m.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil // interface method: dynamic
+			}
+			fn = m
+		} else {
+			fn, _ = hc.pass.Info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	return fn
+}
+
+func (hc *hotpathChecker) checkCallee(call *ast.CallExpr, callee *types.Func) {
+	an := hc.pass.Reg.FuncAnnotation(callee)
+	if an.Hotpath || an.HotpathInit {
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return // universe-scope (error.Error etc.)
+	}
+	name := pkg.Path() + "." + callee.Name()
+	if pkg.Path() == "fmt" {
+		hc.pass.Reportf(call.Pos(), "hot path calls fmt.%s, which allocates", callee.Name())
+		return
+	}
+	if hotpathAllowedPkgs[pkg.Path()] && !hotpathDeniedFuncs[name] {
+		return
+	}
+	if strings.HasPrefix(pkg.Path(), modulePathOf(hc.pass.Pkg)+"/") || pkg.Path() == hc.pass.Pkg.Path() {
+		hc.pass.Reportf(call.Pos(), "hot path calls %s, which is not annotated //lsbp:hotpath or //lsbp:hotpath-init", FuncKey(callee))
+		return
+	}
+	hc.pass.Reportf(call.Pos(), "hot path calls %s, which is outside the hot-path allowlist", name)
+}
+
+// modulePathOf approximates the module path of pkg as its first path
+// element — exact for this repo ("repro/...") and irrelevant for
+// fixtures, whose non-stdlib imports point back into the module anyway.
+func modulePathOf(pkg *types.Package) string {
+	p := pkg.Path()
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func (hc *hotpathChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	arg := call.Args[0]
+	argT := hc.pass.Info.Types[arg].Type
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(argT) && !isUntypedNil(hc.pass.Info, arg) {
+		hc.pass.Reportf(call.Pos(), "hot path boxes %s into interface %s", argT, target)
+		return
+	}
+	tb, tIsBasic := target.Underlying().(*types.Basic)
+	aIsStringish := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	if tIsBasic && tb.Info()&types.IsString != 0 && isByteOrRuneSlice(argT) {
+		hc.pass.Reportf(call.Pos(), "hot path allocates: []byte-to-string conversion")
+	}
+	if isByteOrRuneSlice(target) && aIsStringish(argT) {
+		hc.pass.Reportf(call.Pos(), "hot path allocates: string-to-slice conversion")
+	}
+}
+
+func (hc *hotpathChecker) checkCallBoxing(call *ast.CallExpr, sig *types.Signature, cold bool) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // slice... pass-through re-uses the caller's slice
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() == 0 {
+				return
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		hc.checkBoxing(arg, pt, cold, "argument")
+	}
+}
+
+func (hc *hotpathChecker) checkBoxing(arg ast.Expr, target types.Type, cold bool, what string) {
+	if cold || target == nil || !types.IsInterface(target) {
+		return
+	}
+	argT := hc.pass.Info.Types[arg].Type
+	if argT == nil || types.IsInterface(argT) || isUntypedNil(hc.pass.Info, arg) {
+		return
+	}
+	if _, isSig := argT.Underlying().(*types.Signature); isSig {
+		return // func values into any (e.g. stored callbacks) — not a box
+	}
+	hc.pass.Reportf(arg.Pos(), "hot path boxes %s into interface %s (%s)", argT, target, what)
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

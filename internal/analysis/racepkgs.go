@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CheckRacePkgs asserts that the Makefile's RACE_PKGS list covers
+// every ./internal/... package that is concurrency-relevant: the
+// package (or a module-internal package it reaches through imports,
+// including its test imports) uses go statements, channels, select, or
+// the sync/sync-atomic packages. A package missing from the list is a
+// finding — `make test-race` would silently stop exercising it. Extra
+// entries are allowed: listing a sequential package only adds coverage.
+//
+// The check is syntactic (parse-only), so it also sees _test.go files,
+// which `go vet`-style type-checked passes over the non-test build
+// would miss.
+func CheckRacePkgs(makefilePath string) ([]Diagnostic, error) {
+	raceEntries, raceLine, err := parseRacePkgs(makefilePath)
+	if err != nil {
+		return nil, err
+	}
+	// RACE_PKGS entries are ./-relative to the Makefile, so list the
+	// package universe from the Makefile's own directory.
+	l := NewLoader(filepath.Dir(makefilePath))
+	pkgs, err := l.goList("list", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Deps,TestImports,XTestImports,Standard", "./...")
+	if err != nil {
+		return nil, err
+	}
+	modPrefix := commonModulePrefix(pkgs)
+	byPath := map[string]listedPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+
+	concurrent := map[string]string{} // import path → reason ("" = not computed yet)
+	usesConcurrency := func(p listedPackage, includeTests bool) (bool, string) {
+		files := append([]string{}, p.GoFiles...)
+		if includeTests {
+			files = append(files, p.TestGoFiles...)
+			files = append(files, p.XTestGoFiles...)
+		}
+		for _, name := range files {
+			why, err := fileConcurrency(filepath.Join(p.Dir, name))
+			if err != nil {
+				continue // unparseable file: leave to the build to complain
+			}
+			if why != "" {
+				return true, name + ": " + why
+			}
+		}
+		return false, ""
+	}
+
+	var diags []Diagnostic
+	makePos := token.Position{Filename: makefilePath, Line: raceLine}
+
+	required := map[string]string{} // rel dir → reason
+	for _, p := range pkgs {
+		if !strings.Contains(p.ImportPath, "/internal/") {
+			continue
+		}
+		rel := strings.TrimPrefix(p.ImportPath, modPrefix)
+		// The package's own files (tests included) first.
+		if ok, why := usesConcurrency(p, true); ok {
+			required[rel] = why
+			continue
+		}
+		// Then anything reachable through its imports and test imports,
+		// module-internal only.
+		reach := map[string]bool{}
+		var addDeps func(path string)
+		addDeps = func(path string) {
+			q, ok := byPath[path]
+			if !ok || reach[path] || !strings.HasPrefix(path, modPrefix) {
+				return
+			}
+			reach[path] = true
+			for _, d := range q.Deps {
+				if strings.HasPrefix(d, modPrefix) {
+					addDeps(d)
+				}
+			}
+		}
+		for _, seed := range append(append([]string{}, p.TestImports...), p.XTestImports...) {
+			addDeps(seed)
+		}
+		for _, d := range p.Deps {
+			addDeps(d)
+		}
+		for path := range reach {
+			if path == p.ImportPath {
+				continue
+			}
+			why, computed := concurrent[path]
+			if !computed {
+				if ok, w := usesConcurrency(byPath[path], false); ok {
+					why = w
+				}
+				concurrent[path] = why
+			}
+			if why != "" {
+				required[rel] = "imports " + path + " (" + why + ")"
+				break
+			}
+		}
+	}
+
+	listed := map[string]bool{}
+	for _, e := range raceEntries {
+		rel := strings.Trim(strings.TrimPrefix(e, "./"), "/")
+		listed[rel] = true
+		if _, ok := byPath[modPrefix+rel]; !ok {
+			diags = append(diags, Diagnostic{
+				Pos:      makePos,
+				Analyzer: "race-pkgs",
+				Message:  fmt.Sprintf("RACE_PKGS lists %s, which matches no package", e),
+			})
+		}
+	}
+	var missing []string
+	for rel := range required {
+		if !listed[rel] {
+			missing = append(missing, rel)
+		}
+	}
+	sort.Strings(missing)
+	for _, rel := range missing {
+		diags = append(diags, Diagnostic{
+			Pos:      makePos,
+			Analyzer: "race-pkgs",
+			Message:  fmt.Sprintf("RACE_PKGS omits ./%s/ — concurrency-relevant: %s", rel, required[rel]),
+		})
+	}
+	return diags, nil
+}
+
+// commonModulePrefix derives "<module>/" from the listed import paths.
+func commonModulePrefix(pkgs []listedPackage) string {
+	for _, p := range pkgs {
+		if i := strings.IndexByte(p.ImportPath, '/'); i >= 0 {
+			return p.ImportPath[:i+1]
+		}
+		return p.ImportPath + "/"
+	}
+	return ""
+}
+
+// parseRacePkgs extracts the RACE_PKGS assignment (with backslash
+// continuations) from a Makefile, returning its entries and line.
+func parseRacePkgs(path string) ([]string, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("analysis: race-pkgs: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(trimmed, "RACE_PKGS") {
+			continue
+		}
+		_, rhs, ok := strings.Cut(trimmed, "=")
+		if !ok {
+			continue
+		}
+		value := rhs
+		for strings.HasSuffix(strings.TrimSpace(value), `\`) && i+1 < len(lines) {
+			value = strings.TrimSuffix(strings.TrimSpace(value), `\`)
+			i++
+			value += " " + strings.TrimSpace(lines[i])
+		}
+		return strings.Fields(value), i + 1, nil
+	}
+	return nil, 0, fmt.Errorf("analysis: race-pkgs: no RACE_PKGS assignment in %s", path)
+}
+
+// fileConcurrency parses one file and reports the first concurrency
+// construct found ("" if none).
+func fileConcurrency(path string) (string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return "", err
+	}
+	for _, imp := range f.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "sync", "sync/atomic":
+			return "imports " + strings.Trim(imp.Path.Value, `"`), nil
+		}
+	}
+	why := ""
+	ast.Inspect(f, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n.(type) {
+		case *ast.GoStmt:
+			why = "go statement"
+		case *ast.SelectStmt:
+			why = "select"
+		case *ast.ChanType, *ast.SendStmt:
+			why = "channel use"
+		}
+		return why == ""
+	})
+	return why, nil
+}

@@ -1,0 +1,57 @@
+// Package atomics is the epoch-atomics analyzer fixture: an RCU-style
+// server whose annotated fields must only be reached through
+// sync/atomic operations or the designated constructor.
+package atomics
+
+import "sync/atomic"
+
+type epoch struct {
+	n int
+}
+
+type server struct {
+	// cur is the published epoch; readers snapshot it.
+	//
+	//lsbp:atomic
+	cur atomic.Pointer[epoch]
+	// updates counts committed updates.
+	//
+	//lsbp:atomic
+	updates int64
+	// name is unannotated: free to touch.
+	name string
+}
+
+func goodLoad(s *server) *epoch { return s.cur.Load() }
+
+func goodStore(s *server, e *epoch) { s.cur.Store(e) }
+
+func goodCounter(s *server) int64 {
+	atomic.AddInt64(&s.updates, 1)
+	return atomic.LoadInt64(&s.updates)
+}
+
+func goodUnannotated(s *server) string { return s.name }
+
+func badIncrement(s *server) {
+	s.updates++ // want "direct access to //lsbp:atomic field fixture/atomics.server.updates"
+}
+
+func badRead(s *server) int64 {
+	return s.updates // want "direct access"
+}
+
+func badCopy(s *server) *atomic.Pointer[epoch] {
+	return &s.cur // want "direct access"
+}
+
+// newServer is the designated single-threaded constructor: direct
+// initialization is reviewed and sanctioned here.
+//
+//lsbp:atomic-access
+func newServer() *server {
+	s := &server{name: "fixture"}
+	s.updates = 0
+	s.cur.Store(&epoch{n: 1})
+	return s
+}

@@ -1,0 +1,69 @@
+// Package durablefmt is the durable-format analyzer fixture: a
+// miniature snapshot writer with a checksumming section writer, the
+// reviewed raw-write paths, one seeded bypass, and a format lock that
+// matches its //lsbp:format declarations.
+package durablefmt
+
+import "hash/crc32"
+
+// FormatVersion is the fixture's on-disk format version.
+const FormatVersion = 1
+
+// formatLock binds FormatVersion to the hash of the //lsbp:format
+// declarations below; durable-format recomputes and compares it.
+const formatLock = "v1:144548d6d51820ff"
+
+// Header layout: magic, then fixed-size section entries.
+//
+//lsbp:format
+const (
+	magic      = "FIX1"
+	headerSize = 16
+	entrySize  = 8
+)
+
+type file interface {
+	Write(p []byte) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+}
+
+// sumWriter is the checksumming section writer: every payload byte
+// entering the file through it is folded into the running CRC.
+type sumWriter struct {
+	f   file
+	crc uint32
+	n   int64
+}
+
+// Write folds p into the CRC before handing it to the file.
+//
+//lsbp:rawio sumWriter is the checksumming writer itself
+func (s *sumWriter) Write(p []byte) (int, error) {
+	s.crc = crc32.Update(s.crc, crc32.IEEETable, p)
+	n, err := s.f.Write(p)
+	s.n += int64(n)
+	return n, err
+}
+
+// patchHeader rewrites the already-checksummed header in place.
+//
+//lsbp:rawio header carries its own CRC, patched after sections land
+func patchHeader(f file, hdr []byte) error {
+	_, err := f.WriteAt(hdr, 0)
+	return err
+}
+
+// writeSection routes a payload through the checksumming writer: the
+// sanctioned path, no finding.
+func writeSection(s *sumWriter, payload []byte) (uint32, error) {
+	if _, err := s.Write(payload); err != nil {
+		return 0, err
+	}
+	return s.crc, nil
+}
+
+// badDirectWrite pushes payload bytes straight into the file.
+func badDirectWrite(f file, payload []byte) error {
+	_, err := f.Write(payload) // want "raw Write bypasses the checksumming writer"
+	return err
+}

@@ -1,0 +1,19 @@
+// Package durablefmtstale is the negative durable-format fixture: its
+// //lsbp:format declarations were edited (relative to the recorded
+// lock) without a FormatVersion bump, so the lock no longer matches.
+package durablefmtstale
+
+// FormatVersion is the fixture's on-disk format version.
+const FormatVersion = 2
+
+// formatLock is stale: it records a hash the declarations below no
+// longer produce.
+const formatLock = "v2:0000000000000000" // want "format-affecting declarations changed"
+
+// Record framing: length-prefixed, CRC-suffixed.
+//
+//lsbp:format
+const (
+	recHeader  = 24
+	recTrailer = 4
+)

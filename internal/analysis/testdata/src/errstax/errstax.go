@@ -1,0 +1,46 @@
+// Package errstax is the errs-taxonomy analyzer fixture: it imports
+// the internal/errs taxonomy, which opts it into the typed-error
+// rules.
+package errstax
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/errs"
+)
+
+// ErrFixture is a package-level sentinel: errors.New is sanctioned
+// here.
+var ErrFixture = errors.New("errstax: fixture sentinel")
+
+func goodWrapSentinel(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errstax: n = %d out of range: %w", n, errs.ErrInvalidInput)
+	}
+	return nil
+}
+
+func goodWrapUpstream(err error) error {
+	if err != nil {
+		return fmt.Errorf("errstax: solve: %w", err)
+	}
+	return nil
+}
+
+func goodPlainFormatting(n int) string {
+	return fmt.Sprintf("n = %d", n) // Sprintf is not error construction
+}
+
+func badBareErrorf(n int) error {
+	return fmt.Errorf("errstax: n = %d is bad", n) // want "fmt.Errorf without %w"
+}
+
+func badStashedErrorf(n int) error {
+	err := fmt.Errorf("stashed, still bare: %d", n) // want "fmt.Errorf without %w"
+	return err
+}
+
+func badDynamicError() error {
+	return errors.New("one-off dynamic error") // want "errors.New inside a function"
+}

@@ -1,0 +1,136 @@
+// Package hotpath is the hotpath-noalloc analyzer fixture: each
+// "want" line seeds one violation; the remaining annotated functions
+// are the allocation-free idioms the analyzer must accept.
+package hotpath
+
+import (
+	"fmt"
+	"io"
+)
+
+type ring struct {
+	buf []byte
+	w   io.Writer
+}
+
+// kernelRound is the shape of a real hot loop: index arithmetic,
+// self-append reuse, cold error exit — no findings expected.
+//
+//lsbp:hotpath
+func kernelRound(dst, src []float64, r *ring, p []byte) (float64, error) {
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("hotpath: length mismatch %d != %d", len(dst), len(src))
+	}
+	var delta float64
+	for i := range src {
+		dst[i] = 2 * src[i]
+		delta += dst[i] - src[i]
+	}
+	r.buf = append(r.buf[:0], p...)
+	if delta < 0 {
+		panic(fmt.Sprintf("negative delta %f", delta))
+	}
+	return delta, nil
+}
+
+//lsbp:hotpath
+func badMake(n int) []float64 {
+	buf := make([]float64, n) // want "hot path allocates: make"
+	return buf
+}
+
+//lsbp:hotpath
+func badAppend(dst, extra []byte) []byte {
+	out := append(dst, extra...) // want "append outside the x = append"
+	return out
+}
+
+//lsbp:hotpath
+func badLiterals() {
+	xs := []int{1, 2, 3} // want "hot path allocates: slice literal"
+	m := map[int]bool{}  // want "hot path allocates: map literal"
+	_, _ = xs, m
+}
+
+//lsbp:hotpath
+func badClosure(xs []int) func() int {
+	f := func() int { return len(xs) } // want "hot path allocates: closure"
+	return f
+}
+
+//lsbp:hotpath
+func badGo(done chan struct{}) {
+	go close(done) // want "hot path spawns a goroutine"
+}
+
+//lsbp:hotpath
+func badFmt(n int) {
+	_ = fmt.Sprint(n) // want "hot path calls fmt.Sprint, which allocates" "hot path boxes int into interface"
+}
+
+//lsbp:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "hot path allocates: string concatenation"
+}
+
+//lsbp:hotpath
+func badUnannotated(n int) int {
+	return helper(n) // want "not annotated //lsbp:hotpath"
+}
+
+//lsbp:hotpath
+func badBoxing(n int) {
+	sink(n) // want "hot path boxes int into interface"
+}
+
+//lsbp:hotpath
+func badDeferLoop(xs []int) {
+	for range xs {
+		defer release() // want "defer inside a loop"
+	}
+}
+
+//lsbp:hotpath
+func badMethodValue(r *ring) func([]byte) (int, error) {
+	return r.write // want "method value write closes over its receiver"
+}
+
+// goodCalls exercises the allowed call surface: annotated callees,
+// init-annotated amortized setup, dynamic interface dispatch, and an
+// explicitly justified suppression.
+//
+//lsbp:hotpath
+func goodCalls(r *ring, p []byte, n int) (float64, error) {
+	grow(r, n)
+	if _, err := r.w.Write(p); err != nil {
+		return 0, fmt.Errorf("hotpath: flush: %w", err)
+	}
+	d, err := kernelRound(p2f(r.buf), p2f(r.buf), r, p)
+	if err != nil {
+		return 0, err
+	}
+	scratch := make([]byte, n) //lsbp:ignore hotpath-noalloc -- fixture: demonstrates justified suppression
+	_ = scratch
+	return d, nil
+}
+
+func helper(n int) int { return n + 1 }
+
+//lsbp:hotpath-init
+func sink(v any) { _ = v }
+
+//lsbp:hotpath-init
+func grow(r *ring, n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, 0, n)
+	}
+}
+
+//lsbp:hotpath-init
+func p2f(b []byte) []float64 { return make([]float64, len(b)) }
+
+//lsbp:hotpath-init
+func release() {}
+
+//lsbp:hotpath-init
+func (r *ring) write(p []byte) (int, error) { return len(p), nil }

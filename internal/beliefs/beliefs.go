@@ -36,15 +36,23 @@ func New(n, k int) *Residual {
 func FromMatrix(m *dense.Matrix) *Residual { return &Residual{m: m} }
 
 // Matrix exposes the underlying dense matrix (aliased, not copied).
+//
+//lsbp:hotpath
 func (r *Residual) Matrix() *dense.Matrix { return r.m }
 
 // N returns the number of nodes.
+//
+//lsbp:hotpath
 func (r *Residual) N() int { return r.m.Rows() }
 
 // K returns the number of classes.
+//
+//lsbp:hotpath
 func (r *Residual) K() int { return r.m.Cols() }
 
 // Row returns node s's residual belief vector, aliasing storage.
+//
+//lsbp:hotpath
 func (r *Residual) Row(s int) []float64 { return r.m.Row(s) }
 
 // Clone returns a deep copy.
@@ -105,7 +113,7 @@ func (r *Residual) Validate() error {
 			sum += v
 		}
 		if math.Abs(sum) > 1e-9 {
-			return fmt.Errorf("beliefs: row %d sums to %v, want 0", s, sum)
+			return fmt.Errorf("beliefs: row %d sums to %v, want 0: %w", s, sum, errs.ErrInvalidInput)
 		}
 	}
 	return nil
@@ -133,7 +141,7 @@ func Center(stochastic *dense.Matrix) (*Residual, error) {
 			sum += v
 		}
 		if math.Abs(sum-1) > 1e-9 {
-			return nil, fmt.Errorf("beliefs: stochastic row %d sums to %v, want 1", s, sum)
+			return nil, fmt.Errorf("beliefs: stochastic row %d sums to %v, want 1: %w", s, sum, errs.ErrInvalidInput)
 		}
 		dst := out.m.Row(s)
 		for i, v := range row {

@@ -110,7 +110,7 @@ func NewEngine(g *graph.Graph, h *dense.Matrix, opts Options) (*Engine, error) {
 	// and 2*idx+1 (t→s).
 	for idx, ed := range edges {
 		if ed.S == ed.T {
-			return nil, fmt.Errorf("bp: self-loop at node %d not supported", ed.S)
+			return nil, fmt.Errorf("bp: self-loop at node %d not supported: %w", ed.S, errs.ErrInvalidInput)
 		}
 		en.src[2*idx], en.dst[2*idx] = ed.S, ed.T
 		en.src[2*idx+1], en.dst[2*idx+1] = ed.T, ed.S
@@ -160,7 +160,7 @@ func (en *Engine) SolveInto(ctx context.Context, out *beliefs.Residual, e *belie
 		for i := 0; i < k; i++ {
 			p := 1/float64(k) + scale*row[i]
 			if p < -1e-12 || p > 1+1e-12 {
-				return 0, 0, false, fmt.Errorf("bp: node %d class %d: prior %v outside [0,1]; scale the explicit residuals down", s, i, p)
+				return 0, 0, false, fmt.Errorf("bp: node %d class %d: prior %v outside [0,1]; scale the explicit residuals down: %w", s, i, p, errs.ErrInvalidInput)
 			}
 			if p < 0 {
 				p = 0

@@ -99,10 +99,10 @@ type Problem struct {
 // Validate checks structural consistency and the residual invariants.
 func (p *Problem) Validate() error {
 	if p.Graph == nil || p.Explicit == nil || p.Ho == nil {
-		return errors.New("core: problem has nil components")
+		return fmt.Errorf("core: problem has nil components: %w", errs.ErrInvalidInput)
 	}
 	if p.EpsilonH < 0 {
-		return errors.New("core: negative EpsilonH")
+		return fmt.Errorf("core: negative EpsilonH: %w", errs.ErrInvalidInput)
 	}
 	// A non-square Ho is rejected explicitly: comparing only K against
 	// Ho.Rows() would let e.g. a k×(k+1) matrix slip through to the
@@ -209,7 +209,7 @@ func (p *Problem) Convergence(m Method) (*linbp.Convergence, error) {
 	case MethodLinBP, MethodLinBPStar:
 		return linbp.CheckConvergence(p.Graph, p.ScaledH(), m == MethodLinBP)
 	default:
-		return nil, fmt.Errorf("core: convergence criteria only apply to LinBP/LinBP*, not %v", m)
+		return nil, fmt.Errorf("core: convergence criteria only apply to LinBP/LinBP*, not %v: %w", m, errs.ErrInvalidInput)
 	}
 }
 
@@ -218,7 +218,7 @@ func (p *Problem) Convergence(m Method) (*linbp.Convergence, error) {
 // The paper recommends choosing εH by Lemma 8 (Section 7, Result 4).
 func AutoEpsilonH(g *graph.Graph, ho *dense.Matrix, m Method) (float64, error) {
 	if m != MethodLinBP && m != MethodLinBPStar {
-		return 0, fmt.Errorf("core: AutoEpsilonH applies to LinBP/LinBP*, not %v", m)
+		return 0, fmt.Errorf("core: AutoEpsilonH applies to LinBP/LinBP*, not %v: %w", m, errs.ErrInvalidInput)
 	}
 	eps, err := linbp.MaxEpsilonH(g, ho, m == MethodLinBP, true)
 	if err != nil {

@@ -121,6 +121,10 @@ type dynSolver struct {
 	n, k   int
 	eps    float64
 
+	// cur is the published epoch; the epoch-atomics lint rule pins
+	// every touch to Load/Store/Swap/CompareAndSwap.
+	//
+	//lsbp:atomic
 	cur atomic.Pointer[epochState]
 
 	// Everything below mu is the updater's private state: the
@@ -151,6 +155,9 @@ type dynSolver struct {
 	// WithDurability.
 	dur *durability
 
+	// Stats counters, read without mu by Stats().
+	//
+	//lsbp:atomic
 	epochN, updates, rebuilds, overlayNNZ atomic.Int64
 
 	statsMu sync.Mutex
@@ -389,7 +396,7 @@ func (d *dynSolver) validateUpdate(u Update) error {
 		// !(W > 0) also rejects NaN, which e.W <= 0 would let through —
 		// and a NaN weight poisons the maintained graph permanently.
 		if !(e.W > 0) || math.IsInf(e.W, 1) {
-			return fmt.Errorf("core: update edge (%d,%d) has invalid weight %v (want finite > 0)", e.S, e.T, e.W)
+			return fmt.Errorf("core: update edge (%d,%d) has invalid weight %v (want finite > 0): %w", e.S, e.T, e.W, errs.ErrInvalidInput)
 		}
 	}
 	for _, e := range u.RemoveEdges {

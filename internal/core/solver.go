@@ -362,7 +362,7 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 	switch m {
 	case MethodBP, MethodLinBP, MethodLinBPStar, MethodSBP, MethodFABP:
 	default:
-		return nil, fmt.Errorf("core: unknown method %v", m)
+		return nil, fmt.Errorf("core: unknown method %v: %w", m, errs.ErrInvalidInput)
 	}
 	echo := m != MethodLinBPStar // LinBP and the FABP collapse cancel echo
 	if cfg.echoSet && (m == MethodLinBP || m == MethodLinBPStar) {
@@ -513,6 +513,8 @@ func newStatePool[T any](build func() (T, error)) *statePool[T] {
 }
 
 // get returns a pooled state or builds a fresh one.
+//
+//lsbp:hotpath
 func (p *statePool[T]) get() (T, error) {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
@@ -536,6 +538,8 @@ func (p *statePool[T]) get() (T, error) {
 }
 
 // put returns a state for reuse.
+//
+//lsbp:hotpath
 func (p *statePool[T]) put(v T) {
 	p.mu.Lock()
 	p.free = append(p.free, v)
@@ -590,6 +594,8 @@ type solverBase struct {
 // solvers. Every public solve entry point pairs it with end; nested
 // begin calls are forbidden (recursive read locks can deadlock against
 // a pending Close).
+//
+//lsbp:hotpath
 func (b *solverBase) begin() bool {
 	b.mu.RLock()
 	if b.closed {
@@ -599,6 +605,7 @@ func (b *solverBase) begin() bool {
 	return true
 }
 
+//lsbp:hotpath
 func (b *solverBase) end() { b.mu.RUnlock() }
 
 // closeOnce runs release under the write lock the first time the solver
@@ -630,6 +637,8 @@ func (b *solverBase) Stats() SolverStats {
 // record folds one solve outcome into the counters and normalizes the
 // error: non-convergence becomes an ErrNotConverged wrap, context
 // aborts pass through.
+//
+//lsbp:hotpath
 func (b *solverBase) record(info SolveInfo, err error) (SolveInfo, error) {
 	b.iterations.Add(int64(info.Iterations))
 	if err != nil {
@@ -656,6 +665,8 @@ func (b *solverBase) errClosed() error {
 }
 
 // checkShapes validates one dst/e pair against the prepared dimensions.
+//
+//lsbp:hotpath
 func (b *solverBase) checkShapes(dst, e *beliefs.Residual) error {
 	if e == nil || dst == nil {
 		return fmt.Errorf("core: nil belief matrix: %w", errs.ErrDimensionMismatch)
@@ -851,6 +862,7 @@ func (s *linbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, 
 	return s.finish(dst, info, err)
 }
 
+//lsbp:hotpath
 func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
 	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
@@ -865,6 +877,8 @@ func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (
 
 // solveInto runs one counted-elsewhere solve on a pooled engine. The
 // caller holds the read lock and has validated the shapes.
+//
+//lsbp:hotpath
 func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
 	eng, err := s.states.get()
 	if err != nil {
@@ -879,6 +893,8 @@ func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (
 // iteration begins at start (a previous fixpoint in the caller's node
 // order) instead of Bˆ = 0, so a solve after a small input delta
 // converges in a fraction of the cold rounds. A nil start solves cold.
+//
+//lsbp:hotpath
 func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
 	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
@@ -899,6 +915,8 @@ func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resi
 
 // maxBlocks is the largest number of requests fused into one kernel
 // chunk for this solver's class count.
+//
+//lsbp:hotpath
 func (s *linbpSolver) maxBlocks() int {
 	b := batchWidth / s.k
 	if b < 1 {
@@ -916,6 +934,8 @@ func (s *linbpSolver) maxBlocks() int {
 // tolerance, and the shared round count and maximum delta are reported
 // for each. Results match the request's one-shot solve up to
 // summation-order rounding (~1 ulp per round).
+//
+//lsbp:hotpath
 func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {
 	if !s.begin() {
 		return failAll(reqs, s.errClosed())
@@ -923,6 +943,7 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 	defer s.end()
 	s.batches.Add(1)
 	s.batchReqs.Add(int64(len(reqs)))
+	//lsbp:ignore hotpath-noalloc -- the response slice is the batch path's one documented caller-owned allocation
 	resp := make([]Response, len(reqs))
 
 	// Chunk the well-shaped requests on the fly (failing ill-shaped
@@ -933,6 +954,7 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 	mb := s.maxBlocks()
 	cn := 0
 	var batchErr error
+	//lsbp:ignore hotpath-noalloc -- one closure per batch call, amortized over up to batchWidth solves per flush
 	flush := func() {
 		chunk := idx[:cn]
 		cn = 0
@@ -969,6 +991,8 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 // its responses. A returned error (context cancellation or engine
 // failure) tells SolveBatch to fail the remaining chunks without
 // running them.
+//
+//lsbp:hotpath
 func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Response, chunk []int) error {
 	c := len(chunk)
 	be, err := s.batch[c-1].get()
@@ -1017,10 +1041,10 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 	var chunkErr error
 	switch {
 	case runErr != nil:
-		chunkErr = fmt.Errorf("core: %v batch: %w", s.method, runErr)
+		chunkErr = fmt.Errorf("core: %v batch: %w", s.method, runErr) //lsbp:ignore hotpath-noalloc -- error construction runs only on cancelled chunks
 	case !converged:
-		chunkErr = fmt.Errorf("core: %v after %d iterations (delta %g): %w",
-			s.method, iters, delta, errs.ErrNotConverged)
+		//lsbp:ignore hotpath-noalloc -- error construction runs only on non-converged chunks
+		chunkErr = fmt.Errorf("core: %v after %d iterations (delta %g): %w", s.method, iters, delta, errs.ErrNotConverged)
 	}
 
 	// De-interleave results and fill the chunk's responses. When no
@@ -1045,7 +1069,7 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 		}
 		dst := reqs[ri].Dst
 		if dst == nil {
-			dst = beliefs.New(n, k)
+			dst = beliefs.New(n, k) //lsbp:ignore hotpath-noalloc -- a nil Dst is the caller opting out of zero-alloc
 		}
 		dd := dst.Matrix().Data()
 		if s.perm == nil {

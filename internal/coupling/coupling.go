@@ -149,7 +149,7 @@ func Sinkhorn(m *dense.Matrix, maxIter int, tolerance float64) (*dense.Matrix, e
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
 			if out.At(i, j) <= 0 {
-				return nil, fmt.Errorf("coupling: Sinkhorn needs positive entries, got %v at (%d,%d)", out.At(i, j), i, j)
+				return nil, fmt.Errorf("coupling: Sinkhorn needs positive entries, got %v at (%d,%d): %w", out.At(i, j), i, j, errs.ErrInvalidCoupling)
 			}
 		}
 	}

@@ -62,9 +62,13 @@ func Identity(n int) *Matrix {
 }
 
 // Rows returns the number of rows.
+//
+//lsbp:hotpath
 func (m *Matrix) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
+//
+//lsbp:hotpath
 func (m *Matrix) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
@@ -93,6 +97,8 @@ func (m *Matrix) check(i, j int) {
 
 // Row returns row i as a slice aliasing the matrix storage.
 // Mutating the returned slice mutates the matrix.
+//
+//lsbp:hotpath
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("dense: row %d out of range %d", i, m.rows))
@@ -101,6 +107,8 @@ func (m *Matrix) Row(i int) []float64 {
 }
 
 // Data returns the underlying row-major storage, aliasing the matrix.
+//
+//lsbp:hotpath
 func (m *Matrix) Data() []float64 { return m.data }
 
 // Clone returns a deep copy of m.

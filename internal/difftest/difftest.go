@@ -121,7 +121,7 @@ func Variants(m core.Method) []Variant {
 // floor); the k = 1 axis runs through RunKernelK1.
 func Problem(n, edges, k int, seed uint64) (*core.Problem, error) {
 	if k < 2 {
-		return nil, fmt.Errorf("difftest: Problem needs k >= 2, got %d (use RunKernelK1)", k)
+		return nil, fmt.Errorf("difftest: Problem needs k >= 2, got %d (use RunKernelK1): %w", k, errs.ErrInvalidInput)
 	}
 	g := gen.Random(n, edges, seed)
 	ho := coupling.Homophily(k, 0.8)

@@ -144,7 +144,7 @@ func (m *MemFS) Truncate(path string, size int64) error {
 	}
 	if size < 0 || size > int64(len(f.data)) {
 		if size < 0 {
-			return fmt.Errorf("durable: memfs truncate to negative size %d", size)
+			return fmt.Errorf("durable: memfs truncate to negative size %d: %w", size, os.ErrInvalid)
 		}
 		return nil
 	}
@@ -208,7 +208,7 @@ func (m *MemFS) FlipBit(path string, byteOff int64, bit uint) error {
 		return &os.PathError{Op: "flipbit", Path: path, Err: os.ErrNotExist}
 	}
 	if byteOff < 0 || byteOff >= int64(len(f.data)) {
-		return fmt.Errorf("durable: memfs flipbit offset %d outside %d-byte file", byteOff, len(f.data))
+		return fmt.Errorf("durable: memfs flipbit offset %d outside %d-byte file: %w", byteOff, len(f.data), os.ErrInvalid)
 	}
 	f.data[byteOff] ^= 1 << (bit % 8)
 	return nil
@@ -293,7 +293,7 @@ func (h *memHandle) writeAtLocked(p []byte, off int64) (int, error) {
 		return 0, os.ErrClosed
 	}
 	if h.rdonly {
-		return 0, fmt.Errorf("durable: memfs write on read-only handle")
+		return 0, fmt.Errorf("durable: memfs write on read-only handle: %w", os.ErrPermission)
 	}
 	f := h.f
 	end := off + int64(len(p))

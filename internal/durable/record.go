@@ -46,14 +46,26 @@ type Record struct {
 	Rows []BeliefRow
 }
 
+//lsbp:format
 const recHeader = 8 + 4 + 4 + 4 + 4
 
+//lsbp:hotpath
 func (r *Record) encodedLen() int {
 	return recHeader + len(r.Adds)*16 + len(r.Dels)*8 + len(r.Rows)*(4+8*r.K)
 }
 
 func (r *Record) encode() []byte {
 	b := make([]byte, r.encodedLen())
+	r.encodeInto(b)
+	return b
+}
+
+// encodeInto serializes the record into b, which must be exactly
+// encodedLen() bytes. Split from encode so the WAL append path can
+// reuse a pooled buffer instead of allocating per record.
+//
+//lsbp:hotpath
+func (r *Record) encodeInto(b []byte) {
 	le.PutUint64(b, r.Seq)
 	le.PutUint32(b[8:], uint32(r.K))
 	le.PutUint32(b[12:], uint32(len(r.Adds)))
@@ -79,7 +91,6 @@ func (r *Record) encode() []byte {
 			p += 8
 		}
 	}
-	return b
 }
 
 func decodeRecord(b []byte) (*Record, error) {

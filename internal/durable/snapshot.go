@@ -35,6 +35,8 @@ import (
 )
 
 // File names inside a durability directory.
+//
+//lsbp:format
 const (
 	SnapshotFile = "snapshot.lsbp"
 	snapshotTmp  = "snapshot.lsbp.tmp"
@@ -46,6 +48,13 @@ const (
 // misparsing.
 const FormatVersion = 1
 
+// formatLock pins the //lsbp:format declarations of this package to
+// FormatVersion: the durable-format analyzer recomputes the hash over
+// those declarations and fails the build if they changed without a
+// version bump and a re-lock. Run make lint for the expected value.
+const formatLock = "v1:dfaaa120c3d55d35"
+
+//lsbp:format
 const (
 	snapMagic  = "LSBPSNP1"
 	pageSize   = 4096
@@ -57,6 +66,8 @@ const (
 )
 
 // Flags (header offset 16).
+//
+//lsbp:format
 const (
 	flagWideColIdx = 1 << 0 // section kinds: colIdx stored as i64, not i32
 	flagHasLast    = 1 << 1 // warm-start fixpoint section present
@@ -66,6 +77,8 @@ const (
 )
 
 // Section kinds.
+//
+//lsbp:format
 const (
 	sectPerm       = 1 // n x i64 layout permutation
 	sectPartStarts = 2 // (P+1) x i64 partition boundaries
@@ -135,6 +148,31 @@ type section struct {
 	data []byte
 }
 
+// sumWriter is the checksumming section writer: it folds every byte it
+// forwards to the snapshot file into a running CRC-32C, so the section
+// table records checksums of the exact bytes sent to the file — a
+// payload write that bypasses it cannot get a checksum at all.
+type sumWriter struct {
+	f   File
+	crc uint32
+}
+
+// Write forwards to the underlying file, checksumming what was
+// actually accepted.
+//
+//lsbp:rawio
+func (sw *sumWriter) Write(p []byte) (int, error) {
+	n, err := sw.f.Write(p)
+	sw.crc = crc32.Update(sw.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// reset starts a fresh checksum domain (one per section).
+func (sw *sumWriter) reset() { sw.crc = 0 }
+
+// sum returns the CRC-32C of the bytes written since the last reset.
+func (sw *sumWriter) sum() uint32 { return sw.crc }
+
 func alignPage(off int64) int64 { return (off + pageSize - 1) &^ (pageSize - 1) }
 
 // WriteSnapshot publishes s atomically into dir: temp file, streamed
@@ -189,11 +227,13 @@ func WriteSnapshot(fsys FS, dir string, s *Snapshot) (err error) {
 		}
 	}()
 
-	// Stream the sections at aligned offsets, recording the table as
-	// we go; the header stays zeroed on disk until everything else is
-	// written, so a crash mid-write can never look like a snapshot.
+	// Stream the sections at aligned offsets through the checksumming
+	// writer, recording the table as we go; the header stays zeroed on
+	// disk until everything else is written, so a crash mid-write can
+	// never look like a snapshot.
+	sw := &sumWriter{f: f}
 	off := alignPage(int64(headerLen))
-	if err := writeZeros(f, off); err != nil {
+	if err := writeZeros(sw, off); err != nil {
 		return fmt.Errorf("durable: snapshot pad: %w", err)
 	}
 	for i, sec := range secs {
@@ -201,20 +241,21 @@ func WriteSnapshot(fsys FS, dir string, s *Snapshot) (err error) {
 		le.PutUint32(entry, sec.kind)
 		le.PutUint64(entry[8:], uint64(off))
 		le.PutUint64(entry[16:], uint64(len(sec.data)))
-		le.PutUint32(entry[24:], crc32.Checksum(sec.data, castagnoli))
-		if _, err := f.Write(sec.data); err != nil {
+		sw.reset()
+		if _, err := sw.Write(sec.data); err != nil {
 			return fmt.Errorf("durable: snapshot section %d: %w", sec.kind, err)
 		}
+		le.PutUint32(entry[24:], sw.sum())
 		off += int64(len(sec.data))
 		next := alignPage(off)
-		if err := writeZeros(f, next-off); err != nil {
+		if err := writeZeros(sw, next-off); err != nil {
 			return fmt.Errorf("durable: snapshot pad: %w", err)
 		}
 		off = next
 	}
 	le.PutUint32(header[headerLen-4:], crc32.Checksum(header[:headerLen-4], castagnoli))
-	if _, err := f.WriteAt(header, 0); err != nil {
-		return fmt.Errorf("durable: snapshot header: %w", err)
+	if err := patchHeader(f, header); err != nil {
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("durable: snapshot sync: %w", err)
@@ -259,7 +300,22 @@ func buildSections(s *Snapshot) []section {
 	return secs
 }
 
-func writeZeros(w io.Writer, n int64) error {
+// patchHeader publishes the completed header (its trailing CRC-32C
+// already stamped) under the section bytes at offset 0 — the last
+// write before the sync/rename publish. It is the one deliberate
+// bypass of the section writer: the header checksums itself.
+//
+//lsbp:rawio
+func patchHeader(f File, header []byte) error {
+	if _, err := f.WriteAt(header, 0); err != nil {
+		return fmt.Errorf("durable: snapshot header: %w", err)
+	}
+	return nil
+}
+
+// writeZeros pads with zero bytes through the section writer; padding
+// precedes each reset, so it never lands in a section's checksum.
+func writeZeros(w *sumWriter, n int64) error {
 	if n <= 0 {
 		return nil
 	}
@@ -347,7 +403,7 @@ func parseSnapshot(data []byte) (*Snapshot, error) {
 		return nil, corrupt("snapshot magic mismatch")
 	}
 	if v := le.Uint32(data[8:]); v != FormatVersion {
-		return nil, fmt.Errorf("durable: snapshot format version %d, this build reads %d", v, FormatVersion)
+		return nil, fmt.Errorf("durable: snapshot format version %d, this build reads %d: %w", v, FormatVersion, errs.ErrCorruptState)
 	}
 	count := int(le.Uint32(data[36:]))
 	headerLen := headerBase + sectEntry*count + 4

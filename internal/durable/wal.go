@@ -38,10 +38,14 @@ type Policy struct {
 }
 
 // frame header: u32 payload length, u32 CRC-32C.
+//
+//lsbp:format
 const frameHeader = 8
 
 // maxRecordLen bounds a single record frame; a length prefix above it
 // is treated as corruption rather than an allocation request.
+//
+//lsbp:format
 const maxRecordLen = 1 << 30
 
 // ErrRecordTooLarge is returned by Append for a batch whose encoding
@@ -65,9 +69,10 @@ type WAL struct {
 	dir     string
 	f       File
 	pol     Policy
-	pending int   // appends since the last flush
-	off     int64 // logical end: every acknowledged frame lies below it
-	err     error // sticky ErrWALBroken state; nil while healthy
+	pending int    // appends since the last flush
+	off     int64  // logical end: every acknowledged frame lies below it
+	err     error  // sticky ErrWALBroken state; nil while healthy
+	buf     []byte // reusable frame buffer: steady-state appends allocate nothing
 }
 
 // OpenWAL opens (creating if needed) dir's log for appending. The
@@ -103,19 +108,31 @@ func OpenWAL(fsys FS, dir string, pol Policy) (*WAL, error) {
 // pre-append boundary so later acknowledged records never land beyond
 // a torn or unacknowledged frame; if even that rollback fails, the
 // WAL enters a broken state and refuses further appends.
+//
+// Append writes the frame with WriteAt against its tracked offset; the
+// frame carries its own CRC-32C, which is the //lsbp:rawio license.
+//
+//lsbp:hotpath
+//lsbp:rawio
 func (w *WAL) Append(r *Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	if n := r.encodedLen(); n > maxRecordLen {
+	n := r.encodedLen()
+	if n > maxRecordLen {
 		return fmt.Errorf("durable: wal append: %d-byte record over the %d-byte frame limit (split the batch): %w",
 			n, maxRecordLen, ErrRecordTooLarge)
 	}
-	payload := r.encode()
-	frame := make([]byte, frameHeader+len(payload))
-	le.PutUint32(frame, uint32(len(payload)))
+	// Encode into the WAL's reusable buffer: after warm-up, appends
+	// perform zero allocations.
+	if cap(w.buf) < frameHeader+n {
+		w.growBuf(frameHeader + n)
+	}
+	frame := w.buf[:frameHeader+n]
+	payload := frame[frameHeader:]
+	r.encodeInto(payload)
+	le.PutUint32(frame, uint32(n))
 	le.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-	copy(frame[frameHeader:], payload)
 	// WriteAt against the tracked offset, not Write: after a rollback
 	// the handle's own cursor would be past the truncation point, and
 	// appending there would punch a zero-filled hole into the log.
@@ -159,7 +176,18 @@ func (w *WAL) rollback(off int64) {
 	w.off = off
 }
 
+// growBuf replaces the frame buffer with one of at least n bytes. Kept
+// out of Append so the allocation lives on an annotated init path —
+// it runs only while the buffer warms up to the workload's batch size.
+//
+//lsbp:hotpath-init
+func (w *WAL) growBuf(n int) {
+	w.buf = make([]byte, n)
+}
+
 // Sync flushes appended records to stable storage.
+//
+//lsbp:hotpath
 func (w *WAL) Sync() error {
 	if w.err != nil {
 		return w.err

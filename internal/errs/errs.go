@@ -39,4 +39,41 @@ var (
 	// structural validation and cannot be recovered from. The durable
 	// layer never serves a fixpoint from state that fails verification.
 	ErrCorruptState = errors.New("corrupt durable state")
+
+	// ErrInvalidInput reports caller-supplied data that is structurally
+	// ill-formed before any shapes are compared: self-loop or
+	// non-positive-weight edges, out-of-range priors or explicit
+	// beliefs, nil required components, or contradictory options.
+	// Distinct from ErrDimensionMismatch (shapes disagree between
+	// otherwise-valid components) and ErrNonFinite (NaN/Inf values).
+	ErrInvalidInput = errors.New("invalid input")
 )
+
+// Classify names the taxonomy class of err: the variable name of the
+// sentinel it wraps ("ErrNotConverged", ...), or "" when err is nil,
+// or "untyped" when it wraps none — which the lint gate
+// (errs-taxonomy) makes unreachable for errors produced inside this
+// module. Intended for metrics labels and log fields, so operators
+// aggregate failures by class rather than by unstable message text.
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	for _, c := range []struct {
+		sentinel error
+		name     string
+	}{
+		{ErrNotConverged, "ErrNotConverged"},
+		{ErrDimensionMismatch, "ErrDimensionMismatch"},
+		{ErrInvalidCoupling, "ErrInvalidCoupling"},
+		{ErrClosed, "ErrClosed"},
+		{ErrNonFinite, "ErrNonFinite"},
+		{ErrCorruptState, "ErrCorruptState"},
+		{ErrInvalidInput, "ErrInvalidInput"},
+	} {
+		if errors.Is(err, c.sentinel) {
+			return c.name
+		}
+	}
+	return "untyped"
+}

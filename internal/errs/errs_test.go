@@ -1,0 +1,50 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrNotConverged, "ErrNotConverged"},
+		{ErrDimensionMismatch, "ErrDimensionMismatch"},
+		{ErrInvalidCoupling, "ErrInvalidCoupling"},
+		{ErrClosed, "ErrClosed"},
+		{ErrNonFinite, "ErrNonFinite"},
+		{ErrCorruptState, "ErrCorruptState"},
+		{ErrInvalidInput, "ErrInvalidInput"},
+		{fmt.Errorf("solver: %w", ErrNotConverged), "ErrNotConverged"},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrCorruptState)), "ErrCorruptState"},
+		{errors.New("ad-hoc"), "untyped"},
+		{fmt.Errorf("wrapping nothing of ours: %w", errors.New("x")), "untyped"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestSentinelsDistinct guards against two sentinels ever aliasing:
+// errors.Is across distinct sentinels must always be false, or the
+// taxonomy (and every errors.Is call site in the module) silently
+// conflates failure classes.
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrNotConverged, ErrDimensionMismatch, ErrInvalidCoupling,
+		ErrClosed, ErrNonFinite, ErrCorruptState, ErrInvalidInput,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("errors.Is(%v, %v) = %v", a, b, i != j)
+			}
+		}
+	}
+}

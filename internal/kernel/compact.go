@@ -19,6 +19,8 @@ package kernel
 // the result stays bitwise identical while the mostly-dead round-2
 // loads disappear. The act == nil branch keeps the dense rounds on the
 // unchecked loop.
+//
+//lsbp:hotpath
 func (e *Engine) rows1Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -60,6 +62,7 @@ func (e *Engine) rows1Compact(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows2Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -112,6 +115,7 @@ func (e *Engine) rows2Compact(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows3Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -169,6 +173,7 @@ func (e *Engine) rows3Compact(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows5Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -240,6 +245,8 @@ func (e *Engine) rows5Compact(lo, hi int) float64 {
 
 // rows3x4Compact fuses four k=3 solves (width 12) over the compact
 // index stream; see rows3x4 for the register-blocking rationale.
+//
+//lsbp:hotpath
 func (e *Engine) rows3x4Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -329,6 +336,8 @@ func (e *Engine) rows3x4Compact(lo, hi int) float64 {
 
 // rows2x6Compact fuses six k=2 solves (width 12) over the compact index
 // stream, the k=2 analogue of rows3x4Compact.
+//
+//lsbp:hotpath
 func (e *Engine) rows2x6Compact(lo, hi int) float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	cur, next := e.ws.cur, e.ws.next
@@ -426,6 +435,8 @@ func (e *Engine) rows2x6Compact(lo, hi int) float64 {
 // themselves. All untouched rows provably stay zero. Per-entry
 // contributions arrive in ascending source order, matching the pull
 // kernels' summation order, so the iterate is bitwise identical.
+//
+//lsbp:hotpath
 func (e *Engine) sparseRoundCompact() float64 {
 	rowPtr, colIdx, avals := e.rp32, e.ci32, e.vals
 	n, k, wd := e.n, e.k, e.wd

@@ -33,7 +33,6 @@ package kernel
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -124,6 +123,8 @@ type span struct{ lo, hi int }
 
 // scratchStride returns the padded per-worker scratch width: at least k,
 // rounded up to a full 64-byte cache line to avoid false sharing.
+//
+//lsbp:hotpath
 func scratchStride(k int) int { return (k + 7) &^ 7 }
 
 // Workspace holds the large reusable buffers of an Engine. Workspaces
@@ -141,15 +142,21 @@ var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
 
 // GetWorkspace returns a workspace from the package pool. Release it
 // when the engine using it is closed.
+//
+//lsbp:hotpath-init
 func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
 
 // Release returns the workspace to the pool. The caller must not use
 // the workspace (or any engine built on it) afterwards.
+//
+//lsbp:hotpath-init
 func (w *Workspace) Release() { wsPool.Put(w) }
 
 // grow resizes the workspace for a problem with n rows of width wd
 // (wd = blocks·k) and a k×k coupling, reusing existing capacity
 // whenever possible.
+//
+//lsbp:hotpath-init
 func (w *Workspace) grow(n, wd, k, workers int) {
 	w.cur = growSlice(w.cur, n*wd)
 	w.next = growSlice(w.next, n*wd)
@@ -165,6 +172,7 @@ func (w *Workspace) grow(n, wd, k, workers int) {
 	w.dirty = w.dirty[:n]
 }
 
+//lsbp:hotpath-init
 func growSlice(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -231,21 +239,21 @@ type Engine struct {
 // caller releases it after Close). Beliefs start at Bˆ = 0.
 func New(cfg Config, ws *Workspace) (*Engine, error) {
 	if cfg.A == nil || cfg.H == nil {
-		return nil, errors.New("kernel: config needs A and H")
+		return nil, fmt.Errorf("kernel: config needs A and H: %w", errs.ErrInvalidInput)
 	}
 	n := cfg.A.Rows()
 	if cfg.A.Cols() != n {
-		return nil, fmt.Errorf("kernel: adjacency %dx%d is not square", n, cfg.A.Cols())
+		return nil, fmt.Errorf("kernel: adjacency %dx%d is not square: %w", n, cfg.A.Cols(), errs.ErrDimensionMismatch)
 	}
 	k := cfg.H.Rows()
 	if cfg.H.Cols() != k {
-		return nil, fmt.Errorf("kernel: coupling %dx%d is not square", k, cfg.H.Cols())
+		return nil, fmt.Errorf("kernel: coupling %dx%d is not square: %w", k, cfg.H.Cols(), errs.ErrDimensionMismatch)
 	}
 	if cfg.D != nil && len(cfg.D) != n {
-		return nil, fmt.Errorf("kernel: degree vector length %d, want %d", len(cfg.D), n)
+		return nil, fmt.Errorf("kernel: degree vector length %d, want %d: %w", len(cfg.D), n, errs.ErrDimensionMismatch)
 	}
 	if cfg.EchoH != nil && (cfg.EchoH.Rows() != k || cfg.EchoH.Cols() != k) {
-		return nil, fmt.Errorf("kernel: echo coupling %dx%d, want %dx%d", cfg.EchoH.Rows(), cfg.EchoH.Cols(), k, k)
+		return nil, fmt.Errorf("kernel: echo coupling %dx%d, want %dx%d: %w", cfg.EchoH.Rows(), cfg.EchoH.Cols(), k, k, errs.ErrDimensionMismatch)
 	}
 	workers := cfg.Workers
 	if workers < 1 {
@@ -320,6 +328,8 @@ func New(cfg Config, ws *Workspace) (*Engine, error) {
 // checkOpen panics on use after Close: a closed engine may share its
 // workspace with a newer engine through the pool, so continuing to
 // write would silently corrupt the other engine's state.
+//
+//lsbp:hotpath
 func (e *Engine) checkOpen() {
 	if e.closed {
 		panic("kernel: engine used after Close")
@@ -327,6 +337,8 @@ func (e *Engine) checkOpen() {
 }
 
 // Reset zeroes the belief state (the Bˆ = 0 start of Section 3).
+//
+//lsbp:hotpath
 func (e *Engine) Reset() {
 	e.checkOpen()
 	for i := range e.ws.cur {
@@ -341,6 +353,8 @@ func (e *Engine) Reset() {
 // in full (or zeroes it when Eˆ is nil), so the eager clear would be
 // redundant stores. Callers that might read Beliefs before completing
 // a round must use Reset.
+//
+//lsbp:hotpath
 func (e *Engine) ResetFast() {
 	e.checkOpen()
 	e.startZero = true
@@ -349,9 +363,13 @@ func (e *Engine) ResetFast() {
 
 // Width returns the flat row width of the engine's state: k for a
 // single-problem engine, blocks·k for a batched one.
+//
+//lsbp:hotpath
 func (e *Engine) Width() int { return e.wd }
 
 // SetStart warm-starts the iteration from b (flat n×width, copied).
+//
+//lsbp:hotpath
 func (e *Engine) SetStart(b []float64) {
 	e.checkOpen()
 	if len(b) != e.n*e.wd {
@@ -369,6 +387,8 @@ func (e *Engine) SetStart(b []float64) {
 // intermediate shuffle buffer. A nil perm is SetStart. Like SetStart it
 // cancels the Bˆ¹ = Eˆ zero-start shortcut: the next Step runs a full
 // round from the provided state.
+//
+//lsbp:hotpath
 func (e *Engine) SetStartPermuted(b []float64, perm []int) {
 	if perm == nil {
 		e.SetStart(b)
@@ -393,6 +413,8 @@ func (e *Engine) SetStartPermuted(b []float64, perm []int) {
 // SetExplicit installs the explicit residual beliefs Eˆ (flat n×width).
 // The slice is retained, not copied, so callers may mutate entries
 // between steps (the incremental solver does). nil means Eˆ = 0.
+//
+//lsbp:hotpath
 func (e *Engine) SetExplicit(explicit []float64) {
 	if explicit != nil && len(explicit) != e.n*e.wd {
 		panic(fmt.Sprintf("kernel: explicit length %d, want %d", len(explicit), e.n*e.wd))
@@ -403,6 +425,8 @@ func (e *Engine) SetExplicit(explicit []float64) {
 // Beliefs returns the current belief state as a flat n×width view of
 // the engine's buffer. Valid until the next Step/Run; treat as
 // read-only.
+//
+//lsbp:hotpath
 func (e *Engine) Beliefs() []float64 {
 	e.checkOpen()
 	return e.ws.cur[:e.n*e.wd]
@@ -410,6 +434,8 @@ func (e *Engine) Beliefs() []float64 {
 
 // Step executes one fused update round and returns the maximum absolute
 // belief change. Steady-state Steps perform no allocations.
+//
+//lsbp:hotpath
 func (e *Engine) Step() float64 {
 	e.checkOpen()
 	if e.startZero {
@@ -472,6 +498,8 @@ func (e *Engine) Step() float64 {
 // Run iterates Step up to maxIter times, stopping early once the delta
 // drops to tol (tol < 0 forces exactly maxIter rounds, the paper's
 // timing setup). onIter, if non-nil, observes every round.
+//
+//lsbp:hotpath
 func (e *Engine) Run(maxIter int, tol float64, onIter func(iter int, delta float64)) (iters int, delta float64, converged bool) {
 	iters, delta, converged, _ = e.RunContext(context.Background(), maxIter, tol, onIter)
 	return iters, delta, converged
@@ -483,6 +511,8 @@ func (e *Engine) Run(maxIter int, tol float64, onIter func(iter int, delta float
 // rounds completed so far and ctx.Err() (context.Canceled or
 // context.DeadlineExceeded); the belief state holds the last completed
 // iterate. A nil ctx disables the checks.
+//
+//lsbp:hotpath
 func (e *Engine) RunContext(ctx context.Context, maxIter int, tol float64, onIter func(iter int, delta float64)) (iters int, delta float64, converged bool, err error) {
 	e.checkOpen()
 	var done <-chan struct{}
@@ -528,6 +558,8 @@ func (e *Engine) RunContext(ctx context.Context, maxIter int, tol float64, onIte
 // (Lemma 8), so the spectral criteria and the solver share one
 // implementation of the operator. dst and src are flat n×width and
 // must not alias. The engine's iteration state is left untouched.
+//
+//lsbp:hotpath
 func (e *Engine) ApplyInto(dst, src []float64) {
 	e.checkOpen()
 	if len(src) != e.n*e.wd || len(dst) != e.n*e.wd {
@@ -541,6 +573,8 @@ func (e *Engine) ApplyInto(dst, src []float64) {
 
 // pass runs one full fused update ws.cur → ws.next and returns the max
 // delta (ignored by the spectral ApplyInto path).
+//
+//lsbp:hotpath
 func (e *Engine) pass() float64 {
 	if e.partStarts != nil {
 		return e.partPass()
@@ -567,6 +601,8 @@ func (e *Engine) pass() float64 {
 // nnz-balanced spans it consumes. Spans are finer than the worker count
 // so a heavy span (Kronecker graphs have very skewed rows) can be
 // compensated by work stealing from the shared channel.
+//
+//lsbp:hotpath-init
 func (e *Engine) startWorkers() {
 	if e.started {
 		return
@@ -592,6 +628,7 @@ func (e *Engine) startWorkers() {
 	e.started = true
 }
 
+//lsbp:hotpath
 func (e *Engine) worker(scratch []float64) {
 	for s := range e.work {
 		e.results <- e.rows(s.lo, s.hi, scratch)
@@ -619,6 +656,8 @@ func (e *Engine) Close() {
 // storage for the generic/blocked path. The compact layout dispatches
 // to the hoisted int32 kernels; the wide layout runs the original
 // (PR 2) methods unchanged.
+//
+//lsbp:hotpath
 func (e *Engine) rows(lo, hi int, scratch []float64) float64 {
 	if e.ci32 != nil {
 		// The compact kernels cover the unrolled shapes (the class
@@ -679,6 +718,8 @@ func (e *Engine) rows(lo, hi int, scratch []float64) float64 {
 // rows3x4 fuses four k=3 solves (width 12): one CSR traversal per row
 // feeds twelve register accumulators, then the coupling and echo terms
 // are applied per block exactly as rows3 does.
+//
+//lsbp:hotpath
 func (e *Engine) rows3x4(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h, g := e.h, e.h2
@@ -770,6 +811,8 @@ func (e *Engine) rows3x4(lo, hi int) float64 {
 
 // rows2x6 fuses six k=2 solves (width 12), the k=2 analogue of rows3x4
 // with the summation order of rows2.
+//
+//lsbp:hotpath
 func (e *Engine) rows2x6(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h00, h01, h10, h11 := e.h[0], e.h[1], e.h[2], e.h[3]
@@ -857,6 +900,8 @@ func (e *Engine) rows2x6(lo, hi int) float64 {
 // delta1 folds one element change into the running max, mapping the NaN
 // of Inf−Inf (post-overflow divergence) to +Inf so divergence is
 // reported rather than masked.
+//
+//lsbp:hotpath
 func delta1(delta, v, b float64) float64 {
 	ch := math.Abs(v - b)
 	if ch != ch {
@@ -870,6 +915,8 @@ func delta1(delta, v, b float64) float64 {
 
 // rows1 is the k = 1 scalar collapse (FABP, Appendix E):
 // next = e + h·(A·b) − h₂·d∘b.
+//
+//lsbp:hotpath
 func (e *Engine) rows1(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h, h2 := e.h[0], e.h2[0]
@@ -897,6 +944,7 @@ func (e *Engine) rows1(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows2(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h00, h01, h10, h11 := e.h[0], e.h[1], e.h[2], e.h[3]
@@ -935,6 +983,7 @@ func (e *Engine) rows2(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows3(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h00, h01, h02 := e.h[0], e.h[1], e.h[2]
@@ -981,6 +1030,7 @@ func (e *Engine) rows3(lo, hi int) float64 {
 	return delta
 }
 
+//lsbp:hotpath
 func (e *Engine) rows5(lo, hi int) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	h, g := e.h, e.h2
@@ -1036,6 +1086,8 @@ func (e *Engine) rows5(lo, hi int) float64 {
 // contiguous, so a batched engine reads each neighbor once for every
 // request in the batch), then the coupling and echo terms are applied
 // per k-block so each block evolves exactly as in a blocks=1 engine.
+//
+//lsbp:hotpath
 func (e *Engine) rowsBlocked(lo, hi int, scratch []float64) float64 {
 	cur, next := e.ws.cur, e.ws.next
 	k, wd := e.k, e.wd
@@ -1106,6 +1158,8 @@ const compactBatchMinNodes = 1 << 15
 // and the width-12 batch blocks above the size gate (below it the
 // epilogue costs more than the act-skip pull). Generic shapes keep the
 // pull round, whose blocked epilogue accumulates in a different order.
+//
+//lsbp:hotpath
 func (e *Engine) sparseRoundEligible() bool {
 	// The partitioned plane does not disqualify: the push round runs
 	// serially on the parent engine (Step takes it before dispatching

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/errs"
 )
 
 // partWorker is one partition-bound persistent worker: a fixed row
@@ -42,14 +44,14 @@ type partWorker struct {
 // partition of [0, n).
 func validPartitionStarts(starts []int, n int) error {
 	if len(starts) < 2 {
-		return fmt.Errorf("kernel: partition needs at least 2 boundaries, got %d", len(starts))
+		return fmt.Errorf("kernel: partition needs at least 2 boundaries, got %d: %w", len(starts), errs.ErrInvalidInput)
 	}
 	if starts[0] != 0 || starts[len(starts)-1] != n {
-		return fmt.Errorf("kernel: partition spans [%d, %d), want [0, %d)", starts[0], starts[len(starts)-1], n)
+		return fmt.Errorf("kernel: partition spans [%d, %d), want [0, %d): %w", starts[0], starts[len(starts)-1], n, errs.ErrInvalidInput)
 	}
 	for i := 1; i < len(starts); i++ {
 		if starts[i] < starts[i-1] {
-			return fmt.Errorf("kernel: partition boundaries not ascending at index %d", i)
+			return fmt.Errorf("kernel: partition boundaries not ascending at index %d: %w", i, errs.ErrInvalidInput)
 		}
 	}
 	return nil
@@ -58,6 +60,8 @@ func validPartitionStarts(starts []int, n int) error {
 // startPartWorkers lazily spawns the partition-bound workers on the
 // first partitioned pass and blocks until every worker has built its
 // private block state (so no round races a worker's initialization).
+//
+//lsbp:hotpath-init
 func (e *Engine) startPartWorkers() {
 	if e.partStarted {
 		return
@@ -82,9 +86,24 @@ func (e *Engine) startPartWorkers() {
 // CSR copy, its compact index, the scratch row — is allocated and
 // written here, on the locked OS thread that will use it every round,
 // so first-touch page placement keeps it NUMA-local to this worker.
+//
+//lsbp:hotpath
 func (w *partWorker) run(parent *Engine, ready *sync.WaitGroup) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
+	w.init(parent)
+	ready.Done()
+	for range w.work {
+		w.res <- w.sub.rows(w.lo, w.hi, w.scratch)
+	}
+}
+
+// init builds the worker's private block state. It runs exactly once,
+// before the worker signals ready, and is the only allocating part of
+// the worker's lifetime.
+//
+//lsbp:hotpath-init
+func (w *partWorker) init(parent *Engine) {
 	blk := parent.a.RowBlockCSR(w.lo, w.hi)
 	sub := &Engine{
 		a:      blk,
@@ -110,10 +129,6 @@ func (w *partWorker) run(parent *Engine, ready *sync.WaitGroup) {
 	}
 	w.scratch = make([]float64, scratchStride(parent.wd))
 	w.sub = sub
-	ready.Done()
-	for range w.work {
-		w.res <- sub.rows(w.lo, w.hi, w.scratch)
-	}
 }
 
 // partPass runs one update round on the partitioned plane: trigger every
@@ -121,6 +136,8 @@ func (w *partWorker) run(parent *Engine, ready *sync.WaitGroup) {
 // deltas — the merge half of the round's single merge/exchange step (the
 // exchange half is the caller's cur/next buffer swap, which publishes
 // every block's new beliefs, halo rows included, to all partitions).
+//
+//lsbp:hotpath
 func (e *Engine) partPass() float64 {
 	e.startPartWorkers()
 	for _, w := range e.partWorkers {

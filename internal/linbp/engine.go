@@ -92,6 +92,8 @@ func (s *Engine) Solve(e *beliefs.Residual) (*Result, error) {
 // SolveInto runs LinBP for the explicit beliefs e and writes the final
 // residual beliefs into dst (n×k, overwritten). In steady state it
 // performs no allocations.
+//
+//lsbp:hotpath
 func (s *Engine) SolveInto(dst *beliefs.Residual, e *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
 	return s.SolveIntoContext(context.Background(), dst, e)
 }
@@ -100,6 +102,8 @@ func (s *Engine) SolveInto(dst *beliefs.Residual, e *beliefs.Residual) (iters in
 // checked at every kernel round boundary, and on cancellation the
 // solve aborts with ctx.Err() after at most one more round. dst then
 // holds the last completed iterate.
+//
+//lsbp:hotpath
 func (s *Engine) SolveIntoContext(ctx context.Context, dst *beliefs.Residual, e *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
 	return s.SolveFromIntoContext(ctx, dst, e, nil)
 }
@@ -115,6 +119,8 @@ func (s *Engine) SolveIntoContext(ctx context.Context, dst *beliefs.Residual, e 
 // answer. A nil start is the ordinary cold solve (with its Bˆ¹ = Eˆ
 // first-round shortcut); a non-nil start disables that shortcut and
 // runs full rounds from the given state.
+//
+//lsbp:hotpath
 func (s *Engine) SolveFromIntoContext(ctx context.Context, dst, e, start *beliefs.Residual) (iters int, delta float64, converged bool, err error) {
 	if s.closed {
 		return 0, 0, false, fmt.Errorf("linbp: %w", errs.ErrClosed)

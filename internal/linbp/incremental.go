@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/beliefs"
 	"repro/internal/dense"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/kernel"
 )
@@ -29,7 +30,7 @@ func runFrom(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, opts Options,
 		return nil, err
 	}
 	if start != nil && (start.N() != n || start.K() != k) {
-		return nil, fmt.Errorf("linbp: start matrix %dx%d does not match n=%d k=%d", start.N(), start.K(), n, k)
+		return nil, fmt.Errorf("linbp: start matrix %dx%d does not match n=%d k=%d: %w", start.N(), start.K(), n, k, errs.ErrDimensionMismatch)
 	}
 	var d []float64
 	if opts.EchoCancellation {

@@ -129,7 +129,7 @@ func ClosedForm(g *graph.Graph, e *beliefs.Residual, h *dense.Matrix, echo bool)
 		return nil, err
 	}
 	if n*k > ClosedFormLimit {
-		return nil, fmt.Errorf("linbp: closed form needs n·k <= %d, got %d", ClosedFormLimit, n*k)
+		return nil, fmt.Errorf("linbp: closed form needs n·k <= %d, got %d: %w", ClosedFormLimit, n*k, errs.ErrInvalidInput)
 	}
 	// Dense A and D.
 	a := g.Adjacency()

@@ -62,6 +62,8 @@ func (p Permutation) Inverse() Permutation {
 // ApplyRows writes dst row p[i] = src row i for n rows of width k in
 // flat row-major storage; with a nil receiver it degrades to a copy.
 // dst and src must not alias.
+//
+//lsbp:hotpath
 func (p Permutation) ApplyRows(dst, src []float64, k int) {
 	if p == nil {
 		copy(dst, src)
@@ -75,6 +77,8 @@ func (p Permutation) ApplyRows(dst, src []float64, k int) {
 // InvertRows writes dst row i = src row p[i] — the inverse of
 // ApplyRows, used to bring permuted solver output back to the caller's
 // node order. dst and src must not alias.
+//
+//lsbp:hotpath
 func (p Permutation) InvertRows(dst, src []float64, k int) {
 	if p == nil {
 		copy(dst, src)

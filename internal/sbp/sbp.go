@@ -160,7 +160,7 @@ func (st *State) Graph() *graph.Graph { return st.g }
 // recomputation (Proposition 22).
 func (st *State) AddExplicitBeliefs(en *beliefs.Residual) error {
 	if en.N() != st.g.N() || en.K() != st.h.Rows() {
-		return fmt.Errorf("sbp: update matrix %dx%d does not match state", en.N(), en.K())
+		return fmt.Errorf("sbp: update matrix %dx%d does not match state: %w", en.N(), en.K(), errs.ErrDimensionMismatch)
 	}
 	newNodes := en.ExplicitNodes()
 	if len(newNodes) == 0 {
@@ -204,13 +204,13 @@ func (st *State) AddEdges(edges []graph.Edge) error {
 	n := st.g.N()
 	for _, e := range edges {
 		if e.S < 0 || e.S >= n || e.T < 0 || e.T >= n {
-			return fmt.Errorf("sbp: edge (%d,%d) out of range n=%d", e.S, e.T, n)
+			return fmt.Errorf("sbp: edge (%d,%d) out of range n=%d: %w", e.S, e.T, n, errs.ErrInvalidInput)
 		}
 		if e.W <= 0 {
-			return fmt.Errorf("sbp: non-positive edge weight %v", e.W)
+			return fmt.Errorf("sbp: non-positive edge weight %v: %w", e.W, errs.ErrInvalidInput)
 		}
 		if e.S == e.T {
-			return fmt.Errorf("sbp: self-loop at %d not supported", e.S)
+			return fmt.Errorf("sbp: self-loop at %d not supported: %w", e.S, errs.ErrInvalidInput)
 		}
 	}
 	// Line 1: update the adjacency structure.

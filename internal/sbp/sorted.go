@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 )
 
@@ -29,13 +30,13 @@ func (st *State) AddEdgesSorted(edges []graph.Edge) error {
 	n := st.g.N()
 	for _, e := range edges {
 		if e.S < 0 || e.S >= n || e.T < 0 || e.T >= n {
-			return fmt.Errorf("sbp: edge (%d,%d) out of range n=%d", e.S, e.T, n)
+			return fmt.Errorf("sbp: edge (%d,%d) out of range n=%d: %w", e.S, e.T, n, errs.ErrInvalidInput)
 		}
 		if e.W <= 0 {
-			return fmt.Errorf("sbp: non-positive edge weight %v", e.W)
+			return fmt.Errorf("sbp: non-positive edge weight %v: %w", e.W, errs.ErrInvalidInput)
 		}
 		if e.S == e.T {
-			return fmt.Errorf("sbp: self-loop at %d not supported", e.S)
+			return fmt.Errorf("sbp: self-loop at %d not supported: %w", e.S, errs.ErrInvalidInput)
 		}
 	}
 	for _, e := range edges {

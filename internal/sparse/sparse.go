@@ -214,6 +214,8 @@ func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
 // slices aliasing the CSR storage. Callers must not modify them. Unlike
 // Row it involves no callback, so it is the zero-overhead accessor used
 // by the fused compute kernels.
+//
+//lsbp:hotpath
 func (m *CSR) RowView(i int) (cols []int, vals []float64) {
 	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 	return m.colIdx[lo:hi], m.val[lo:hi]
