@@ -36,9 +36,16 @@
 #                   start (Open) vs full re-Prepare on the same large
 #                   Kronecker graph, plus WAL append overhead per fsync
 #                   policy, archived into BENCH_results.json
+#   make bench-serve - the serving front-end benchmark: closed-loop
+#                   Solve throughput through admission control and
+#                   request coalescing, archived into BENCH_results.json
 #   make crash    - the fault-injection crash-recovery matrix (torn
 #                   appends, bit rot, lying fsyncs, interrupted
 #                   checkpoints) under -race
+#   make loadtest - the serving-plane overload smoke: the closed-loop
+#                   2x-saturation shed/recovery test, the WAL-broken
+#                   degraded-mode flip, and the lsbpd daemon boot/drain
+#                   round trip — under -race
 #
 # Tuning knobs (see EXPERIMENTS.md):
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
@@ -48,7 +55,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 COVER_FLOOR ?= 70
-COVER_PKGS = internal/kernel internal/order internal/sparse internal/core internal/difftest internal/durable internal/errs cmd/benchjson
+COVER_PKGS = internal/kernel internal/order internal/sparse internal/core internal/difftest internal/durable internal/errs internal/serve cmd/benchjson
 # RACE_PKGS must cover every concurrency-relevant ./internal/ package
 # (directly or through module-internal imports); `make lint` fails if
 # one is missing (internal/analysis race-pkgs check). Extra entries are
@@ -56,7 +63,8 @@ COVER_PKGS = internal/kernel internal/order internal/sparse internal/core intern
 RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/fabp/ \
 	./internal/core/ ./internal/difftest/ ./internal/durable/ ./internal/bp/ \
 	./internal/sbp/ ./internal/order/ ./internal/experiments/ ./internal/gen/ \
-	./internal/learn/ ./internal/mooij/ ./internal/relalgo/ ./internal/spectral/
+	./internal/learn/ ./internal/mooij/ ./internal/relalgo/ ./internal/spectral/ \
+	./internal/serve/ ./internal/metrics/
 
 .PHONY: verify test fmt vet build cover lint bench bench-quick bench-batch bench-reorder bench-partition bench-update bench-durable race test-race crash
 
@@ -141,3 +149,15 @@ bench-update:
 bench-durable:
 	$(GO) test -bench 'BenchmarkColdStart|BenchmarkWALAppend' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json
+
+bench-serve:
+	$(GO) test -bench 'BenchmarkServe' -benchmem -run '^$$' -benchtime $(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+# The serving-plane acceptance smoke (see EXPERIMENTS.md "Overload
+# behavior"): typed shedding at 2x saturation with bounded p99 and
+# clean recovery, the degraded-mode flip on a broken WAL, and a full
+# lsbpd boot -> serve -> drain round trip.
+.PHONY: loadtest
+loadtest:
+	$(GO) test -race -count=1 -run 'TestClosedLoopOverload|TestDegradedModeOnWALBreak|TestEveryShedPathIsTyped|TestDaemon' ./internal/serve/ ./cmd/lsbpd/

@@ -1,0 +1,308 @@
+// Command lsbpd serves top-belief inference over HTTP: a prepared
+// solver behind the overload-safe front end (bounded admission queue,
+// request coalescing into fused batches, deadline-aware shedding,
+// read-only degradation on durable failures).
+//
+// Usage:
+//
+//	lsbpd -edges graph.txt -labels labels.txt -k 3 -addr :8080
+//	lsbpd -kron 8 -k 3                  # synthetic Kronecker graph
+//	lsbpd -random 10000,30000 -k 3      # synthetic random graph
+//	lsbpd -state dir                    # recover a durable solver
+//
+// Endpoints (see internal/serve): POST /v1/solve, POST /v1/update,
+// GET /v1/beliefs/{node}, GET /v1/top?class=&k=, GET /healthz,
+// GET /readyz, GET /statz. Every rejection carries a JSON body with
+// the typed taxonomy class; overload responses are 503 with
+// Retry-After.
+//
+// On SIGINT/SIGTERM the daemon flips /readyz to 503, drains the
+// admission queue (bounded by -drain-timeout), and exits cleanly.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	lsbp "repro"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable context, arguments, and streams so the
+// smoke test can boot the daemon in-process and shut it down.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lsbpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		edgesPath = fs.String("edges", "", "edge list file: 's t [w]' per line")
+		labelPath = fs.String("labels", "", "label file: 'node class' per line")
+		kron      = fs.Int("kron", 0, "serve the p-th Kronecker power graph instead of -edges")
+		random    = fs.String("random", "", "serve a random graph: 'nodes,edges'")
+		k         = fs.Int("k", 3, "number of classes")
+		eps       = fs.Float64("eps", 0, "coupling scale εH (0 = derive a safe value)")
+		method    = fs.String("method", "linbp", "inference method: bp|linbp|linbp*|sbp|fabp")
+		workers   = fs.Int("workers", 0, "kernel worker goroutines (0 = serial)")
+		maxIter   = fs.Int("maxiter", 200, "iteration budget per solve")
+		state     = fs.String("state", "", "durable state dir (recovered when it already holds state)")
+		fsync     = fs.String("fsync", "always", "durability fsync cadence: always|interval|never")
+		inFlight  = fs.Int("inflight", 2, "concurrent batch dispatches into the kernel")
+		maxBatch  = fs.Int("max-batch", 0, "requests coalesced per dispatch (0 = 2x the solver's batch hint)")
+		maxQueue  = fs.Int("max-queue", 64, "admission queue depth; beyond it the most-stale waiter is shed")
+		timeout   = fs.Duration("timeout", 30*time.Second, "server-side ceiling per solve/update")
+		maxBody   = fs.Int64("max-body", 8<<20, "request body byte limit")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		seedFrac  = fs.Float64("seed-frac", 0.05, "explicit-belief fraction for synthetic graphs")
+		seed      = fs.Uint64("seed", 42, "synthetic graph/belief seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	solver, err := buildSolver(solverSpec{
+		edges: *edgesPath, labels: *labelPath, kron: *kron, random: *random,
+		k: *k, eps: *eps, method: *method, workers: *workers, maxIter: *maxIter,
+		state: *state, fsync: *fsync, seedFrac: *seedFrac, seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "lsbpd: %v\n", err)
+		return 1
+	}
+	defer solver.Close()
+
+	front := lsbp.NewFrontEnd(solver, lsbp.ServeConfig{
+		MaxInFlight: *inFlight,
+		MaxBatch:    *maxBatch,
+		MaxQueue:    *maxQueue,
+	})
+	// Seed the fixpoint behind /v1/beliefs and /v1/top. A solver
+	// recovered from -state replays its WAL first, so this publishes
+	// the recovered fixpoint.
+	if _, err := front.Update(ctx, lsbp.Update{}); err != nil && !errors.Is(err, lsbp.ErrNotConverged) {
+		fmt.Fprintf(stderr, "lsbpd: seeding fixpoint: %v\n", err)
+		front.Close()
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lsbpd: %v\n", err)
+		front.Close()
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           front.Handler(lsbp.HTTPConfig{MaxBody: *maxBody, Timeout: *timeout}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout,
+		WriteTimeout:      2 * *timeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	st := solver.Stats()
+	fmt.Fprintf(stdout, "lsbpd listening on %s (method=%s n=%d k=%d)\n", ln.Addr(), st.Method, st.N, st.K)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "lsbpd: serve: %v\n", err)
+		front.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop admission (readyz flips 503 for the load
+	// balancer), flush the queue, then close the listener.
+	fmt.Fprintln(stdout, "lsbpd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := front.Drain(dctx); err != nil {
+		fmt.Fprintf(stderr, "lsbpd: drain: %v\n", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "lsbpd: shutdown: %v\n", err)
+	}
+	front.Close()
+	fmt.Fprintln(stdout, "lsbpd: stopped")
+	return 0
+}
+
+type solverSpec struct {
+	edges, labels string
+	kron          int
+	random        string
+	k             int
+	eps           float64
+	method        string
+	workers       int
+	maxIter       int
+	state, fsync  string
+	seedFrac      float64
+	seed          uint64
+}
+
+func buildSolver(sp solverSpec) (lsbp.Solver, error) {
+	opts := []lsbp.Option{lsbp.WithMaxIter(sp.maxIter)}
+	if sp.workers > 0 {
+		opts = append(opts, lsbp.WithWorkers(sp.workers))
+	}
+	if sp.eps <= 0 {
+		opts = append(opts, lsbp.WithAutoEpsilonH())
+	}
+	if sp.state != "" {
+		pol, err := parseFsync(sp.fsync)
+		if err != nil {
+			return nil, err
+		}
+		if lsbp.HasState(sp.state) {
+			return lsbp.Open(sp.state, opts...)
+		}
+		opts = append(opts, lsbp.WithDurability(sp.state, pol))
+	}
+
+	method, err := parseMethod(sp.method)
+	if err != nil {
+		return nil, err
+	}
+	var g *lsbp.Graph
+	var e *lsbp.Beliefs
+	switch {
+	case sp.edges != "":
+		if g, err = readEdges(sp.edges); err != nil {
+			return nil, err
+		}
+		if sp.labels == "" {
+			return nil, errors.New("-edges needs -labels")
+		}
+		if e, err = readLabels(sp.labels, g.N(), sp.k); err != nil {
+			return nil, err
+		}
+	case sp.kron > 0:
+		g = lsbp.KroneckerGraph(sp.kron)
+		e, _ = lsbp.SeedBeliefs(g.N(), sp.k, lsbp.SeedConfig{Fraction: sp.seedFrac, Seed: sp.seed})
+	case sp.random != "":
+		n, m, err := parsePair(sp.random)
+		if err != nil {
+			return nil, fmt.Errorf("-random: %w", err)
+		}
+		g = lsbp.RandomGraph(n, m, sp.seed)
+		e, _ = lsbp.SeedBeliefs(g.N(), sp.k, lsbp.SeedConfig{Fraction: sp.seedFrac, Seed: sp.seed})
+	default:
+		return nil, errors.New("need one of -edges, -kron, -random, or a recoverable -state dir")
+	}
+
+	eps := sp.eps
+	if eps <= 0 {
+		eps = 0.1 // WithAutoEpsilonH shrinks it to the safe range at prepare time
+	}
+	p := &lsbp.Problem{Graph: g, Explicit: e, Ho: lsbp.Homophily(sp.k, 0.8), EpsilonH: eps}
+	return lsbp.Prepare(p, method, opts...)
+}
+
+func parseMethod(name string) (lsbp.Method, error) {
+	switch strings.ToLower(name) {
+	case "bp":
+		return lsbp.BP, nil
+	case "linbp":
+		return lsbp.LinBP, nil
+	case "linbp*", "linbpstar":
+		return lsbp.LinBPStar, nil
+	case "sbp":
+		return lsbp.SBP, nil
+	case "fabp":
+		return lsbp.FABP, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}
+
+func parseFsync(name string) (lsbp.DurabilityPolicy, error) {
+	switch strings.ToLower(name) {
+	case "always":
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncAlways}, nil
+	case "interval":
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncInterval, Interval: 64}, nil
+	case "never":
+		return lsbp.DurabilityPolicy{Sync: lsbp.SyncNever}, nil
+	}
+	return lsbp.DurabilityPolicy{}, fmt.Errorf("unknown -fsync %q", name)
+}
+
+func parsePair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("want 'nodes,edges', got %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(a))
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := strconv.Atoi(strings.TrimSpace(b))
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, m, nil
+}
+
+func readEdges(path string) (*lsbp.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lsbp.ReadEdgeList(f)
+}
+
+// readLabels parses 'node class' lines into explicit residual
+// beliefs, one LabelResidual row per labeled node.
+func readLabels(path string, n, k int) (*lsbp.Beliefs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e := lsbp.NewBeliefs(n, k)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'node class'", path, line)
+		}
+		node, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		class, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if node < 0 || node >= n || class < 0 || class >= k {
+			return nil, fmt.Errorf("%s:%d: node %d class %d outside n=%d k=%d", path, line, node, class, n, k)
+		}
+		e.Set(node, lsbp.LabelResidual(k, class, 1))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

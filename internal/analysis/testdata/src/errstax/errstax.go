@@ -44,3 +44,27 @@ func badStashedErrorf(n int) error {
 func badDynamicError() error {
 	return errors.New("one-off dynamic error") // want "errors.New inside a function"
 }
+
+// Serving-plane cases: a front end sheds load only through the typed
+// serving sentinels. A bare error on a rejection path is a silently
+// dropped request — exactly what the taxonomy gate exists to forbid.
+
+func goodShedOverload(waitedMS int) error {
+	return fmt.Errorf("errstax: queue full, evicted after %dms: %w", waitedMS, errs.ErrOverloaded)
+}
+
+func goodShedBudget(budgetMS, estMS int) error {
+	return fmt.Errorf("errstax: %dms of budget left, ~%dms estimated: %w", budgetMS, estMS, errs.ErrDeadlineBudget)
+}
+
+func goodDegradedWrite() error {
+	return fmt.Errorf("errstax: write rejected, durable plane broken: %w", errs.ErrDegraded)
+}
+
+func goodConfinedPanic(v any) error {
+	return fmt.Errorf("errstax: solve panicked: %v: %w", v, errs.ErrInternal)
+}
+
+func badUntypedShed() error {
+	return fmt.Errorf("errstax: queue full, dropping request") // want "fmt.Errorf without %w"
+}

@@ -55,6 +55,13 @@ const (
 	SyncNever = durable.SyncNever
 )
 
+// ErrWALBroken (re-exported from internal/durable) reports that the
+// write-ahead log is stickily unusable: an append failed in a way that
+// could not be rolled back, so no further update can commit durably.
+// The solver latches SolverStats.Degraded and keeps serving reads;
+// every later Update fails wrapping this sentinel.
+var ErrWALBroken = durable.ErrWALBroken
+
 // WithDurability persists the prepared state into dir (created if
 // needed) and write-ahead-logs every Update under the given policy.
 // Prepare starts the directory fresh, overwriting any previous state;
@@ -135,6 +142,12 @@ func (d *dynSolver) initDurability() error {
 func (d *dynSolver) appendWALLocked(u Update) error {
 	rec := recordFromUpdate(u, d.dur.seq+1, d.k)
 	if err := d.dur.wal.Append(rec); err != nil {
+		if d.dur.wal.Broken() != nil {
+			// The failed append also poisoned the log (its rollback
+			// truncate failed): no later update can commit durably.
+			// Latch read-only mode now, not on the next attempt.
+			d.degraded.Store(true)
+		}
 		return err
 	}
 	d.dur.seq++
@@ -155,7 +168,13 @@ func (d *dynSolver) checkpointLocked() error {
 	if d.dur.wal == nil { // recovery checkpoints before reopening the log
 		return nil
 	}
-	return d.dur.wal.Rotate()
+	if err := d.dur.wal.Rotate(); err != nil {
+		if d.dur.wal.Broken() != nil {
+			d.degraded.Store(true)
+		}
+		return err
+	}
+	return nil
 }
 
 // snapshotImageLocked assembles the durable image of the maintained

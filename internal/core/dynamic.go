@@ -51,6 +51,7 @@ import (
 	"repro/internal/beliefs"
 	"repro/internal/coupling"
 	"repro/internal/dense"
+	"repro/internal/durable"
 	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -160,6 +161,14 @@ type dynSolver struct {
 	//lsbp:atomic
 	epochN, updates, rebuilds, overlayNNZ atomic.Int64
 
+	// degraded latches true when the durable plane breaks stickily
+	// (ErrWALBroken from a WAL append): the solver keeps serving reads
+	// from the last committed state while Stats advertises the
+	// condition so a serving front end can flip to read-only mode.
+	//
+	//lsbp:atomic
+	degraded atomic.Bool
+
 	statsMu sync.Mutex
 	retired SolverStats // folded counters of retired epochs
 }
@@ -246,6 +255,7 @@ func (d *dynSolver) Stats() SolverStats {
 	st.Updates = d.updates.Load()
 	st.Rebuilds = d.rebuilds.Load()
 	st.OverlayNNZ = d.overlayNNZ.Load()
+	st.Degraded = d.degraded.Load()
 	return st
 }
 
@@ -322,6 +332,12 @@ func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
 	// state — never a torn middle. A failed append commits nothing.
 	if d.dur != nil {
 		if err := d.appendWALLocked(u); err != nil {
+			if errors.Is(err, durable.ErrWALBroken) {
+				// The WAL is stickily unusable: no further write can
+				// commit durably. Latch degraded so Stats (and any
+				// front end polling it) reflects read-only reality.
+				d.degraded.Store(true)
+			}
 			return nil, err
 		}
 	}

@@ -254,6 +254,16 @@ type SolverStats struct {
 	// NotConverged counts solves that exhausted the iteration budget;
 	// Cancelled counts solves aborted by context.
 	NotConverged, Cancelled int64
+	// BatchHint is the number of requests the method fuses into one
+	// SolveBatch kernel chunk (always ≥ 1; 1 for methods that serve
+	// batches sequentially). A front end coalescing concurrent requests
+	// gets the full fused-kernel win at multiples of this size.
+	BatchHint int
+	// Degraded reports that the durable plane failed stickily (broken
+	// write-ahead log): every further Update is rejected while solves
+	// keep serving the last committed state. Always false for solvers
+	// prepared without durability.
+	Degraded bool
 }
 
 // Solver is a prepared inference engine over one problem configuration
@@ -495,21 +505,43 @@ func autoEpsilon(g *graph.Graph, ho *dense.Matrix, echo bool) (float64, error) {
 // workers, message buffers), and a GC-evicting pool would strand those
 // engines in the Close registry while cache misses build ever more —
 // an unbounded leak of memory and locked threads under sustained
-// traffic. The free list keeps every built state reusable until Close,
-// so the population is bounded by peak concurrent use, steady-state
-// get/put allocate nothing, and the mutex push/pop is noise against a
-// solve. (No idle shrink yet: a burst of N concurrent solves retains N
-// states — and on the partitioned plane their locked worker threads —
-// until Close. Add a soft cap if peak-vs-steady gaps start to matter.)
-type statePool[T any] struct {
-	mu    sync.Mutex
-	free  []T
-	all   []T
-	build func() (T, error)
+// traffic. The free list keeps built states reusable until Close, so
+// steady-state get/put allocate nothing and the mutex push/pop is
+// noise against a solve — but the retained population is bounded by
+// the maxFree high-water cap, not by peak concurrency: a burst of N
+// concurrent solves builds N states, and the ones beyond the cap are
+// destroyed as they come back instead of pinning their memory (and,
+// on the partitioned plane, their OS-thread-locked workers) forever.
+type statePool[T comparable] struct {
+	mu      sync.Mutex
+	free    []T
+	all     []T
+	build   func() (T, error)
+	destroy func(T) // releases a state's resources; nil = GC suffices
+	maxFree int     // high-water cap on the idle free list
 }
 
-func newStatePool[T any](build func() (T, error)) *statePool[T] {
-	return &statePool[T]{build: build}
+// defaultPoolFreeCap bounds how many idle per-solve states a pool
+// retains: enough that every core can be solving concurrently with
+// headroom for handoff jitter, small enough that a one-off burst of
+// thousands of goroutines does not permanently pin thousands of
+// kernel workspaces.
+func defaultPoolFreeCap() int {
+	if c := 2 * runtime.GOMAXPROCS(0); c > 4 {
+		return c
+	}
+	return 4
+}
+
+func newStatePool[T comparable](build func() (T, error)) *statePool[T] {
+	return &statePool[T]{build: build, maxFree: defaultPoolFreeCap()}
+}
+
+// withDestroy registers the release hook invoked for states dropped at
+// the high-water cap and for every live state at closeAll.
+func (p *statePool[T]) withDestroy(f func(T)) *statePool[T] {
+	p.destroy = f
+	return p
 }
 
 // get returns a pooled state or builds a fresh one.
@@ -537,23 +569,61 @@ func (p *statePool[T]) get() (T, error) {
 	return v, nil
 }
 
-// put returns a state for reuse.
+// put returns a state for reuse, or destroys it when the free list is
+// already at its high-water cap — the path that lets memory (and
+// locked worker threads) return to the system after a concurrency
+// burst instead of being pinned until Close.
 //
 //lsbp:hotpath
 func (p *statePool[T]) put(v T) {
 	p.mu.Lock()
-	p.free = append(p.free, v)
+	if len(p.free) < p.maxFree {
+		p.free = append(p.free, v)
+		p.mu.Unlock()
+		return
+	}
+	p.dropLocked(v)
 	p.mu.Unlock()
+	if p.destroy != nil {
+		p.destroy(v)
+	}
 }
 
-// closeAll invokes f over every state ever built and empties the
-// registry. Callers guarantee no state is in use (Close holds the
-// solver's write lock).
-func (p *statePool[T]) closeAll(f func(T)) {
+// dropLocked removes v from the Close registry so a capped-out state
+// is destroyed exactly once (here, not again at closeAll). It sits on
+// put's annotated path but runs only on cold over-cap evictions.
+//
+//lsbp:hotpath
+func (p *statePool[T]) dropLocked(v T) {
+	for i, x := range p.all {
+		if x == v {
+			last := len(p.all) - 1
+			p.all[i] = p.all[last]
+			var zero T
+			p.all[last] = zero
+			p.all = p.all[:last]
+			return
+		}
+	}
+}
+
+// idle reports the current free-list depth (for shrink tests).
+func (p *statePool[T]) idle() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, v := range p.all {
-		f(v)
+	return len(p.free)
+}
+
+// closeAll destroys every state still registered and empties the
+// registry. Callers guarantee no state is in use (Close holds the
+// solver's write lock).
+func (p *statePool[T]) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.destroy != nil {
+		for _, v := range p.all {
+			p.destroy(v)
+		}
 	}
 	p.all = nil
 	p.free = nil
@@ -572,6 +642,11 @@ type solverInfo struct {
 	bandBefore, bandAfter int
 	partitions, cutEdges  int
 	imbalance             float64
+
+	// batchHint is the number of requests the method fuses into one
+	// kernel chunk (0/1 for methods that serve batches sequentially) —
+	// the natural coalescing granularity for a serving front end.
+	batchHint int
 }
 
 // solverBase carries the identity, lifecycle, and counters every method
@@ -625,13 +700,33 @@ func (b *solverBase) closeOnce(release func()) error {
 }
 
 func (b *solverBase) Stats() SolverStats {
+	bh := b.batchHint
+	if bh < 1 {
+		bh = 1
+	}
 	return SolverStats{
 		Method: b.method, N: b.n, K: b.k, Workers: b.workers, EpsilonH: b.eps,
 		Ordering: b.ordering, BandwidthBefore: b.bandBefore, BandwidthAfter: b.bandAfter,
 		Partitions: b.partitions, CutEdges: b.cutEdges, Imbalance: b.imbalance,
-		Solves: b.solves.Load(), Batches: b.batches.Load(), BatchRequests: b.batchReqs.Load(),
+		BatchHint: bh,
+		Solves:    b.solves.Load(), Batches: b.batches.Load(), BatchRequests: b.batchReqs.Load(),
 		Iterations: b.iterations.Load(), NotConverged: b.notConverged.Load(), Cancelled: b.cancelled.Load(),
 	}
+}
+
+// admitCtx rejects a request whose context is already done before any
+// kernel work runs. The iterative loops only observe cancellation at
+// round boundaries; admission must fail an already-expired deadline
+// without spinning up (or waiting on) an engine. The rejection counts
+// as a cancelled solve, matching mid-solve aborts.
+//
+//lsbp:hotpath
+func (b *solverBase) admitCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		b.cancelled.Add(1)
+		return fmt.Errorf("core: %v admission: %w", b.method, err)
+	}
+	return nil
 }
 
 // record folds one solve outcome into the counters and normalizes the
@@ -713,6 +808,10 @@ func (b *solverBase) sequentialBatch(ctx context.Context, reqs []Request,
 	solve func(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error)) []Response {
 	b.batches.Add(1)
 	b.batchReqs.Add(int64(len(reqs)))
+	if err := b.admitCtx(ctx); err != nil {
+		b.cancelled.Add(int64(len(reqs)) - 1) // admitCtx counted one
+		return failAll(reqs, err)
+	}
 	resp := make([]Response, len(reqs))
 	for i, req := range reqs {
 		dst := req.Dst
@@ -810,6 +909,7 @@ func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLa
 	if s.tol == 0 {
 		s.tol = linbp.DefaultTol
 	}
+	s.batchHint = s.maxBlocks()
 	s.states = newStatePool(func() (*linbp.Engine, error) {
 		return linbp.NewEngineLayout(s.a, s.d, s.h, s.perm, linbp.Options{
 			EchoCancellation: s.method == MethodLinBP,
@@ -819,7 +919,7 @@ func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLa
 			Layout:           s.layout,
 			PartitionStarts:  s.partStarts,
 		})
-	})
+	}).withDestroy(func(e *linbp.Engine) { e.Close() })
 	s.batch = make([]*statePool[*linbpBatchEngine], s.maxBlocks())
 	for i := range s.batch {
 		c := i + 1
@@ -835,6 +935,9 @@ func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLa
 				return nil, fmt.Errorf("core: batch engine: %w", err)
 			}
 			return &linbpBatchEngine{eng: eng, ws: ws, ein: make([]float64, s.n*c*s.k)}, nil
+		}).withDestroy(func(be *linbpBatchEngine) {
+			be.eng.Close()
+			be.ws.Release()
 		})
 	}
 	// Build (and pool) the first engine eagerly: it validates the
@@ -880,6 +983,9 @@ func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (
 //
 //lsbp:hotpath
 func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
 	eng, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -904,6 +1010,9 @@ func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resi
 		return SolveInfo{}, err
 	}
 	s.solves.Add(1)
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
 	eng, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -943,6 +1052,10 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 	defer s.end()
 	s.batches.Add(1)
 	s.batchReqs.Add(int64(len(reqs)))
+	if err := s.admitCtx(ctx); err != nil {
+		s.cancelled.Add(int64(len(reqs)) - 1) // admitCtx counted one
+		return failAll(reqs, err)
+	}
 	//lsbp:ignore hotpath-noalloc -- the response slice is the batch path's one documented caller-owned allocation
 	resp := make([]Response, len(reqs))
 
@@ -959,8 +1072,10 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 		chunk := idx[:cn]
 		cn = 0
 		if batchErr != nil {
-			// A cancelled or failed chunk fails the rest of the batch
-			// without running it.
+			// Once the batch's context is gone, later chunks fail
+			// without running. Non-context chunk failures (a diverging
+			// request poisoning its cohort) stay confined to their own
+			// chunk — see solveChunk.
 			for _, ri := range chunk {
 				resp[ri].Err = batchErr
 				s.cancelled.Add(1)
@@ -988,9 +1103,13 @@ func (s *linbpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response
 }
 
 // solveChunk runs one fused chunk on a pooled batch engine and fills
-// its responses. A returned error (context cancellation or engine
-// failure) tells SolveBatch to fail the remaining chunks without
-// running them.
+// its responses. It returns non-nil only when the batch cannot
+// meaningfully continue — the shared context is done, or engines can
+// no longer be built — telling SolveBatch to fail the remaining
+// chunks without running them. A chunk that merely fails numerically
+// (one diverging request poisons its fused cohort) reports the error
+// in its own responses and returns nil, so unrelated chunks in the
+// same batch still run.
 //
 //lsbp:hotpath
 func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Response, chunk []int) error {
@@ -1056,6 +1175,8 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 		resp[ri].Info = info
 		resp[ri].Err = chunkErr
 		switch {
+		case runErr != nil && errors.Is(runErr, errs.ErrNonFinite):
+			s.notConverged.Add(1) // divergence, not a caller abort
 		case runErr != nil:
 			s.cancelled.Add(1)
 		case !converged:
@@ -1092,7 +1213,9 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 		}
 		resp[ri].Beliefs = dst
 	}
-	if runErr != nil {
+	if runErr != nil && ctx.Err() != nil {
+		// Only a dead context condemns the chunks that follow; a
+		// numeric failure is this chunk's alone.
 		return fmt.Errorf("core: %v batch: %w", s.method, runErr)
 	}
 	return nil
@@ -1100,12 +1223,9 @@ func (s *linbpSolver) solveChunk(ctx context.Context, reqs []Request, resp []Res
 
 func (s *linbpSolver) Close() error {
 	return s.closeOnce(func() {
-		s.states.closeAll(func(e *linbp.Engine) { e.Close() })
+		s.states.closeAll()
 		for _, bp := range s.batch {
-			bp.closeAll(func(be *linbpBatchEngine) {
-				be.eng.Close()
-				be.ws.Release()
-			})
+			bp.closeAll()
 		}
 	})
 }
@@ -1199,6 +1319,9 @@ func (s *bpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (Sol
 }
 
 func (s *bpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
 	st, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -1305,6 +1428,9 @@ func (s *sbpSolver) Solve(ctx context.Context, e *beliefs.Residual) (*Result, er
 		return nil, err
 	}
 	s.solves.Add(1)
+	if err := s.admitCtx(ctx); err != nil {
+		return nil, err
+	}
 	st, err := sbp.RunContext(ctx, s.g, e, s.ho)
 	if err != nil {
 		s.cancelled.Add(1)
@@ -1334,6 +1460,9 @@ func (s *sbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (So
 }
 
 func (s *sbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
 	st, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -1427,7 +1556,7 @@ func newFABPSolverOn(hhat float64, base solverInfo, cfg config, lay kernelLayout
 			bs:  make([]float64, s.n),
 			ss:  make([]float64, s.n),
 		}, nil
-	})
+	}).withDestroy(func(st *fabpState) { st.eng.Close() })
 	st, err := s.states.get()
 	if err != nil {
 		return nil, err
@@ -1486,6 +1615,9 @@ func (s *fabpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resid
 }
 
 func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
 	st, err := s.states.get()
 	if err != nil {
 		return SolveInfo{}, err
@@ -1542,6 +1674,6 @@ func (s *fabpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response 
 
 func (s *fabpSolver) Close() error {
 	return s.closeOnce(func() {
-		s.states.closeAll(func(st *fabpState) { st.eng.Close() })
+		s.states.closeAll()
 	})
 }

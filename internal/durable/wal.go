@@ -160,6 +160,12 @@ func (w *WAL) Append(r *Record) error {
 	return nil
 }
 
+// Broken reports the WAL's sticky failure state: non-nil (wrapping
+// ErrWALBroken) once a failed rollback or rotation reopen has made
+// further appends unsafe. Callers use it to flip read-only degraded
+// mode the moment the log dies, rather than on the next append.
+func (w *WAL) Broken() error { return w.err }
+
 // rollback restores the log to the record boundary at off after a
 // failed append: the partial (or complete but unacknowledged) frame
 // is cut away so the on-disk log holds exactly the acknowledged

@@ -47,6 +47,40 @@ var (
 	// Distinct from ErrDimensionMismatch (shapes disagree between
 	// otherwise-valid components) and ErrNonFinite (NaN/Inf values).
 	ErrInvalidInput = errors.New("invalid input")
+
+	// ErrOverloaded reports a request shed by the serving front end
+	// because capacity ran out: the admission queue hit its depth cap
+	// and this request — or the stale waiter evicted to make room for
+	// it — cannot be served without collapsing latency for everyone
+	// else. Overload shedding is load-dependent, so the request may
+	// succeed on retry after backoff.
+	ErrOverloaded = errors.New("overloaded: request shed")
+
+	// ErrDeadlineBudget reports a request rejected at admission because
+	// its remaining context-deadline budget is smaller than the front
+	// end's current latency estimate: queueing it would burn kernel
+	// time on an answer the caller will never wait for. Distinct from
+	// context.DeadlineExceeded (the deadline actually passed) — here
+	// the front end failed fast while budget remained.
+	ErrDeadlineBudget = errors.New("deadline budget below estimated latency")
+
+	// ErrDegraded reports a write (Update) rejected because the front
+	// end is in read-only degraded mode: the durable plane failed
+	// stickily (e.g. a broken write-ahead log) and accepting further
+	// writes could acknowledge changes that crash recovery would lose.
+	// Solves keep being served from the last good state.
+	ErrDegraded = errors.New("degraded: front end is read-only")
+
+	// ErrDraining reports a request rejected because the front end is
+	// draining for shutdown or restart: admission is closed while the
+	// already-admitted queue flushes.
+	ErrDraining = errors.New("draining: admission closed")
+
+	// ErrInternal reports a request that made the compute plane panic.
+	// The panic is confined to the poisoned request — its batch
+	// cohabitants are retried — and surfaced as this typed error
+	// instead of crashing the process.
+	ErrInternal = errors.New("internal: solve panicked")
 )
 
 // Classify names the taxonomy class of err: the variable name of the
@@ -70,6 +104,11 @@ func Classify(err error) string {
 		{ErrNonFinite, "ErrNonFinite"},
 		{ErrCorruptState, "ErrCorruptState"},
 		{ErrInvalidInput, "ErrInvalidInput"},
+		{ErrOverloaded, "ErrOverloaded"},
+		{ErrDeadlineBudget, "ErrDeadlineBudget"},
+		{ErrDegraded, "ErrDegraded"},
+		{ErrDraining, "ErrDraining"},
+		{ErrInternal, "ErrInternal"},
 	} {
 		if errors.Is(err, c.sentinel) {
 			return c.name

@@ -3,6 +3,10 @@ package errs
 import (
 	"errors"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -19,8 +23,14 @@ func TestClassify(t *testing.T) {
 		{ErrNonFinite, "ErrNonFinite"},
 		{ErrCorruptState, "ErrCorruptState"},
 		{ErrInvalidInput, "ErrInvalidInput"},
+		{ErrOverloaded, "ErrOverloaded"},
+		{ErrDeadlineBudget, "ErrDeadlineBudget"},
+		{ErrDegraded, "ErrDegraded"},
+		{ErrDraining, "ErrDraining"},
+		{ErrInternal, "ErrInternal"},
 		{fmt.Errorf("solver: %w", ErrNotConverged), "ErrNotConverged"},
 		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrCorruptState)), "ErrCorruptState"},
+		{fmt.Errorf("serve: queue full: %w", ErrOverloaded), "ErrOverloaded"},
 		{errors.New("ad-hoc"), "untyped"},
 		{fmt.Errorf("wrapping nothing of ours: %w", errors.New("x")), "untyped"},
 	}
@@ -39,12 +49,68 @@ func TestSentinelsDistinct(t *testing.T) {
 	sentinels := []error{
 		ErrNotConverged, ErrDimensionMismatch, ErrInvalidCoupling,
 		ErrClosed, ErrNonFinite, ErrCorruptState, ErrInvalidInput,
+		ErrOverloaded, ErrDeadlineBudget, ErrDegraded, ErrDraining,
+		ErrInternal,
 	}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
 			if (i == j) != errors.Is(a, b) {
 				t.Errorf("errors.Is(%v, %v) = %v", a, b, i != j)
 			}
+		}
+	}
+}
+
+// TestClassifyCoversEverySentinel parses errs.go and asserts that every
+// exported Err* package variable appears in Classify's table. A
+// sentinel added without a Classify entry would silently report as
+// "untyped" in metrics labels — exactly the failure mode the serving
+// front end's typed-shedding contract forbids.
+func TestClassifyCoversEverySentinel(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errs.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing errs.go: %v", err)
+	}
+	var declared []string
+	var classified map[string]bool
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+						declared = append(declared, name.Name)
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Name.Name != "Classify" || d.Body == nil {
+				continue
+			}
+			classified = map[string]bool{}
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if ok && strings.HasPrefix(id.Name, "Err") {
+					classified[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(declared) == 0 || classified == nil {
+		t.Fatalf("parse found %d sentinels, classify table %v", len(declared), classified)
+	}
+	for _, name := range declared {
+		if !classified[name] {
+			t.Errorf("sentinel %s is not in Classify's table; metrics would label it \"untyped\"", name)
 		}
 	}
 }

@@ -1,0 +1,153 @@
+// Serving-side instrumentation: a lock-free EWMA latency estimator
+// and an exponential-bucket latency histogram. Both are safe for any
+// number of concurrent writers and readers — the admission path
+// observes and queries them on every request, so they must never
+// serialize the front end behind a mutex.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average over float64
+// observations, updated with compare-and-swap so concurrent observers
+// never lose each other's samples. Before the first observation Value
+// reports 0.
+type EWMA struct {
+	alpha float64
+	// bits holds the current average as math.Float64bits; seen flips
+	// with the first sample so Value can distinguish "no data" from a
+	// genuine zero.
+	bits atomic.Uint64
+	seen atomic.Bool
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0, 1]:
+// the weight of each new observation. Higher alpha tracks bursts
+// faster; lower alpha smooths harder. Out-of-range alphas fall back
+// to 0.2.
+func NewEWMA(alpha float64) *EWMA {
+	if !(alpha > 0) || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return // a poisoned sample must not wedge the estimator forever
+	}
+	if e.seen.CompareAndSwap(false, true) {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := (1-e.alpha)*math.Float64frombits(old) + e.alpha*v
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 {
+	if !e.seen.Load() {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Histogram shape: exact 1ns buckets up to 15ns, then four
+// sub-buckets per power of two (≤ 25% relative error on quantiles) up
+// to 2^34ns ≈ 17s; slower observations clamp into the last bucket.
+const (
+	histExact  = 16 // buckets 0..15: exact nanosecond counts
+	histMinExp = 4  // first log-spaced octave is [16ns, 32ns)
+	histMaxExp = 34 // last octave ends ≈ 17s
+	histSub    = 4  // sub-buckets per octave
+	histLen    = histExact + (histMaxExp-histMinExp+1)*histSub
+)
+
+// LatencyHist is a fixed-shape exponential histogram of durations:
+// lock-free counters, O(buckets) quantile reads. The zero value is
+// ready to use.
+type LatencyHist struct {
+	counts [histLen]atomic.Int64
+	total  atomic.Int64
+}
+
+// Observe records one duration (non-positive durations count in the
+// zero bucket).
+func (h *LatencyHist) Observe(d time.Duration) {
+	h.counts[histIdx(d)].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() int64 { return h.total.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q
+// clamped to [0, 1]) — the upper boundary of the bucket holding that
+// rank, overestimating by at most one bucket width (≈25%). Returns 0
+// with no data. The scan is racy against concurrent Observes by
+// design: it serves monitoring snapshots, not an exact census.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	switch {
+	case !(q > 0):
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histLen; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return histUpper(i)
+		}
+	}
+	return histUpper(histLen - 1)
+}
+
+// histIdx maps a duration to its bucket.
+func histIdx(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	ns := uint64(d)
+	if ns < histExact {
+		return int(ns)
+	}
+	exp := 63 - bits.LeadingZeros64(ns) // floor(log2 ns), >= histMinExp
+	if exp > histMaxExp {
+		return histLen - 1
+	}
+	// The two bits below the leading one select the sub-bucket.
+	frac := int(ns>>(uint(exp)-2)) & (histSub - 1)
+	return histExact + (exp-histMinExp)*histSub + frac
+}
+
+// histUpper returns the upper boundary of bucket i (inclusive).
+func histUpper(i int) time.Duration {
+	if i < histExact {
+		return time.Duration(i)
+	}
+	j := i - histExact
+	exp := histMinExp + j/histSub
+	frac := j % histSub
+	base := uint64(1) << uint(exp)
+	step := base / histSub
+	return time.Duration(base + uint64(frac+1)*step - 1)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMATracksMean(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("empty EWMA = %g, want 0", e.Value())
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Fatalf("first observation = %g, want 100 (seeded, not decayed from 0)", e.Value())
+	}
+	e.Observe(200)
+	if got := e.Value(); got != 150 {
+		t.Fatalf("after 100,200 with alpha .5 = %g, want 150", got)
+	}
+	// Converges toward a steady signal.
+	for i := 0; i < 50; i++ {
+		e.Observe(40)
+	}
+	if got := e.Value(); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("steady-state = %g, want ~40", got)
+	}
+}
+
+func TestEWMAIgnoresPoisonedSamples(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	e.Observe(math.NaN())
+	e.Observe(math.Inf(1))
+	if got := e.Value(); got != 10 {
+		t.Fatalf("after NaN/Inf samples = %g, want 10 unchanged", got)
+	}
+}
+
+// TestEWMAConcurrentObserversLoseNothing: with alpha=1 the average is
+// just the last sample; under concurrency every CAS must land, so the
+// final value is one of the observed samples (never a torn mix).
+func TestEWMAConcurrentObserversLoseNothing(t *testing.T) {
+	e := NewEWMA(0.25)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(50)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Value(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("concurrent steady signal = %g, want 50", got)
+	}
+}
+
+func TestHistIdxBoundsAndMonotone(t *testing.T) {
+	if got := histIdx(-time.Second); got != 0 {
+		t.Errorf("negative duration bucket = %d, want 0", got)
+	}
+	prev := -1
+	for _, d := range []time.Duration{
+		0, 1, 2, 15, 16, 17, 31, 32, 63, 64,
+		time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		time.Second, 10 * time.Second, 17 * time.Second,
+		time.Minute, time.Hour,
+	} {
+		idx := histIdx(d)
+		if idx < 0 || idx >= histLen {
+			t.Fatalf("histIdx(%v) = %d out of [0,%d)", d, idx, histLen)
+		}
+		if idx < prev {
+			t.Fatalf("histIdx(%v) = %d < previous %d: not monotone", d, idx, prev)
+		}
+		prev = idx
+		if up := histUpper(idx); d <= up {
+			continue
+		} else if idx != histLen-1 {
+			t.Errorf("histUpper(%d) = %v < observation %v", idx, up, d)
+		}
+	}
+	if histIdx(time.Hour) != histLen-1 {
+		t.Errorf("1h should clamp to the overflow bucket")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 90 fast observations, 10 slow ones: p50 must sit near the fast
+	// mode, p99 near the slow one; bucket error is bounded by 25%.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if n := h.Count(); n != 100 {
+		t.Fatalf("Count = %d, want 100", n)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 < 1*time.Millisecond || p50 > 1300*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1ms (upper bucket edge ≤ +25%%)", p50)
+	}
+	if p99 < 100*time.Millisecond || p99 > 130*time.Millisecond {
+		t.Errorf("p99 = %v, want ~100ms (upper bucket edge ≤ +25%%)", p99)
+	}
+	if q0 := h.Quantile(0); q0 > p50 {
+		t.Errorf("q0 = %v > p50 = %v", q0, p50)
+	}
+	if q1 := h.Quantile(1); q1 < p99 {
+		t.Errorf("q1 = %v < p99 = %v", q1, p99)
+	}
+}

@@ -1,0 +1,52 @@
+// Serving facade: the overload-safe front end of internal/serve
+// re-exported for library consumers, and the layer cmd/lsbpd builds
+// its HTTP daemon on. See the package comment of internal/serve for
+// the admission/shedding/degradation contract.
+package lsbp
+
+import (
+	"repro/internal/serve"
+)
+
+// FrontEnd coalesces concurrent Solve callers into bounded SolveBatch
+// dispatches over a prepared Solver, sheds load with typed errors,
+// and degrades to read-only on sticky durable failures. Create with
+// NewFrontEnd.
+type FrontEnd = serve.FrontEnd
+
+// ServeConfig bounds a FrontEnd (queue depth, batch width, in-flight
+// dispatches, estimator smoothing). The zero value selects defaults
+// sized from the solver's BatchHint.
+type ServeConfig = serve.Config
+
+// ServeStats is a FrontEnd counter snapshot.
+type ServeStats = serve.Stats
+
+// HTTPConfig bounds the FrontEnd's HTTP handler (body size, server
+// timeout).
+type HTTPConfig = serve.HTTPConfig
+
+// NodeBelief is one TopK entry.
+type NodeBelief = serve.NodeBelief
+
+// The serving failure classes. Every request a FrontEnd rejects
+// carries exactly one of these (or the caller's own context error) —
+// requests are never dropped silently.
+var (
+	// ErrOverloaded: shed because the admission queue was full.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDeadlineBudget: shed because the request's context budget was
+	// below the estimated time-to-answer.
+	ErrDeadlineBudget = serve.ErrDeadlineBudget
+	// ErrDegraded: write rejected while the durable plane is broken.
+	ErrDegraded = serve.ErrDegraded
+	// ErrDraining: rejected during graceful shutdown.
+	ErrDraining = serve.ErrDraining
+	// ErrInternal: the solve panicked; the panic was confined.
+	ErrInternal = serve.ErrInternal
+)
+
+// NewFrontEnd wraps a prepared Solver in the serving front end. The
+// front end does not own the solver: Close the front end first, then
+// the solver.
+func NewFrontEnd(s Solver, cfg ServeConfig) *FrontEnd { return serve.New(s, cfg) }
