@@ -32,6 +32,11 @@
 #                   epoch swap + re-solve) warm vs cold, plus the
 #                   belief-only and single-edge commit throughput,
 #                   archived into BENCH_results.json
+#   make bench-residual - the residual-schedule benchmark on the same
+#                   large Kronecker graph: Update absorbing a <=0.1%
+#                   edge delta under the rounds vs residual vs auto
+#                   schedules, plus the delta-size scaling sweep,
+#                   archived into BENCH_results.json
 #   make bench-durable - the durable-plane benchmark: snapshot-load cold
 #                   start (Open) vs full re-Prepare on the same large
 #                   Kronecker graph, plus WAL append overhead per fsync
@@ -51,6 +56,9 @@
 #   LSBP_BENCH_MAXGRAPH=N  largest Fig. 6a Kronecker graph to bench (1-9)
 #   LSBP_BENCH_REORDER_POWER=P  Kronecker power of the layout/partition
 #                   benchmarks (default 11 = 177,147 nodes)
+#   LSBP_BENCH_RESIDUAL_EPS=E  skip bench-residual's one-time auto-εH
+#                   spectral derivation (minutes at power 11) and use E
+#                   (deterministic per power; 0.01497919... at 11)
 
 GO ?= go
 BENCHTIME ?= 1s
@@ -66,7 +74,7 @@ RACE_PKGS = ./internal/kernel/ ./internal/linbp/ ./internal/sparse/ ./internal/f
 	./internal/learn/ ./internal/mooij/ ./internal/relalgo/ ./internal/spectral/ \
 	./internal/serve/ ./internal/metrics/
 
-.PHONY: verify test fmt vet build cover lint bench bench-quick bench-batch bench-reorder bench-partition bench-update bench-durable race test-race crash
+.PHONY: verify test fmt vet build cover lint bench bench-quick bench-batch bench-reorder bench-partition bench-update bench-residual bench-durable race test-race crash
 
 verify: build fmt vet lint test test-race crash
 
@@ -144,6 +152,10 @@ bench-partition:
 
 bench-update:
 	$(GO) test -bench 'BenchmarkUpdate' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+bench-residual:
+	$(GO) test -bench 'BenchmarkResidual' -benchmem -run '^$$' -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json
 
 bench-durable:

@@ -29,6 +29,9 @@ func TestGolden(t *testing.T) {
 		{"fabp_partitioned", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "fabp", "-eps", "0.05", "-partitions", "2", "-v"}},
 		{"linbp_updates", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "linbp", "-eps", "0.05", "-order", "none", "-updates", "testdata/updates.txt"}},
 		{"sbp_updates", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "sbp", "-eps", "0.05", "-updates", "testdata/updates.txt"}},
+		{"linbp_residual", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "linbp", "-eps", "0.05", "-order", "none", "-schedule", "residual"}},
+		{"linbp_updates_residual", []string{"-labels", "testdata/labels3.txt", "-k", "3", "-method", "linbp", "-eps", "0.05", "-order", "none", "-schedule", "residual", "-updates", "testdata/updates.txt", "-v"}},
+		{"fabp_updates_auto", []string{"-labels", "testdata/labels2.txt", "-k", "2", "-method", "fabp", "-eps", "0.05", "-schedule", "auto", "-updates", "testdata/updates2.txt", "-v"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -55,6 +58,39 @@ func TestGoldenUsageErrors(t *testing.T) {
 	args = []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt", "-updates", "testdata/no_such_stream.txt"}
 	if code := run(args, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing -updates file: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	stderr.Reset()
+	args = []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels2.txt", "-schedule", "eager"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad -schedule: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "schedule") {
+		t.Errorf("bad -schedule error does not name the flag: %q", stderr.String())
+	}
+}
+
+// TestVerboseResidualStats pins the -v stats surface of the residual
+// schedule: the updates-path stats line must carry the schedule name
+// and nonzero relaxed-row / queue-peak counters, which only the
+// residual plane produces.
+func TestVerboseResidualStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-edges", "testdata/graph.txt", "-labels", "testdata/labels3.txt",
+		"-k", "3", "-eps", "0.05", "-order", "none",
+		"-schedule", "residual", "-updates", "testdata/updates.txt", "-v"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	for _, want := range []string{"schedule=residual", "relaxed=", "qpeak="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats line missing %q:\n%s", want, out)
+		}
+	}
+	for _, zero := range []string{"relaxed=0 ", "qpeak=0\n"} {
+		if strings.Contains(out, zero) {
+			t.Errorf("residual schedule reported %q — the queue never ran:\n%s", zero, out)
+		}
 	}
 }
 

@@ -15,7 +15,12 @@
 // coupling defaults to k-class homophily; -coupling FILE loads a k×k
 // stochastic coupling matrix (whitespace-separated rows) instead.
 // -partitions engages the kernel's partition-parallel data plane
-// (0 = off, auto, or an explicit block count). -updates FILE replays an
+// (0 = off, auto, or an explicit block count). -schedule picks the
+// kernel execution schedule: rounds (the default synchronous plane),
+// residual (a priority queue relaxes only rows whose residual exceeds
+// tolerance — localized updates cost what they touch), or auto (rounds
+// for cold solves, residual for localized re-solves). -updates FILE
+// replays an
 // edge/belief event stream ('add s t [w]', 'del s t', 'label node
 // class [strength]', 'commit') against the prepared solver through the
 // epoch-versioned Update path, printing the top-belief assignment per
@@ -68,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		orderFlag = fs.String("order", "auto", "prepare-time node reordering: auto | rcm | degree | none")
 		partsFlag = fs.String("partitions", "0", "partition-parallel data plane: 0 = off, auto, or a block count")
+		schedFlag = fs.String("schedule", "rounds", "kernel execution schedule: rounds | residual | auto")
 		updates   = fs.String("updates", "", "event stream file replayed against the prepared solver: 'add s t [w]' | 'del s t' | 'label node class [strength]' | 'commit' lines; beliefs print per epoch")
 		statePath = fs.String("state", "", "durable state directory: first run persists a snapshot + update WAL there, later runs recover from it (ignoring -edges/-labels)")
 		fsyncFlag = fs.String("fsync", "always", "WAL fsync cadence under -state: always | interval=N | never")
@@ -86,6 +92,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	sched, err := lsbp.ParseSchedule(*schedFlag)
+	if err != nil {
+		return fail(err)
+	}
+
 	var pol lsbp.DurabilityPolicy
 	if *statePath != "" {
 		var err error
@@ -100,7 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if recovering {
 		var err error
 		s, err = lsbp.Open(*statePath, lsbp.WithDurability(*statePath, pol),
-			lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol), lsbp.WithWorkers(*workers))
+			lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol), lsbp.WithWorkers(*workers),
+			lsbp.WithSchedule(sched))
 		if err != nil {
 			return fail(err)
 		}
@@ -146,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts := []lsbp.Option{
 			lsbp.WithMaxIter(*maxIter), lsbp.WithTol(*tol),
 			lsbp.WithWorkers(*workers), lsbp.WithReordering(reorder),
-			lsbp.WithPartitions(partitions),
+			lsbp.WithPartitions(partitions), lsbp.WithSchedule(sched),
 		}
 		if *eps == 0 && m != lsbp.SBP {
 			opts = append(opts, lsbp.WithAutoEpsilonH())
@@ -183,14 +195,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *verbose {
 			st := s.Stats()
-			fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v epochs=%d updates=%d rebuilds=%d overlay=%d iters=%d\n",
-				st.Method, st.N, st.K, st.Ordering, st.Epoch, st.Updates, st.Rebuilds, st.OverlayNNZ, st.Iterations)
+			fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v schedule=%v epochs=%d updates=%d rebuilds=%d overlay=%d iters=%d relaxed=%d qpeak=%d\n",
+				st.Method, st.N, st.K, st.Ordering, st.Schedule, st.Epoch, st.Updates, st.Rebuilds, st.OverlayNNZ, st.Iterations,
+				st.ResidualRowsRelaxed, st.ResidualQueuePeak)
 		}
 		return 0
 	}
 
 	var res *lsbp.Result
-	var err error
 	if recovering {
 		// No explicit-belief file on the recovered path: an empty Update
 		// re-solves the maintained problem (graph and beliefs as of the
@@ -210,9 +222,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *verbose {
 		st := s.Stats()
-		fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v bandwidth=%d→%d partitions=%d cut=%d imbalance=%.3f iters=%d converged=%v\n",
+		fmt.Fprintf(stderr, "stats: method=%v n=%d k=%d ordering=%v bandwidth=%d→%d partitions=%d cut=%d imbalance=%.3f schedule=%v iters=%d converged=%v relaxed=%d qpeak=%d\n",
 			st.Method, st.N, st.K, st.Ordering, st.BandwidthBefore, st.BandwidthAfter,
-			st.Partitions, st.CutEdges, st.Imbalance, res.Iterations, res.Converged)
+			st.Partitions, st.CutEdges, st.Imbalance, st.Schedule, res.Iterations, res.Converged,
+			st.ResidualRowsRelaxed, st.ResidualQueuePeak)
 	}
 
 	w := bufio.NewWriter(stdout)

@@ -152,6 +152,21 @@ type dynSolver struct {
 	// context was cancelled between materialization and the epoch
 	// swap); the next Update retries the swap before anything else.
 	pendingSwap bool
+	// lastConverged reports that last is the converged fixpoint of the
+	// exactly-current epoch — the validity gate of the residual plane's
+	// localized touched-row seeding. It is pessimistically cleared at
+	// the top of every Update and restored only after a successful
+	// re-solve, so any early exit (WAL failure, aborted swap,
+	// cancellation) forces the next re-solve to seed fully.
+	lastConverged bool
+	// epsRederived latches that a compaction re-derived the auto εH to
+	// a different value — the fixpoint moved globally, so the next
+	// re-solve must not trust a localized seed. Consumed by Update.
+	epsRederived bool
+	// tlist/tmark are the reusable touched-row accumulator of
+	// collectTouched (caller-order ids, deduplicated per batch).
+	tlist []int
+	tmark []bool
 	// dur is the durable half (snapshot + WAL); nil without
 	// WithDurability.
 	dur *durability
@@ -251,6 +266,10 @@ func (d *dynSolver) Stats() SolverStats {
 	st.Iterations += r.Iterations
 	st.NotConverged += r.NotConverged
 	st.Cancelled += r.Cancelled
+	st.ResidualRowsRelaxed += r.ResidualRowsRelaxed
+	if r.ResidualQueuePeak > st.ResidualQueuePeak {
+		st.ResidualQueuePeak = r.ResidualQueuePeak
+	}
 	st.Epoch = d.epochN.Load()
 	st.Updates = d.updates.Load()
 	st.Rebuilds = d.rebuilds.Load()
@@ -273,6 +292,11 @@ func (d *dynSolver) foldRetiredLocked(st SolverStats) {
 	d.retired.Iterations += st.Iterations
 	d.retired.NotConverged += st.NotConverged
 	d.retired.Cancelled += st.Cancelled
+	d.retired.ResidualRowsRelaxed += st.ResidualRowsRelaxed
+	// The queue peak is a lifetime maximum, not a sum.
+	if st.ResidualQueuePeak > d.retired.ResidualQueuePeak {
+		d.retired.ResidualQueuePeak = st.ResidualQueuePeak
+	}
 }
 
 // statsDelta returns the counter fields of post minus pre — the bumps
@@ -285,6 +309,10 @@ func statsDelta(post, pre SolverStats) SolverStats {
 		Iterations:    post.Iterations - pre.Iterations,
 		NotConverged:  post.NotConverged - pre.NotConverged,
 		Cancelled:     post.Cancelled - pre.Cancelled,
+		// The per-snapshot peak is monotone, so the drained snapshot's
+		// final peak is the right value to fold (max, not difference).
+		ResidualRowsRelaxed: post.ResidualRowsRelaxed - pre.ResidualRowsRelaxed,
+		ResidualQueuePeak:   post.ResidualQueuePeak,
 	}
 }
 
@@ -342,6 +370,15 @@ func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
 		}
 	}
 	d.initDynState()
+	// The localized touched-row seed is only sound when the previous
+	// fixpoint converged on exactly the previous epoch and this batch is
+	// the whole epoch delta — a pending (retried) swap folds an earlier
+	// batch into this commit, so its rows would be missed. Capture the
+	// gate before mutating, clear it pessimistically, and restore it
+	// only after a successful re-solve.
+	seedable := d.lastConverged && !d.pendingSwap && d.last != nil && !d.cfg.policy.DisableWarmStart
+	d.lastConverged = false
+	touched := d.collectTouched(u)
 	if u.SetExplicit != nil {
 		for _, v := range u.SetExplicit.ExplicitNodes() {
 			d.exp.Set(v, u.SetExplicit.Row(v))
@@ -351,13 +388,58 @@ func (d *dynSolver) Update(ctx context.Context, u Update) (*Result, error) {
 		if err := d.swapSnapshotLocked(ctx); err != nil {
 			return nil, err
 		}
+		if d.epsRederived {
+			// The compaction moved the coupling scale: the old fixpoint
+			// is globally stale, so this re-solve seeds fully.
+			seedable = false
+			d.epsRederived = false
+		}
 	}
 	d.updates.Add(1)
-	res, err := d.resolveLocked(ctx)
+	res, err := d.resolveLocked(ctx, seedable, touched)
 	if res != nil && res.Beliefs != nil {
 		d.last = res.Beliefs.Clone()
+		d.lastConverged = res.Converged
 	}
 	return res, err
+}
+
+// collectTouched gathers the caller-order rows whose residuals this
+// batch perturbs — the endpoints of every added or removed edge (their
+// adjacency rows and degrees change) plus the rows with replacement
+// explicit beliefs — deduplicated through the reusable mark array. The
+// returned slice aliases d.tlist and is valid until the next Update;
+// an empty (non-nil) result means a no-change batch, which the
+// residual plane re-solves for free.
+func (d *dynSolver) collectTouched(u Update) []int {
+	if d.tmark == nil {
+		d.tmark = make([]bool, d.n)
+	}
+	t := d.tlist[:0]
+	add := func(i int) {
+		if !d.tmark[i] {
+			d.tmark[i] = true
+			t = append(t, i)
+		}
+	}
+	for _, e := range u.AddEdges {
+		add(e.S)
+		add(e.T)
+	}
+	for _, e := range u.RemoveEdges {
+		add(e.S)
+		add(e.T)
+	}
+	if u.SetExplicit != nil {
+		for _, v := range u.SetExplicit.ExplicitNodes() {
+			add(v)
+		}
+	}
+	for _, i := range t {
+		d.tmark[i] = false
+	}
+	d.tlist = t
+	return t
 }
 
 // applyTopologyLocked folds the batch's edge delta into the
@@ -477,6 +559,22 @@ func (d *dynSolver) swapSnapshotLocked(ctx context.Context) error {
 		// Replay the layout optimizer and (for the kernel methods) the
 		// partitioner on the merged graph, exactly as Prepare would.
 		a := d.g.Adjacency()
+		if d.cfg.autoEps && d.method != MethodSBP {
+			// Compaction already replays the layout on the merged graph;
+			// re-derive the auto εH there too, so a long insert-heavy
+			// stream recovers the spectral safety margin instead of
+			// serving the stale prepare-time scale. The new epoch's εH
+			// is what Stats().EpsilonH reports from here on.
+			eps, eerr := autoEpsilon(d.g, d.ho, d.method == MethodLinBP || d.method == MethodBP || d.method == MethodFABP)
+			if eerr != nil {
+				return fmt.Errorf("core: compaction auto-εH re-derivation: %w", eerr)
+			}
+			if eps != d.eps {
+				d.eps = eps
+				d.epsRederived = true
+			}
+			info.eps = d.eps
+		}
 		perm, chosen := order.Compute(d.cfg.reorder, a)
 		info.ordering = chosen
 		info.bandBefore = order.Bandwidth(a, nil)
@@ -588,14 +686,37 @@ func (d *dynSolver) buildGraphSnapshot(info solverInfo) (snapshot, error) {
 
 // resolveLocked re-solves the maintained problem on the current epoch:
 // warm-started from the previous fixpoint where the method supports it,
-// cold otherwise.
-func (d *dynSolver) resolveLocked(ctx context.Context) (*Result, error) {
+// cold otherwise. Under a residual schedule the kernel methods route
+// through the residual plane: seedable localized solves seed from
+// exactly the touched rows, everything else seeds fully (always under
+// ScheduleResidual, only when localized under ScheduleAuto — a full
+// residual seed costs a round and converges no faster than warm
+// rounds, so Auto prefers rounds there).
+func (d *dynSolver) resolveLocked(ctx context.Context, seedable bool, touched []int) (*Result, error) {
 	ep := d.cur.Load()
-	if ws, ok := ep.snap.(warmStarter); ok {
-		var start *beliefs.Residual
-		if !d.cfg.policy.DisableWarmStart {
-			start = d.last
+	var start *beliefs.Residual
+	if !d.cfg.policy.DisableWarmStart {
+		start = d.last
+	}
+	if ss, ok := ep.snap.(seededSolver); ok && d.cfg.schedule != ScheduleRounds {
+		if !seedable || start == nil {
+			touched = nil
 		}
+		if touched != nil || d.cfg.schedule == ScheduleResidual {
+			dst := beliefs.New(d.n, d.k)
+			info, err := ss.SolveSeeded(ctx, dst, d.exp, start, touched)
+			if err != nil && !isNotConverged(err) {
+				return nil, err
+			}
+			res := &Result{
+				Method: d.method, Beliefs: dst,
+				Iterations: info.Iterations, Converged: info.Converged, Delta: info.Delta,
+			}
+			res.Top = dst.TopAssignment()
+			return res, err
+		}
+	}
+	if ws, ok := ep.snap.(warmStarter); ok {
 		dst := beliefs.New(d.n, d.k)
 		info, err := ws.SolveFrom(ctx, dst, d.exp, start)
 		if err != nil && !isNotConverged(err) {

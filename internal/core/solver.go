@@ -56,6 +56,7 @@ type config struct {
 	reorder    Reordering
 	layout     kernel.Layout
 	partitions int
+	schedule   Schedule
 	policy     UpdatePolicy
 	durFS      durable.FS
 	durDir     string
@@ -166,6 +167,66 @@ const maxAutoPartitions = 16
 // reports the partition count, cut edges, and nnz imbalance.
 func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
 
+// Schedule selects the execution schedule of the kernel-backed methods
+// (LinBP, LinBP*, FABP); see WithSchedule. The zero value is
+// ScheduleRounds. BP and SBP have no alternative schedule and ignore
+// the option.
+type Schedule int
+
+const (
+	// ScheduleRounds runs synchronous Jacobi rounds: every update pass
+	// advances all n rows once, regardless of where the remaining error
+	// lives. The default, and the only schedule SolveBatch's fused
+	// chunks use.
+	ScheduleRounds Schedule = iota
+	// ScheduleResidual runs the residual-scheduled push plane: rows are
+	// relaxed in largest-residual-first order and the solve costs what
+	// it touches, so localized inputs (and the dynamic plane's deltas)
+	// converge without full passes. The fixpoint matches the rounds
+	// schedule within the tolerance budget ‖(I−M)⁻¹‖·tol — a tolerance
+	// band, never bitwise equality — and requires a positive tolerance
+	// (the schedule has no fixed-round mode, so it composes with
+	// WithTol(0) = method default but not with a negative tolerance).
+	ScheduleResidual
+	// ScheduleAuto picks per solve: synchronous rounds for cold solves
+	// and batches (where every row carries error anyway), the residual
+	// plane for the dynamic plane's localized Update re-solves seeded
+	// from exactly the rows a delta touched.
+	ScheduleAuto
+)
+
+// String returns the flag spelling of the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleRounds:
+		return "rounds"
+	case ScheduleResidual:
+		return "residual"
+	case ScheduleAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// ParseSchedule maps the flag spellings rounds|residual|auto onto
+// Schedule values.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "rounds":
+		return ScheduleRounds, nil
+	case "residual":
+		return ScheduleResidual, nil
+	case "auto":
+		return ScheduleAuto, nil
+	}
+	return 0, fmt.Errorf("core: unknown schedule %q (want rounds, residual, or auto): %w", name, errs.ErrInvalidInput)
+}
+
+// WithSchedule selects the execution schedule for the kernel-backed
+// methods. Stats().Schedule reports the choice; SolveInfo.RowsRelaxed
+// and SolveInfo.QueuePeak report the residual plane's per-solve work.
+func WithSchedule(s Schedule) Option { return func(c *config) { c.schedule = s } }
+
 // SolveInfo describes one completed solve on the serving path.
 type SolveInfo struct {
 	// Iterations is the number of update rounds executed (for SBP, the
@@ -175,7 +236,18 @@ type SolveInfo struct {
 	// tolerance. SBP always converges.
 	Converged bool
 	// Delta is the final maximum belief/message change (0 for SBP).
+	// For a residual-scheduled solve it is the largest residual
+	// magnitude remaining (at most the tolerance when converged).
 	Delta float64
+	// RowsRelaxed is the number of row relaxations a residual-scheduled
+	// solve executed (0 under the rounds schedule); Iterations then
+	// reports the round-equivalent ⌈RowsRelaxed/n⌉, so iteration budgets
+	// and counters stay comparable across schedules.
+	RowsRelaxed int
+	// QueuePeak is the residual queue's high-water population during
+	// the solve (0 under the rounds schedule) — how much of the graph
+	// the solve's frontier covered at its widest.
+	QueuePeak int
 }
 
 // Request is one unit of work for Solver.SolveBatch.
@@ -233,6 +305,10 @@ type SolverStats struct {
 	// (1.0 = perfectly balanced); both are 0 when Partitions is 0.
 	Partitions, CutEdges int
 	Imbalance            float64
+	// Schedule is the execution schedule of the kernel-backed methods
+	// (always ScheduleRounds for BP and SBP, which have no alternative
+	// plane).
+	Schedule Schedule
 	// Epoch is the number of snapshot swaps the dynamic plane has
 	// performed (0 until the first topology Update); Updates counts
 	// committed Update calls, Rebuilds the subset that triggered a
@@ -254,6 +330,13 @@ type SolverStats struct {
 	// NotConverged counts solves that exhausted the iteration budget;
 	// Cancelled counts solves aborted by context.
 	NotConverged, Cancelled int64
+	// ResidualRowsRelaxed accumulates the row relaxations executed by
+	// residual-scheduled solves (the plane's unit of work, the analogue
+	// of Iterations·n for rounds); ResidualQueuePeak is the largest
+	// queue population any single residual-scheduled solve reached over
+	// the solver's lifetime. Both stay 0 under ScheduleRounds.
+	ResidualRowsRelaxed int64
+	ResidualQueuePeak   int64
 	// BatchHint is the number of requests the method fuses into one
 	// SolveBatch kernel chunk (always ≥ 1; 1 for methods that serve
 	// batches sequentially). A front end coalescing concurrent requests
@@ -355,6 +438,20 @@ type warmStarter interface {
 	SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error)
 }
 
+// seededSolver is implemented by the kernel-backed snapshots when a
+// residual schedule is available: SolveSeeded is SolveFrom served by
+// the residual plane, with touched (caller node ids, deduplicated)
+// restricting the warm seed to the rows a delta perturbed — the
+// dynamic plane's localized re-solve. A nil touched recomputes every
+// row's residual (valid from any start); a non-nil empty touched is
+// the no-change fast path. Snapshots prepared without a usable
+// residual plane (fixed-round tolerance under ScheduleAuto) fall back
+// to warm rounds internally.
+type seededSolver interface {
+	warmStarter
+	SolveSeeded(ctx context.Context, dst, e, start *beliefs.Residual, touched []int) (SolveInfo, error)
+}
+
 // Prepare validates the problem once and builds a prepared Solver for
 // the method. The problem's Graph, Ho, and EpsilonH are fixed at
 // preparation time; Explicit only participates in shape validation and
@@ -374,6 +471,14 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown method %v: %w", m, errs.ErrInvalidInput)
 	}
+	switch cfg.schedule {
+	case ScheduleRounds, ScheduleResidual, ScheduleAuto:
+	default:
+		return nil, fmt.Errorf("core: unknown schedule %v: %w", cfg.schedule, errs.ErrInvalidInput)
+	}
+	if cfg.schedule == ScheduleResidual && cfg.tol < 0 {
+		return nil, fmt.Errorf("core: the residual schedule needs a convergence tolerance (a negative WithTol forces fixed rounds): %w", errs.ErrInvalidInput)
+	}
 	echo := m != MethodLinBPStar // LinBP and the FABP collapse cancel echo
 	if cfg.echoSet && (m == MethodLinBP || m == MethodLinBPStar) {
 		echo = cfg.echo
@@ -392,6 +497,13 @@ func Prepare(p *Problem, m Method, opts ...Option) (Solver, error) {
 		}
 	}
 	base := solverInfo{method: m, n: p.Graph.N(), k: p.K(), workers: cfg.workers, eps: eps}
+	switch m {
+	case MethodLinBP, MethodLinBPStar, MethodFABP:
+		base.schedule = cfg.schedule
+	default:
+		// BP and SBP have no residual plane; they ignore the schedule
+		// the way they ignore Workers and Partitions.
+	}
 
 	// The layout optimizer runs once per prepared solver: resolve the
 	// reordering strategy on the adjacency structure and record the
@@ -642,6 +754,7 @@ type solverInfo struct {
 	bandBefore, bandAfter int
 	partitions, cutEdges  int
 	imbalance             float64
+	schedule              Schedule
 
 	// batchHint is the number of requests the method fuses into one
 	// kernel chunk (0/1 for methods that serve batches sequentially) —
@@ -663,6 +776,10 @@ type solverBase struct {
 	solves, batches, batchReqs atomic.Int64
 	iterations                 atomic.Int64
 	notConverged, cancelled    atomic.Int64
+	rowsRelaxed                atomic.Int64
+	// queuePeak is a lifetime maximum, not a sum; record folds it with
+	// a CAS-max.
+	queuePeak atomic.Int64
 }
 
 // begin enters one solve: it takes the read lock and rejects closed
@@ -708,9 +825,11 @@ func (b *solverBase) Stats() SolverStats {
 		Method: b.method, N: b.n, K: b.k, Workers: b.workers, EpsilonH: b.eps,
 		Ordering: b.ordering, BandwidthBefore: b.bandBefore, BandwidthAfter: b.bandAfter,
 		Partitions: b.partitions, CutEdges: b.cutEdges, Imbalance: b.imbalance,
+		Schedule:  b.schedule,
 		BatchHint: bh,
 		Solves:    b.solves.Load(), Batches: b.batches.Load(), BatchRequests: b.batchReqs.Load(),
 		Iterations: b.iterations.Load(), NotConverged: b.notConverged.Load(), Cancelled: b.cancelled.Load(),
+		ResidualRowsRelaxed: b.rowsRelaxed.Load(), ResidualQueuePeak: b.queuePeak.Load(),
 	}
 }
 
@@ -736,6 +855,17 @@ func (b *solverBase) admitCtx(ctx context.Context) error {
 //lsbp:hotpath
 func (b *solverBase) record(info SolveInfo, err error) (SolveInfo, error) {
 	b.iterations.Add(int64(info.Iterations))
+	if info.RowsRelaxed > 0 {
+		b.rowsRelaxed.Add(int64(info.RowsRelaxed))
+	}
+	if p := int64(info.QueuePeak); p > 0 {
+		for {
+			cur := b.queuePeak.Load()
+			if p <= cur || b.queuePeak.CompareAndSwap(cur, p) {
+				break
+			}
+		}
+	}
 	if err != nil {
 		// A diverged solve (overflowed update delta) is a convergence
 		// failure, not a caller abort; keep the Cancelled counter
@@ -862,6 +992,10 @@ type linbpSolver struct {
 
 	states *statePool[*linbp.Engine]
 	batch  []*statePool[*linbpBatchEngine] // index c-1 → chunks of c requests
+	// rstates pools the residual-scheduled engines; nil when the
+	// schedule is rounds-only or a negative tolerance forces fixed
+	// rounds (the residual plane has no fixed-round mode).
+	rstates *statePool[*linbp.ResidualEngine]
 }
 
 // kernelLayout is the concrete prepared layout a kernel-backed snapshot
@@ -940,6 +1074,15 @@ func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLa
 			be.ws.Release()
 		})
 	}
+	if s.schedule != ScheduleRounds && s.tol > 0 {
+		s.rstates = newStatePool(func() (*linbp.ResidualEngine, error) {
+			return linbp.NewResidualEngineLayout(s.a, s.d, s.h, s.perm, linbp.Options{
+				MaxIter: s.maxIter,
+				Tol:     s.tol,
+				Layout:  s.layout,
+			})
+		}).withDestroy(func(e *linbp.ResidualEngine) { e.Close() })
+	}
 	// Build (and pool) the first engine eagerly: it validates the
 	// configuration and triggers the shared CSR's compact-index build
 	// while preparation is still single-goroutine.
@@ -948,6 +1091,16 @@ func newLinBPSolverOn(h *dense.Matrix, base solverInfo, cfg config, lay kernelLa
 		return nil, err
 	}
 	s.states.put(eng)
+	if s.schedule == ScheduleResidual {
+		// The residual plane is this solver's serving path: validate its
+		// configuration eagerly too, so Prepare (not the first solve)
+		// reports a bad tolerance.
+		reng, err := s.rstates.get()
+		if err != nil {
+			return nil, err
+		}
+		s.rstates.put(reng)
+	}
 	return s, nil
 }
 
@@ -983,6 +1136,9 @@ func (s *linbpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (
 //
 //lsbp:hotpath
 func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
+	if s.schedule == ScheduleResidual && s.rstates != nil {
+		return s.solveResidual(ctx, dst, e, nil, nil)
+	}
 	if err := s.admitCtx(ctx); err != nil {
 		return SolveInfo{}, err
 	}
@@ -999,6 +1155,8 @@ func (s *linbpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (
 // iteration begins at start (a previous fixpoint in the caller's node
 // order) instead of Bˆ = 0, so a solve after a small input delta
 // converges in a fraction of the cold rounds. A nil start solves cold.
+// Under ScheduleResidual it is served by the residual plane (full warm
+// seed — valid from any start).
 //
 //lsbp:hotpath
 func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
@@ -1010,6 +1168,17 @@ func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resi
 		return SolveInfo{}, err
 	}
 	s.solves.Add(1)
+	if s.schedule == ScheduleResidual && s.rstates != nil {
+		return s.solveResidual(ctx, dst, e, start, nil)
+	}
+	return s.solveFromRounds(ctx, dst, e, start)
+}
+
+// solveFromRounds is the round-scheduled warm solve; callers hold the
+// read lock, have validated shapes, and have counted the solve.
+//
+//lsbp:hotpath
+func (s *linbpSolver) solveFromRounds(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
 	if err := s.admitCtx(ctx); err != nil {
 		return SolveInfo{}, err
 	}
@@ -1020,6 +1189,53 @@ func (s *linbpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resi
 	defer s.states.put(eng)
 	iters, delta, converged, err := eng.SolveFromIntoContext(ctx, dst, e, start)
 	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+}
+
+// SolveSeeded is the residual plane's localized entry point (see
+// seededSolver): a warm solve seeded from exactly the touched rows.
+// Without a usable residual plane (ScheduleAuto over a fixed-round
+// tolerance) it degrades to the full warm rounds solve.
+//
+//lsbp:hotpath
+func (s *linbpSolver) SolveSeeded(ctx context.Context, dst, e, start *beliefs.Residual, touched []int) (SolveInfo, error) {
+	if !s.begin() {
+		return SolveInfo{}, s.errClosed()
+	}
+	defer s.end()
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	s.solves.Add(1)
+	if s.rstates == nil {
+		return s.solveFromRounds(ctx, dst, e, start)
+	}
+	return s.solveResidual(ctx, dst, e, start, touched)
+}
+
+// solveResidual runs one counted-elsewhere solve on a pooled residual
+// engine; the round-equivalent ⌈relaxed/n⌉ keeps Iterations comparable
+// across schedules. Callers hold the read lock and have validated the
+// shapes; s.rstates must be non-nil.
+//
+//lsbp:hotpath
+func (s *linbpSolver) solveResidual(ctx context.Context, dst, e, start *beliefs.Residual, touched []int) (SolveInfo, error) {
+	if err := s.admitCtx(ctx); err != nil {
+		return SolveInfo{}, err
+	}
+	eng, err := s.rstates.get()
+	if err != nil {
+		return SolveInfo{}, err
+	}
+	defer s.rstates.put(eng)
+	relaxed, peak, maxResid, converged, err := eng.SolveSeededContext(ctx, dst, e, start, touched)
+	iters := 0
+	if s.n > 0 {
+		iters = (relaxed + s.n - 1) / s.n
+	}
+	return s.record(SolveInfo{
+		Iterations: iters, Converged: converged, Delta: maxResid,
+		RowsRelaxed: relaxed, QueuePeak: peak,
+	}, err)
 }
 
 // maxBlocks is the largest number of requests fused into one kernel
@@ -1226,6 +1442,9 @@ func (s *linbpSolver) Close() error {
 		s.states.closeAll()
 		for _, bp := range s.batch {
 			bp.closeAll()
+		}
+		if s.rstates != nil {
+			s.rstates.closeAll()
 		}
 	})
 }
@@ -1498,6 +1717,11 @@ func (s *sbpSolver) Close() error { return s.closeOnce(nil) }
 type fabpState struct {
 	eng        *fabp.Engine
 	es, bs, ss []float64 // scalar explicit/result/start scratch (layout order)
+	// reng and ts serve the residual schedule; reng is nil when the
+	// schedule is rounds-only or a negative tolerance forces fixed
+	// rounds, and ts is the layout-order touched-row scratch.
+	reng *fabp.ResidualEngine
+	ts   []int32
 }
 
 // fabpSolver serves the binary (k = 2) scalar linearization of
@@ -1550,12 +1774,26 @@ func newFABPSolverOn(hhat float64, base solverInfo, cfg config, lay kernelLayout
 		if err != nil {
 			return nil, err
 		}
-		return &fabpState{
+		st := &fabpState{
 			eng: eng,
 			es:  make([]float64, s.n),
 			bs:  make([]float64, s.n),
 			ss:  make([]float64, s.n),
-		}, nil
+		}
+		if s.schedule != ScheduleRounds && s.tol >= 0 {
+			// Tol 0 selects the package default inside fabp, matching the
+			// rounds engine above; only an explicit fixed-round tolerance
+			// (< 0) leaves the residual plane out.
+			st.reng, err = fabp.NewResidualEngineCSR(s.a, s.d, s.hhat, fabp.Options{
+				MaxIter: s.maxIter, Tol: s.tol,
+			})
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			st.ts = make([]int32, 0, s.n)
+		}
+		return st, nil
 	}).withDestroy(func(st *fabpState) { st.eng.Close() })
 	st, err := s.states.get()
 	if err != nil {
@@ -1592,12 +1830,14 @@ func (s *fabpSolver) SolveInto(ctx context.Context, dst, e *beliefs.Residual) (S
 }
 
 func (s *fabpSolver) solveInto(ctx context.Context, dst, e *beliefs.Residual) (SolveInfo, error) {
-	return s.solveFromInto(ctx, dst, e, nil)
+	return s.solveFromInto(ctx, dst, e, nil, nil, s.schedule == ScheduleResidual)
 }
 
 // SolveFrom is the warm-started serving path of the dynamic plane (see
 // linbpSolver.SolveFrom); the binary collapse starts the Jacobi
 // iteration at start's class-0 residuals. A nil start solves cold.
+// Under ScheduleResidual it is served by the residual plane (full warm
+// seed — valid from any start).
 func (s *fabpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
 	if !s.begin() {
 		return SolveInfo{}, s.errClosed()
@@ -1611,10 +1851,32 @@ func (s *fabpSolver) SolveFrom(ctx context.Context, dst, e, start *beliefs.Resid
 			start.N(), start.K(), s.n, s.k, errs.ErrDimensionMismatch)
 	}
 	s.solves.Add(1)
-	return s.solveFromInto(ctx, dst, e, start)
+	return s.solveFromInto(ctx, dst, e, start, nil, s.schedule == ScheduleResidual)
 }
 
-func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.Residual) (SolveInfo, error) {
+// SolveSeeded is the residual plane's localized entry point (see
+// seededSolver and linbpSolver.SolveSeeded).
+func (s *fabpSolver) SolveSeeded(ctx context.Context, dst, e, start *beliefs.Residual, touched []int) (SolveInfo, error) {
+	if !s.begin() {
+		return SolveInfo{}, s.errClosed()
+	}
+	defer s.end()
+	if err := s.checkShapes(dst, e); err != nil {
+		return SolveInfo{}, err
+	}
+	if start != nil && (start.N() != s.n || start.K() != s.k) {
+		return SolveInfo{}, fmt.Errorf("core: start matrix %dx%d does not match n=%d k=%d: %w",
+			start.N(), start.K(), s.n, s.k, errs.ErrDimensionMismatch)
+	}
+	s.solves.Add(1)
+	return s.solveFromInto(ctx, dst, e, start, touched, true)
+}
+
+// solveFromInto is the shared collapse/solve/expand body. residual
+// selects the residual-scheduled plane; it degrades to warm rounds
+// when the pooled state has no residual engine (fixed-round tolerance
+// under ScheduleAuto).
+func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.Residual, touched []int, residual bool) (SolveInfo, error) {
 	if err := s.admitCtx(ctx); err != nil {
 		return SolveInfo{}, err
 	}
@@ -1649,7 +1911,32 @@ func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.R
 			}
 		}
 	}
-	iters, delta, converged, err := st.eng.SolveFromInto(ctx, st.bs, st.es, ss)
+	var iters, relaxed, peak int
+	var delta float64
+	var converged bool
+	if residual && st.reng != nil {
+		var tptr []int32
+		if touched != nil {
+			ts := st.ts[:0]
+			if s.perm == nil {
+				for _, id := range touched {
+					ts = append(ts, int32(id))
+				}
+			} else {
+				for _, id := range touched {
+					ts = append(ts, int32(s.perm[id]))
+				}
+			}
+			st.ts = ts
+			tptr = ts
+		}
+		relaxed, peak, delta, converged, err = st.reng.SolveSeeded(ctx, st.bs, st.es, ss, tptr)
+		if s.n > 0 {
+			iters = (relaxed + s.n - 1) / s.n
+		}
+	} else {
+		iters, delta, converged, err = st.eng.SolveFromInto(ctx, st.bs, st.es, ss)
+	}
 	dd := dst.Matrix().Data()
 	if s.perm == nil {
 		for i, b := range st.bs {
@@ -1661,7 +1948,10 @@ func (s *fabpSolver) solveFromInto(ctx context.Context, dst, e, start *beliefs.R
 			dd[i*2], dd[i*2+1] = b, -b
 		}
 	}
-	return s.record(SolveInfo{Iterations: iters, Converged: converged, Delta: delta}, err)
+	return s.record(SolveInfo{
+		Iterations: iters, Converged: converged, Delta: delta,
+		RowsRelaxed: relaxed, QueuePeak: peak,
+	}, err)
 }
 
 func (s *fabpSolver) SolveBatch(ctx context.Context, reqs []Request) []Response {

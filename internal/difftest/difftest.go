@@ -43,6 +43,17 @@ import (
 // DefaultTol is the divergence bound variants must stay within.
 const DefaultTol = 1e-12
 
+// ResidualScheduleTol is the divergence bound for residual-scheduled
+// variants — the documented tolerance ladder of the schedule axis. The
+// rounds-scheduled variants differ from the reference only by
+// summation order (DefaultTol, near-bitwise); the residual plane
+// relaxes rows in a data-dependent order and stops on a per-row
+// residual bound, so each side is within ‖(I−M)⁻¹‖·tol_solve of the
+// unique fixpoint and their distance is bounded by a small multiple of
+// the solve tolerance, not by rounding noise. With the suite's solve
+// tolerances (≤ 1e-12) the observed gap stays well under 1e-9.
+const ResidualScheduleTol = 1e-9
+
 // Ks is the class-count axis: the paper's experiment shapes (2, 3, 5)
 // plus k = 1, the scalar collapse of Appendix E. The Problem surface
 // requires k ≥ 2 (beliefs.New), so the k = 1 cell runs the kernel-level
@@ -55,10 +66,22 @@ var Methods = []core.Method{
 	core.MethodBP, core.MethodLinBP, core.MethodLinBPStar, core.MethodSBP, core.MethodFABP,
 }
 
-// Variant is one point on the configuration axes.
+// Variant is one point on the configuration axes. Tol, when positive,
+// overrides the run's divergence bound for this variant — the
+// tolerance-ladder hook the schedule axis uses (see
+// ResidualScheduleTol).
 type Variant struct {
 	Name string
 	Opts []core.Option
+	Tol  float64
+}
+
+// bound resolves the effective divergence bound for the variant.
+func (v Variant) bound(tol float64) float64 {
+	if v.Tol > 0 {
+		return v.Tol
+	}
+	return tol
 }
 
 // Reference is the baseline configuration every variant is compared
@@ -152,8 +175,8 @@ func Run(t testing.TB, p *core.Problem, m core.Method, tol float64, extra ...cor
 	want := solveOnce(t, p, m, Reference(), extra)
 	for _, v := range Variants(m) {
 		got := solveOnce(t, p, m, v, extra)
-		if d := maxAbsDiff(got, want); d > tol {
-			t.Errorf("%v %s: diverges from reference by %g (tol %g)", m, v.Name, d, tol)
+		if vtol := v.bound(tol); maxAbsDiff(got, want) > vtol {
+			t.Errorf("%v %s: diverges from reference by %g (tol %g)", m, v.Name, maxAbsDiff(got, want), vtol)
 		}
 	}
 }
@@ -314,8 +337,13 @@ func DynamicStream(p *core.Problem, batches int, seed uint64) []DynamicBatch {
 
 // DynamicVariants enumerates the serving axes of the dynamic
 // differential suite per the acceptance matrix: wide+compact layouts ×
-// all orderings × partitions ∈ {1, auto} for the kernel methods, and
-// the ordering axis alone for BP and SBP.
+// all orderings × partitions ∈ {1, auto} × schedules for the kernel
+// methods, and the ordering axis alone for BP and SBP (which have no
+// kernel options or residual plane). The residual and auto schedules
+// carry the looser ResidualScheduleTol bound — the documented
+// tolerance ladder: relaxation order is data-dependent, so those
+// variants agree with the rounds reference within the tolerance
+// budget, never bitwise.
 func DynamicVariants(m core.Method) []Variant {
 	orderings := []struct {
 		name string
@@ -335,6 +363,15 @@ func DynamicVariants(m core.Method) []Variant {
 		}
 		return out
 	}
+	schedules := []struct {
+		name string
+		s    core.Schedule
+		tol  float64
+	}{
+		{"rounds", core.ScheduleRounds, 0},
+		{"residual", core.ScheduleResidual, ResidualScheduleTol},
+		{"auto", core.ScheduleAuto, ResidualScheduleTol},
+	}
 	for _, layout := range []struct {
 		name    string
 		compact bool
@@ -344,14 +381,19 @@ func DynamicVariants(m core.Method) []Variant {
 				name string
 				n    int
 			}{{"1", 1}, {"auto", core.PartitionsAuto}} {
-				out = append(out, Variant{
-					Name: fmt.Sprintf("layout=%s/order=%s/parts=%s", layout.name, o.name, parts.name),
-					Opts: []core.Option{
-						core.WithCompactIndices(layout.compact),
-						core.WithReordering(o.r),
-						core.WithPartitions(parts.n),
-					},
-				})
+				for _, sched := range schedules {
+					out = append(out, Variant{
+						Name: fmt.Sprintf("layout=%s/order=%s/parts=%s/schedule=%s",
+							layout.name, o.name, parts.name, sched.name),
+						Opts: []core.Option{
+							core.WithCompactIndices(layout.compact),
+							core.WithReordering(o.r),
+							core.WithPartitions(parts.n),
+							core.WithSchedule(sched.s),
+						},
+						Tol: sched.tol,
+					})
+				}
 			}
 		}
 	}
@@ -387,6 +429,7 @@ func RunDynamic(t testing.TB, p *core.Problem, m core.Method, v Variant, policy 
 	if tol <= 0 {
 		tol = DefaultTol
 	}
+	tol = v.bound(tol)
 	var extra []core.Option
 	if m == core.MethodLinBP || m == core.MethodLinBPStar || m == core.MethodFABP {
 		extra = []core.Option{core.WithMaxIter(500), core.WithTol(1e-13)}

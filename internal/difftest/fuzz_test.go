@@ -63,6 +63,36 @@ func FuzzDynamicEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzResidualSchedule fuzzes byte-encoded update streams against a
+// residual-scheduled LinBP solver: every committed batch's localized
+// touched-row re-solve must stay within the tolerance budget of a
+// fresh rounds-reference Prepare on the evolving graph. The seeds are
+// adversarial for the seeded path specifically — repeated touches of
+// the same rows, remove-then-re-add of the same edge (a no-op delta
+// whose touched rows must still reconverge), relabel churn on one
+// node, and a batch mixing all three. Explore with
+//
+//	go test -fuzz=FuzzResidualSchedule ./internal/difftest
+func FuzzResidualSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 0, 1, 5, 0, 5, 1, 255, 0, 1, 5, 255})
+	f.Add([]byte{0, 2, 9, 1, 2, 9, 0, 2, 9, 1, 2, 9, 255})
+	f.Add([]byte{2, 3, 0, 2, 3, 1, 2, 3, 2, 2, 3, 0, 255, 2, 3, 1, 255})
+	f.Add([]byte{0, 7, 8, 1, 7, 8, 2, 7, 1, 0, 8, 9, 255, 1, 8, 9, 2, 9, 2, 255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		stream := fuzzStream(raw)
+		if len(stream) == 0 {
+			t.Skip("bytes encode no committed batch")
+		}
+		p, err := Problem(24, 48, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RunDynamic(t, p, core.MethodLinBP,
+			Variant{Name: "fuzz-residual", Opts: []core.Option{core.WithSchedule(core.ScheduleResidual)}, Tol: ResidualScheduleTol},
+			core.UpdatePolicy{CompactionRatio: 0.1}, stream, DefaultTol)
+	})
+}
+
 // fuzzStream decodes bytes into DynamicBatches over a 24-node graph:
 // opcode 0 = add edge (two operand bytes), 1 = delete edge (two
 // operands), 2 = relabel (node, class), 255 = commit the batch.

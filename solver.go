@@ -197,6 +197,35 @@ const PartitionsAuto = core.PartitionsAuto
 // partition count, cut edges, and nnz imbalance.
 func WithPartitions(n int) Option { return core.WithPartitions(n) }
 
+// Schedule selects the execution schedule of the kernel-backed methods
+// (LinBP, LinBP*, FABP); see WithSchedule.
+type Schedule = core.Schedule
+
+// The selectable schedules.
+const (
+	// ScheduleRounds runs synchronous Jacobi rounds: every pass
+	// advances all n rows. The default.
+	ScheduleRounds = core.ScheduleRounds
+	// ScheduleResidual runs the residual-scheduled push plane: rows
+	// relax in largest-residual-first order and the solve costs what it
+	// touches. The fixpoint matches the rounds schedule within the
+	// tolerance budget ‖(I−M)⁻¹‖·tol, never bitwise.
+	ScheduleResidual = core.ScheduleResidual
+	// ScheduleAuto runs rounds for cold solves and batches, and the
+	// residual plane for Update's localized re-solves seeded from
+	// exactly the rows a delta touched.
+	ScheduleAuto = core.ScheduleAuto
+)
+
+// ParseSchedule maps the spellings rounds|residual|auto onto Schedule
+// values (for flags and config files).
+func ParseSchedule(name string) (Schedule, error) { return core.ParseSchedule(name) }
+
+// WithSchedule selects the execution schedule for the kernel-backed
+// methods; BP and SBP ignore it. Stats().Schedule reports the choice,
+// SolveInfo.RowsRelaxed/QueuePeak the residual plane's per-solve work.
+func WithSchedule(s Schedule) Option { return core.WithSchedule(s) }
+
 // WithUpdatePolicy sets the dynamic plane's policy for Solver.Update:
 // the overlay-growth ratio that triggers a compaction rebuild
 // (reordering + partitioning replayed on the merged graph) and whether
